@@ -1,0 +1,358 @@
+// Command sccl is the command-line front end to the SCCL synthesis
+// engine: it synthesizes collective algorithms for a topology, explores
+// Pareto frontiers, prints lower bounds, simulates performance, executes
+// algorithms on in-memory buffers, and emits CUDA or SMT-LIB2 artifacts.
+//
+// Usage:
+//
+//	sccl synthesize -topology dgx1 -collective Allgather -c 6 -s 3 -r 7
+//	sccl pareto     -topology dgx1 -collective Allgather -k 2
+//	sccl bounds     -topology amd  -collective Allreduce
+//	sccl simulate   -topology dgx1 -collective Allgather -c 6 -s 3 -r 7 -bytes 1048576
+//	sccl cuda       -topology dgx1 -collective Allgather -c 1 -s 2 -r 2 -lowering fused-push
+//	sccl smtlib     -topology dgx1 -collective Allgather -c 1 -s 2 -r 2
+//	sccl execute    -topology dgx1 -collective Allreduce -c 8 -s 2 -r 2
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	sccl "repro"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	cmd, args := os.Args[1], os.Args[2:]
+	var err error
+	switch cmd {
+	case "synthesize":
+		err = cmdSynthesize(args)
+	case "pareto":
+		err = cmdPareto(args)
+	case "bounds":
+		err = cmdBounds(args)
+	case "simulate":
+		err = cmdSimulate(args)
+	case "cuda":
+		err = cmdCUDA(args)
+	case "smtlib":
+		err = cmdSMTLIB(args)
+	case "execute":
+		err = cmdExecute(args)
+	case "xml":
+		err = cmdXML(args)
+	case "trace":
+		err = cmdTrace(args)
+	case "help", "-h", "--help":
+		usage()
+	default:
+		fmt.Fprintf(os.Stderr, "sccl: unknown command %q\n", cmd)
+		usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "sccl:", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `sccl <command> [flags]
+
+commands:
+  synthesize  synthesize one algorithm for an exact (C,S,R) budget
+  pareto      run the Pareto-Synthesize procedure (paper Algorithm 1)
+  bounds      print latency/bandwidth lower bounds
+  simulate    run the discrete-event simulator across sizes
+  cuda        emit CUDA-flavored C++ for a synthesized algorithm
+  smtlib      emit the SMT-LIB2 (QF_LIA) encoding of an instance
+  execute     run a synthesized algorithm on in-memory buffers and verify
+  xml         emit the MSCCL-runtime XML for a synthesized algorithm
+  trace       emit a chrome://tracing timeline of the simulated schedule
+
+common flags: -topology dgx1|amd|ring:N|bidir-ring:N|line:N|fc:N|star:N|
+              hypercube:D|torus:RxC|bus:N:BW
+              -collective Allgather|Allreduce|Broadcast|...  -root N`)
+}
+
+type common struct {
+	topo *sccl.Topology
+	kind sccl.Kind
+	root int
+}
+
+func parseCommon(fs *flag.FlagSet, args []string) (common, *flag.FlagSet, error) {
+	topoSpec := fs.String("topology", "dgx1", "topology spec")
+	collName := fs.String("collective", "Allgather", "collective kind")
+	root := fs.Int("root", 0, "root node for rooted collectives")
+	if err := fs.Parse(args); err != nil {
+		return common{}, fs, err
+	}
+	topo, err := sccl.ParseTopology(*topoSpec)
+	if err != nil {
+		return common{}, fs, err
+	}
+	kind, err := sccl.ParseKind(*collName)
+	if err != nil {
+		return common{}, fs, err
+	}
+	return common{topo: topo, kind: kind, root: *root}, fs, nil
+}
+
+func cmdSynthesize(args []string) error {
+	fs := flag.NewFlagSet("synthesize", flag.ContinueOnError)
+	c := fs.Int("c", 1, "chunks per node")
+	s := fs.Int("s", 2, "steps")
+	r := fs.Int("r", 2, "rounds")
+	timeout := fs.Duration("timeout", 5*time.Minute, "solver timeout")
+	format := fs.String("format", "text", "output: text|json")
+	cm, _, err := parseCommon(fs, args)
+	if err != nil {
+		return err
+	}
+	t0 := time.Now()
+	alg, status, err := sccl.Synthesize(cm.kind, cm.topo, sccl.Node(cm.root), *c, *s, *r,
+		sccl.SynthOptions{Timeout: *timeout})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("status: %v  (%.2fs)\n", status, time.Since(t0).Seconds())
+	if alg == nil {
+		return nil
+	}
+	switch *format {
+	case "json":
+		data, err := json.MarshalIndent(alg, "", "  ")
+		if err != nil {
+			return err
+		}
+		fmt.Println(string(data))
+	default:
+		fmt.Print(alg.Format())
+	}
+	return nil
+}
+
+func cmdPareto(args []string) error {
+	fs := flag.NewFlagSet("pareto", flag.ContinueOnError)
+	k := fs.Int("k", 0, "k-synchronous bound (R <= S+k)")
+	maxSteps := fs.Int("max-steps", 0, "step cap (0 = auto)")
+	maxChunks := fs.Int("max-chunks", 0, "chunk cap (0 = auto)")
+	timeout := fs.Duration("timeout", 5*time.Minute, "per-instance solver timeout")
+	verbose := fs.Bool("v", false, "print probe progress")
+	cm, _, err := parseCommon(fs, args)
+	if err != nil {
+		return err
+	}
+	opts := sccl.ParetoOptions{
+		K: *k, MaxSteps: *maxSteps, MaxChunks: *maxChunks,
+		Instance: sccl.SynthOptions{Timeout: *timeout},
+	}
+	if *verbose {
+		opts.Progress = func(format string, a ...any) {
+			fmt.Fprintf(os.Stderr, format+"\n", a...)
+		}
+	}
+	pts, err := sccl.Pareto(cm.kind, cm.topo, sccl.Node(cm.root), opts)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%-8s %-6s %-6s %-12s %-10s\n", "C", "S", "R", "Optimality", "Time")
+	for _, p := range pts {
+		fmt.Printf("%-8d %-6d %-6d %-12s %.1fs\n", p.C, p.S, p.R, p.Optimality(), p.SynthesisTime.Seconds())
+	}
+	return nil
+}
+
+func cmdBounds(args []string) error {
+	fs := flag.NewFlagSet("bounds", flag.ContinueOnError)
+	cm, _, err := parseCommon(fs, args)
+	if err != nil {
+		return err
+	}
+	steps, bw, err := sccl.LowerBounds(cm.kind, cm.topo, sccl.Node(cm.root))
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%v on %s: latency >= %d steps, bandwidth cost R/C >= %s\n",
+		cm.kind, cm.topo.Name, steps, bw.RatString())
+	return nil
+}
+
+func cmdSimulate(args []string) error {
+	fs := flag.NewFlagSet("simulate", flag.ContinueOnError)
+	c := fs.Int("c", 1, "chunks per node")
+	s := fs.Int("s", 2, "steps")
+	r := fs.Int("r", 2, "rounds")
+	bytes := fs.Float64("bytes", 1<<20, "input size in bytes")
+	lowering := fs.String("lowering", "fused-push", "lowering variant")
+	cm, _, err := parseCommon(fs, args)
+	if err != nil {
+		return err
+	}
+	low, err := sccl.ParseLowering(*lowering)
+	if err != nil {
+		return err
+	}
+	alg, status, err := sccl.Synthesize(cm.kind, cm.topo, sccl.Node(cm.root), *c, *s, *r, sccl.SynthOptions{})
+	if err != nil {
+		return err
+	}
+	if alg == nil {
+		return fmt.Errorf("synthesis returned %v", status)
+	}
+	profile := sccl.DGX1Profile()
+	if cm.topo.Name == "amd-z52" {
+		profile = sccl.AMDProfile()
+	}
+	res, err := sccl.Simulate(alg, sccl.SimConfig{Profile: profile, Lowering: low, Bytes: *bytes})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%s %s %s at %.0f bytes (%s): %.2f us, %d transfers\n",
+		alg.Name, alg.CSR(), cm.topo.Name, *bytes, low, res.Time*1e6, res.Transfers)
+	return nil
+}
+
+func cmdCUDA(args []string) error {
+	fs := flag.NewFlagSet("cuda", flag.ContinueOnError)
+	c := fs.Int("c", 1, "chunks per node")
+	s := fs.Int("s", 2, "steps")
+	r := fs.Int("r", 2, "rounds")
+	lowering := fs.String("lowering", "fused-push", "lowering variant")
+	cm, _, err := parseCommon(fs, args)
+	if err != nil {
+		return err
+	}
+	low, err := sccl.ParseLowering(*lowering)
+	if err != nil {
+		return err
+	}
+	alg, status, err := sccl.Synthesize(cm.kind, cm.topo, sccl.Node(cm.root), *c, *s, *r, sccl.SynthOptions{})
+	if err != nil {
+		return err
+	}
+	if alg == nil {
+		return fmt.Errorf("synthesis returned %v", status)
+	}
+	src, err := sccl.GenerateCUDA(alg, low)
+	if err != nil {
+		return err
+	}
+	fmt.Print(src)
+	return nil
+}
+
+func cmdSMTLIB(args []string) error {
+	fs := flag.NewFlagSet("smtlib", flag.ContinueOnError)
+	c := fs.Int("c", 1, "chunks per node")
+	s := fs.Int("s", 2, "steps")
+	r := fs.Int("r", 2, "rounds")
+	cm, _, err := parseCommon(fs, args)
+	if err != nil {
+		return err
+	}
+	coll, err := sccl.NewCollective(cm.kind, cm.topo.P, *c, sccl.Node(cm.root))
+	if err != nil {
+		return err
+	}
+	script, err := sccl.EmitSMTLIB(sccl.Instance{Coll: coll, Topo: cm.topo, Steps: *s, Round: *r})
+	if err != nil {
+		return err
+	}
+	fmt.Print(script.String())
+	return nil
+}
+
+func cmdXML(args []string) error {
+	fs := flag.NewFlagSet("xml", flag.ContinueOnError)
+	c := fs.Int("c", 1, "chunks per node")
+	s := fs.Int("s", 2, "steps")
+	r := fs.Int("r", 2, "rounds")
+	cm, _, err := parseCommon(fs, args)
+	if err != nil {
+		return err
+	}
+	alg, status, err := sccl.Synthesize(cm.kind, cm.topo, sccl.Node(cm.root), *c, *s, *r, sccl.SynthOptions{})
+	if err != nil {
+		return err
+	}
+	if alg == nil {
+		return fmt.Errorf("synthesis returned %v", status)
+	}
+	out, err := sccl.GenerateMSCCLXML(alg)
+	if err != nil {
+		return err
+	}
+	fmt.Print(out)
+	return nil
+}
+
+func cmdTrace(args []string) error {
+	fs := flag.NewFlagSet("trace", flag.ContinueOnError)
+	c := fs.Int("c", 1, "chunks per node")
+	s := fs.Int("s", 2, "steps")
+	r := fs.Int("r", 2, "rounds")
+	bytes := fs.Float64("bytes", 1<<20, "input size in bytes")
+	cm, _, err := parseCommon(fs, args)
+	if err != nil {
+		return err
+	}
+	alg, status, err := sccl.Synthesize(cm.kind, cm.topo, sccl.Node(cm.root), *c, *s, *r, sccl.SynthOptions{})
+	if err != nil {
+		return err
+	}
+	if alg == nil {
+		return fmt.Errorf("synthesis returned %v", status)
+	}
+	profile := sccl.DGX1Profile()
+	if cm.topo.Name == "amd-z52" {
+		profile = sccl.AMDProfile()
+	}
+	tr, err := sccl.CollectTrace(alg, sccl.SimConfig{
+		Profile: profile, Lowering: sccl.LowerFusedPush, Bytes: *bytes,
+	})
+	if err != nil {
+		return err
+	}
+	data, err := tr.ChromeTraceJSON()
+	if err != nil {
+		return err
+	}
+	fmt.Println(string(data))
+	fmt.Fprintf(os.Stderr, "total %.2f us over %d transfers; critical path %d hops\n",
+		tr.Total*1e6, len(tr.Events), len(tr.CriticalPath()))
+	return nil
+}
+
+func cmdExecute(args []string) error {
+	fs := flag.NewFlagSet("execute", flag.ContinueOnError)
+	c := fs.Int("c", 1, "chunks per node")
+	s := fs.Int("s", 2, "steps")
+	r := fs.Int("r", 2, "rounds")
+	elems := fs.Int("elems", 64, "elements per chunk")
+	cm, _, err := parseCommon(fs, args)
+	if err != nil {
+		return err
+	}
+	alg, status, err := sccl.Synthesize(cm.kind, cm.topo, sccl.Node(cm.root), *c, *s, *r, sccl.SynthOptions{})
+	if err != nil {
+		return err
+	}
+	if alg == nil {
+		return fmt.Errorf("synthesis returned %v", status)
+	}
+	if err := sccl.Execute(alg, *elems); err != nil {
+		return err
+	}
+	fmt.Printf("%s %s executed on %d goroutine-GPUs and verified bit-exactly\n",
+		alg.Name, alg.CSR(), alg.P)
+	return nil
+}

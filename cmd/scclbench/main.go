@@ -1,0 +1,96 @@
+// Command scclbench regenerates the evaluation artifacts of the SCCL
+// paper — Tables 3, 4 and 5 and Figures 4, 5 and 6 — from this
+// repository's synthesizer, baselines and calibrated cost model, printing
+// the same rows and series the paper reports.
+//
+// Usage:
+//
+//	scclbench -table 3          # NCCL baseline (C,S,R) table
+//	scclbench -table 4          # DGX-1 synthesis table (paper Table 4)
+//	scclbench -table 5          # AMD Z52 synthesis table (paper Table 5)
+//	scclbench -figure 4|5|6     # speedup series
+//	scclbench -all              # everything
+//	scclbench -table 4 -slow    # include the minutes-long Alltoall row
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/eval"
+)
+
+func main() {
+	table := flag.Int("table", 0, "regenerate table 3, 4 or 5")
+	figure := flag.Int("figure", 0, "regenerate figure 4, 5 or 6")
+	all := flag.Bool("all", false, "regenerate everything")
+	slow := flag.Bool("slow", false, "include slow synthesis instances")
+	timeout := flag.Duration("timeout", 15*time.Minute, "per-instance synthesis timeout")
+	flag.Parse()
+
+	opts := eval.Options{
+		Timeout:     *timeout,
+		IncludeSlow: *slow,
+		Progress: func(format string, args ...any) {
+			fmt.Fprintf(os.Stderr, format+"\n", args...)
+		},
+	}
+	ran := false
+	fail := func(err error) {
+		fmt.Fprintln(os.Stderr, "scclbench:", err)
+		os.Exit(1)
+	}
+
+	if *all || *table == 3 {
+		ran = true
+		rows, err := eval.Table3()
+		if err != nil {
+			fail(err)
+		}
+		fmt.Println("Table 3: NCCL hand-written collectives on DGX-1")
+		fmt.Printf("%-28s %6s %6s %6s\n", "Collective", "C", "S", "R")
+		for _, r := range rows {
+			fmt.Printf("%-28s %6s %6s %6s\n", r.Collective, r.C, r.S, r.R)
+		}
+		fmt.Println()
+	}
+	if *all || *table == 4 {
+		ran = true
+		rows, err := eval.Table4(opts)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Print(eval.FormatTable("Table 4: synthesized DGX-1 collectives", rows))
+		fmt.Println()
+	}
+	if *all || *table == 5 {
+		ran = true
+		rows, err := eval.Table5(opts)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Print(eval.FormatTable("Table 5: synthesized AMD Z52 collectives", rows))
+		fmt.Println()
+	}
+	if *all || *figure == 4 {
+		ran = true
+		fmt.Print(eval.Figure4().Format())
+		fmt.Println()
+	}
+	if *all || *figure == 5 {
+		ran = true
+		fmt.Print(eval.Figure5().Format())
+		fmt.Println()
+	}
+	if *all || *figure == 6 {
+		ran = true
+		fmt.Print(eval.Figure6().Format())
+		fmt.Println()
+	}
+	if !ran {
+		flag.Usage()
+		os.Exit(2)
+	}
+}

@@ -1,0 +1,15 @@
+package sccl
+
+import (
+	"repro/internal/codegen"
+)
+
+// codegenCUDA adapts the facade signature to internal/codegen.
+func codegenCUDA(a *Algorithm, lowering Lowering) (string, error) {
+	return codegen.CUDA(a, codegen.Options{Lowering: lowering})
+}
+
+// codegenMSCCLXML adapts the facade signature to internal/codegen.
+func codegenMSCCLXML(a *Algorithm) (string, error) {
+	return codegen.MSCCLXML(a)
+}

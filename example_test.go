@@ -1,0 +1,58 @@
+package sccl_test
+
+import (
+	"fmt"
+
+	sccl "repro"
+)
+
+// Synthesize the paper's 2-step latency-optimal DGX-1 Allgather and prove
+// that nothing with a lower bandwidth cost exists at that step count.
+func ExampleSynthesize() {
+	topo := sccl.DGX1()
+	alg, status, _ := sccl.Synthesize(sccl.Allgather, topo, 0, 1, 2, 2, sccl.SynthOptions{})
+	fmt.Println(status, alg.CSR())
+
+	_, status, _ = sccl.Synthesize(sccl.Allgather, topo, 0, 2, 2, 2, sccl.SynthOptions{})
+	fmt.Println(status)
+	// Output:
+	// SAT (1,2,2)
+	// UNSAT
+}
+
+// Lower bounds drive the Pareto procedure: the DGX-1 has diameter 2 and a
+// 7/6 cut bound for Allgather (paper §2.4–2.5).
+func ExampleLowerBounds() {
+	steps, bw, _ := sccl.LowerBounds(sccl.Allgather, sccl.DGX1(), 0)
+	fmt.Printf("S >= %d, R/C >= %s\n", steps, bw.RatString())
+	// Output:
+	// S >= 2, R/C >= 7/6
+}
+
+// The NCCL baseline is an explicit schedule with the paper's Table 3
+// shape.
+func ExampleNCCLAllgather() {
+	ag, _ := sccl.NCCLAllgather()
+	fmt.Println(ag.CSR(), "k =", ag.KSync())
+	// Output:
+	// (6,7,7) k = 0
+}
+
+// Combining collectives derive from their duals: a ring Reducescatter is
+// the inverse of the ring Allgather.
+func ExampleInvert() {
+	ag, _, _ := sccl.Synthesize(sccl.Allgather, sccl.Ring(4), 0, 1, 3, 3, sccl.SynthOptions{})
+	rs, _ := sccl.Invert(ag)
+	fmt.Println(rs.Coll.Kind, rs.CSR())
+	// Output:
+	// Reducescatter (1,3,3)
+}
+
+// Executing a schedule on goroutine-GPUs validates it end to end.
+func ExampleExecute() {
+	alg, _, _ := sccl.Synthesize(sccl.Allreduce, sccl.BidirRing(4), 0, 1, 3, 3, sccl.SynthOptions{})
+	err := sccl.Execute(alg, 256)
+	fmt.Println(alg.CSR(), err)
+	// Output:
+	// (4,6,6) <nil>
+}

@@ -1,0 +1,60 @@
+// Selector example: the paper notes SCCL "can automatically switch
+// between multiple implementations based on the input size. In which
+// case, SCCL will consistently outperform NCCL." This example builds that
+// dispatcher: synthesize the DGX-1 Allgather frontier, compute the
+// size-dispatch table, and verify the combined implementation never loses
+// to the NCCL baseline.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	sccl "repro"
+)
+
+func main() {
+	topo := sccl.DGX1()
+	profile := sccl.DGX1Profile()
+
+	// Synthesize three frontier algorithms: latency-optimal, a middle
+	// point, and the 3-step bandwidth-optimal schedule.
+	budgets := []struct{ c, s, r int }{
+		{1, 2, 2}, // latency-optimal
+		{2, 2, 3}, // latency-optimal with better bandwidth
+		{6, 3, 7}, // bandwidth-optimal
+	}
+	var candidates []sccl.CostPoint
+	for _, b := range budgets {
+		alg, status, err := sccl.Synthesize(sccl.Allgather, topo, 0, b.c, b.s, b.r, sccl.SynthOptions{})
+		if err != nil {
+			log.Fatal(err)
+		}
+		if alg == nil {
+			log.Fatalf("(%d,%d,%d): %v", b.c, b.s, b.r, status)
+		}
+		candidates = append(candidates, sccl.PointOf(alg, sccl.LowerFusedPush))
+	}
+
+	sel, err := sccl.NewSelector(profile, candidates, 512, 1<<30)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("size dispatch table:")
+	fmt.Print(sel.Format())
+
+	nccl, err := sccl.NCCLAllgather()
+	if err != nil {
+		log.Fatal(err)
+	}
+	base := sccl.PointOf(nccl, sccl.LowerBaseline)
+	ok, min := sel.ConsistentlyBeats(base, 512, 1<<30)
+	fmt.Printf("\nconsistently outperforms NCCL: %v (minimum speedup %.2fx)\n", ok, min)
+
+	// Show the picks at the paper's Figure 4 sizes.
+	fmt.Println("\nper-size winners:")
+	for _, sz := range []float64{960, 61440, 3932160, 251658240} {
+		w := sel.Pick(sz)
+		fmt.Printf("  %12.0f B -> %s\n", sz, w.Name)
+	}
+}

@@ -1,0 +1,26 @@
+package sccl_test
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	sccl "repro"
+	"repro/internal/smt"
+)
+
+// runExternal discharges the script to the named solver binary and
+// returns its sat/unsat verdict.
+func runExternal(t *testing.T, solver string, script *sccl.Script) (bool, error) {
+	t.Helper()
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+	defer cancel()
+	res, err := smt.RunExternal(ctx, solver, script)
+	if err != nil {
+		return false, err
+	}
+	if res.Unknown {
+		t.Skip("external solver answered unknown")
+	}
+	return res.Sat, nil
+}

@@ -1,0 +1,117 @@
+package algorithm
+
+import (
+	"fmt"
+
+	"repro/internal/collective"
+)
+
+// invertKind maps a non-combining collective to the collective its
+// inverted algorithm implements (paper §3.5).
+func invertKind(k collective.Kind) (collective.Kind, bool, error) {
+	switch k {
+	case collective.Broadcast:
+		return collective.Reduce, true, nil
+	case collective.Allgather:
+		return collective.Reducescatter, true, nil
+	case collective.Scatter:
+		return collective.Gather, false, nil
+	case collective.Gather:
+		return collective.Scatter, false, nil
+	}
+	return 0, false, fmt.Errorf("algorithm: cannot invert %v", k)
+}
+
+// Invert derives the dual collective's algorithm by reversing dataflow
+// (paper §3.5): every send (c, n -> n', s) becomes (c, n' -> n, S-1-s) on
+// the reversed topology, the per-step round counts are reversed, and for
+// combining duals (Broadcast -> Reduce, Allgather -> Reducescatter) the
+// reversed sends become reduce sends.
+//
+// The input must deliver every chunk to each receiving node exactly once
+// (the paper's C3 guarantees this for synthesized algorithms); Invert
+// rejects algorithms with redundant receives, since they would
+// double-count contributions after inversion.
+func Invert(a *Algorithm) (*Algorithm, error) {
+	if a.Coll.Kind.IsCombining() {
+		return nil, fmt.Errorf("algorithm: cannot invert combining collective %v", a.Coll.Kind)
+	}
+	dualKind, combining, err := invertKind(a.Coll.Kind)
+	if err != nil {
+		return nil, err
+	}
+	// Exactly-once receive check.
+	recv := map[[2]int]int{}
+	for _, snd := range a.Sends {
+		key := [2]int{snd.Chunk, int(snd.To)}
+		recv[key]++
+		if recv[key] > 1 {
+			return nil, fmt.Errorf("algorithm: chunk %d received more than once at node %d; cannot invert", snd.Chunk, snd.To)
+		}
+	}
+	dual, err := collective.New(dualKind, a.Coll.P, a.Coll.C, a.Coll.Root)
+	if err != nil {
+		return nil, err
+	}
+	S := a.Steps()
+	rounds := make([]int, S)
+	for i, r := range a.Rounds {
+		rounds[S-1-i] = r
+	}
+	sends := make([]Send, 0, len(a.Sends))
+	for _, snd := range a.Sends {
+		sends = append(sends, Send{
+			Chunk:  snd.Chunk,
+			From:   snd.To,
+			To:     snd.From,
+			Step:   S - 1 - snd.Step,
+			Reduce: combining,
+		})
+	}
+	inv := New(a.Name+"-inverted", dual, a.Topo.Reverse(), rounds, sends)
+	return inv, nil
+}
+
+// ComposeAllreduce builds an Allreduce algorithm as Reducescatter followed
+// by Allgather (paper §3.5). rs must be a Reducescatter and ag an
+// Allgather over the same node count and global chunk count, and both must
+// run on the same topology (rs typically comes from inverting an Allgather
+// synthesized on the reversed topology, so that rs.Topo equals ag.Topo
+// after double reversal).
+func ComposeAllreduce(rs, ag *Algorithm) (*Algorithm, error) {
+	if rs.Coll.Kind != collective.Reducescatter {
+		return nil, fmt.Errorf("algorithm: first phase is %v, want Reducescatter", rs.Coll.Kind)
+	}
+	if ag.Coll.Kind != collective.Allgather {
+		return nil, fmt.Errorf("algorithm: second phase is %v, want Allgather", ag.Coll.Kind)
+	}
+	if rs.P != ag.P || rs.G != ag.G {
+		return nil, fmt.Errorf("algorithm: phase shape mismatch (P %d vs %d, G %d vs %d)", rs.P, ag.P, rs.G, ag.G)
+	}
+	// Allreduce per-node chunk count equals the dual instance's G.
+	ar, err := collective.New(collective.Allreduce, ag.P, ag.G, ag.Coll.Root)
+	if err != nil {
+		return nil, err
+	}
+	rounds := append(append([]int(nil), rs.Rounds...), ag.Rounds...)
+	sends := append([]Send(nil), rs.Sends...)
+	offset := rs.Steps()
+	for _, snd := range ag.Sends {
+		snd.Step += offset
+		sends = append(sends, snd)
+	}
+	name := fmt.Sprintf("allreduce(%s+%s)", rs.Name, ag.Name)
+	return New(name, ar, ag.Topo, rounds, sends), nil
+}
+
+// AllreduceFromAllgathers is a convenience composing an Allreduce from two
+// Allgather algorithms: agForRS (synthesized on the reversed topology) is
+// inverted into the Reducescatter phase, then ag provides the Allgather
+// phase. On symmetric topologies the same Allgather can serve both roles.
+func AllreduceFromAllgathers(agForRS, ag *Algorithm) (*Algorithm, error) {
+	rs, err := Invert(agForRS)
+	if err != nil {
+		return nil, err
+	}
+	return ComposeAllreduce(rs, ag)
+}

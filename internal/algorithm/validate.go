@@ -1,0 +1,180 @@
+package algorithm
+
+import (
+	"fmt"
+
+	"repro/internal/topology"
+)
+
+// Validate checks that the algorithm is a valid k-synchronous schedule for
+// its collective on its topology:
+//
+//   - every send uses an existing link and a chunk in range;
+//   - sources hold their chunk strictly before the sending step
+//     (causality, paper C4);
+//   - for non-combining collectives, the run's final placement covers the
+//     postcondition (C2);
+//   - for combining collectives, contribution-set semantics hold: reduce
+//     sends never double-count a contribution and every required output
+//     accumulates all P contributions exactly once;
+//   - per-step bandwidth: for every step s and relation (L, b), the sends
+//     crossing L at s number at most b*r_s (C5).
+func (a *Algorithm) Validate() error {
+	if a.Coll == nil || a.Topo == nil {
+		return fmt.Errorf("algorithm %q: missing collective or topology", a.Name)
+	}
+	if err := a.validateBasics(); err != nil {
+		return err
+	}
+	if err := a.validateBandwidth(); err != nil {
+		return err
+	}
+	if a.Coll.Kind.IsCombining() {
+		return a.validateCombining()
+	}
+	return a.validateNonCombining()
+}
+
+func (a *Algorithm) validateBasics() error {
+	S := a.Steps()
+	for _, r := range a.Rounds {
+		if r < 1 {
+			return fmt.Errorf("algorithm %q: step with %d rounds (must be >= 1)", a.Name, r)
+		}
+	}
+	for _, snd := range a.Sends {
+		if snd.Chunk < 0 || snd.Chunk >= a.G {
+			return fmt.Errorf("algorithm %q: chunk %d out of range [0,%d)", a.Name, snd.Chunk, a.G)
+		}
+		if snd.Step < 0 || snd.Step >= S {
+			return fmt.Errorf("algorithm %q: step %d out of range [0,%d)", a.Name, snd.Step, S)
+		}
+		if !a.Topo.HasEdge(snd.From, snd.To) {
+			return fmt.Errorf("algorithm %q: send %v uses missing link", a.Name, snd)
+		}
+	}
+	return nil
+}
+
+func (a *Algorithm) validateNonCombining() error {
+	if err := a.validateBasics(); err != nil {
+		return err
+	}
+	// Causality + final coverage via step-wise execution.
+	v := a.Coll.Pre
+	have := make([][]bool, a.G)
+	for c := range have {
+		have[c] = append([]bool(nil), v[c]...)
+	}
+	for s := 0; s < a.Steps(); s++ {
+		var newly []Send
+		for _, snd := range a.SendsAtStep(s) {
+			if snd.Reduce {
+				return fmt.Errorf("algorithm %q: reduce send %v in non-combining collective", a.Name, snd)
+			}
+			if !have[snd.Chunk][snd.From] {
+				return fmt.Errorf("algorithm %q: %v sends chunk not yet present at source", a.Name, snd)
+			}
+			newly = append(newly, snd)
+		}
+		for _, snd := range newly {
+			have[snd.Chunk][snd.To] = true
+		}
+	}
+	for c := 0; c < a.G; c++ {
+		for n := 0; n < a.P; n++ {
+			if a.Coll.Post[c][n] && !have[c][n] {
+				return fmt.Errorf("algorithm %q: postcondition unmet: chunk %d never reaches node %d", a.Name, c, n)
+			}
+		}
+	}
+	return nil
+}
+
+// validateCombining checks contribution-set semantics. Each node starts
+// with its own contribution for every chunk it holds in pre. A reduce send
+// merges the source's contribution set into the destination's; the sets
+// must be disjoint (no contribution counted twice). A copy send overwrites
+// the destination's set (used by the Allgather phase of Allreduce, which
+// moves fully-reduced chunks). Outputs required by post must hold the full
+// contribution set.
+func (a *Algorithm) validateCombining() error {
+	if err := a.validateBasics(); err != nil {
+		return err
+	}
+	full := (uint64(1) << uint(a.P)) - 1
+	if a.P > 64 {
+		return fmt.Errorf("algorithm %q: combining validation supports P <= 64", a.Name)
+	}
+	// contrib[c][n] is a bitset of original contributions node n currently
+	// holds for chunk c; 0 = chunk absent.
+	contrib := make([][]uint64, a.G)
+	for c := range contrib {
+		contrib[c] = make([]uint64, a.P)
+		for n := 0; n < a.P; n++ {
+			if a.Coll.Pre[c][n] {
+				contrib[c][n] = 1 << uint(n)
+			}
+		}
+	}
+	for s := 0; s < a.Steps(); s++ {
+		type update struct {
+			snd Send
+			val uint64
+		}
+		var ups []update
+		for _, snd := range a.SendsAtStep(s) {
+			src := contrib[snd.Chunk][snd.From]
+			if src == 0 {
+				return fmt.Errorf("algorithm %q: %v sends absent chunk", a.Name, snd)
+			}
+			ups = append(ups, update{snd, src})
+		}
+		for _, u := range ups {
+			dst := &contrib[u.snd.Chunk][u.snd.To]
+			if u.snd.Reduce {
+				if *dst&u.val != 0 {
+					return fmt.Errorf("algorithm %q: %v double-counts contributions", a.Name, u.snd)
+				}
+				*dst |= u.val
+			} else {
+				if u.val != full {
+					return fmt.Errorf("algorithm %q: %v copies a partial result (contributions %b)", a.Name, u.snd, u.val)
+				}
+				*dst = u.val
+			}
+		}
+	}
+	for c := 0; c < a.G; c++ {
+		for n := 0; n < a.P; n++ {
+			if a.Coll.Post[c][n] && contrib[c][n] != full {
+				return fmt.Errorf("algorithm %q: chunk %d at node %d has contributions %b, want all %d",
+					a.Name, c, n, contrib[c][n], a.P)
+			}
+		}
+	}
+	return nil
+}
+
+func (a *Algorithm) validateBandwidth() error {
+	for s := 0; s < a.Steps(); s++ {
+		stepSends := a.SendsAtStep(s)
+		for ri, rel := range a.Topo.Relations {
+			inRel := map[topology.Link]bool{}
+			for _, l := range rel.Links {
+				inRel[l] = true
+			}
+			count := 0
+			for _, snd := range stepSends {
+				if inRel[topology.Link{Src: snd.From, Dst: snd.To}] {
+					count++
+				}
+			}
+			if count > rel.Bandwidth*a.Rounds[s] {
+				return fmt.Errorf("algorithm %q: step %d exceeds relation %d bandwidth: %d sends > %d*%d",
+					a.Name, s, ri, count, rel.Bandwidth, a.Rounds[s])
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,115 @@
+package codegen
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/algorithm"
+	"repro/internal/topology"
+)
+
+// MSCCLXML renders the algorithm in the XML interchange format the SCCL
+// tool family emits for the MSCCL runtime: one <gpu> element per rank,
+// threadblocks with ordered send/recv/reduce steps, and chunk-level
+// dependencies. The schema here follows the published msccl-tools layout:
+//
+//	<algo name=... nchunksperloop=... nchannels=... proto=...>
+//	  <gpu id="0" i_chunks=... o_chunks=... s_chunks=...>
+//	    <tb id="0" send="1" recv="-1" chan="0">
+//	      <step s="0" type="s" srcbuf="o" srcoff="3" dstbuf="o" dstoff="3"
+//	            cnt="1" depid="-1" deps="-1" hasdep="0"/>
+//	    </tb>
+//	  </gpu>
+//	</algo>
+//
+// Each (peer, direction) pair becomes a threadblock, mirroring how the
+// MSCCL runtime binds threadblocks to connections.
+func MSCCLXML(alg *algorithm.Algorithm) (string, error) {
+	if err := alg.Validate(); err != nil {
+		return "", fmt.Errorf("codegen: invalid algorithm: %w", err)
+	}
+	var b strings.Builder
+	proto := "Simple"
+	fmt.Fprintf(&b, "<algo name=%q nchunksperloop=\"%d\" nchannels=\"1\" proto=%q ngpus=\"%d\" coll=%q inplace=\"0\">\n",
+		alg.Name, alg.G, proto, alg.P, strings.ToLower(alg.CollKind))
+
+	// Group sends by sender and receiver to map them onto threadblocks.
+	type tbKey struct {
+		gpu  topology.Node
+		peer topology.Node
+		send bool
+	}
+	tbSteps := map[tbKey][]algorithm.Send{}
+	for _, snd := range alg.Sends {
+		tbSteps[tbKey{snd.From, snd.To, true}] = append(tbSteps[tbKey{snd.From, snd.To, true}], snd)
+		tbSteps[tbKey{snd.To, snd.From, false}] = append(tbSteps[tbKey{snd.To, snd.From, false}], snd)
+	}
+
+	for gpu := 0; gpu < alg.P; gpu++ {
+		inChunks, outChunks := 0, 0
+		for c := 0; c < alg.G; c++ {
+			if alg.Coll.Pre[c][gpu] {
+				inChunks++
+			}
+			if alg.Coll.Post[c][gpu] {
+				outChunks++
+			}
+		}
+		fmt.Fprintf(&b, "  <gpu id=\"%d\" i_chunks=\"%d\" o_chunks=\"%d\" s_chunks=\"%d\">\n",
+			gpu, inChunks, outChunks, alg.G)
+
+		// Deterministic threadblock order: sends first, then receives,
+		// by peer id.
+		var keys []tbKey
+		for k := range tbSteps {
+			if int(k.gpu) == gpu {
+				keys = append(keys, k)
+			}
+		}
+		sort.Slice(keys, func(i, j int) bool {
+			if keys[i].send != keys[j].send {
+				return keys[i].send
+			}
+			return keys[i].peer < keys[j].peer
+		})
+		for tbID, k := range keys {
+			sendPeer, recvPeer := -1, -1
+			if k.send {
+				sendPeer = int(k.peer)
+			} else {
+				recvPeer = int(k.peer)
+			}
+			fmt.Fprintf(&b, "    <tb id=\"%d\" send=\"%d\" recv=\"%d\" chan=\"0\">\n", tbID, sendPeer, recvPeer)
+			steps := tbSteps[k]
+			sort.SliceStable(steps, func(i, j int) bool {
+				if steps[i].Step != steps[j].Step {
+					return steps[i].Step < steps[j].Step
+				}
+				return steps[i].Chunk < steps[j].Chunk
+			})
+			for si, snd := range steps {
+				typ := "s"
+				if !k.send {
+					typ = "r"
+					if snd.Reduce {
+						typ = "rrc" // receive-reduce-copy
+					}
+				}
+				fmt.Fprintf(&b, "      <step s=\"%d\" type=%q srcbuf=\"o\" srcoff=\"%d\" dstbuf=\"o\" dstoff=\"%d\" cnt=\"1\" depid=\"-1\" deps=\"-1\" hasdep=\"%d\"/>\n",
+					si, typ, snd.Chunk, snd.Chunk, boolToInt(si+1 < len(steps)))
+			}
+			fmt.Fprintf(&b, "    </tb>\n")
+		}
+		fmt.Fprintf(&b, "  </gpu>\n")
+	}
+	b.WriteString("</algo>\n")
+	return b.String(), nil
+}
+
+func boolToInt(v bool) int {
+	if v {
+		return 1
+	}
+	return 0
+}

@@ -1,0 +1,277 @@
+package collective
+
+import (
+	"math/big"
+	"testing"
+
+	"repro/internal/topology"
+)
+
+func TestRelationShapes(t *testing.T) {
+	// Paper Table 1.
+	g, p := 8, 4
+	sc := ScatteredRel(g, p)
+	for c := 0; c < g; c++ {
+		for n := 0; n < p; n++ {
+			want := n == c%p
+			if sc[c][n] != want {
+				t.Errorf("Scattered[%d][%d] = %v, want %v", c, n, sc[c][n], want)
+			}
+		}
+	}
+	tr := TransposeRel(g, p)
+	for c := 0; c < g; c++ {
+		for n := 0; n < p; n++ {
+			want := n == (c/p)%p
+			if tr[c][n] != want {
+				t.Errorf("Transpose[%d][%d] = %v, want %v", c, n, tr[c][n], want)
+			}
+		}
+	}
+	if AllRel(g, p).Count() != g*p {
+		t.Error("All relation wrong size")
+	}
+	rr := RootRel(g, p, 2)
+	if rr.Count() != g {
+		t.Error("Root relation wrong size")
+	}
+	for c := 0; c < g; c++ {
+		if ns := rr.Nodes(c); len(ns) != 1 || ns[0] != 2 {
+			t.Errorf("Root chunk %d at %v", c, ns)
+		}
+	}
+}
+
+func TestSpecTable2(t *testing.T) {
+	// Paper Table 2: pre/post per collective.
+	p, c := 8, 1
+	cases := []struct {
+		kind     Kind
+		wantG    int
+		preRoot  bool
+		postRoot bool
+		preAll   bool
+		postAll  bool
+	}{
+		{Gather, 8, false, true, false, false},
+		{Allgather, 8, false, false, false, true},
+		{Alltoall, 8, false, false, false, false},
+		{Broadcast, 1, true, false, false, true},
+		{Scatter, 8, true, false, false, false},
+	}
+	for _, tc := range cases {
+		s, err := New(tc.kind, p, c, 0)
+		if err != nil {
+			t.Fatalf("%v: %v", tc.kind, err)
+		}
+		if s.G != tc.wantG {
+			t.Errorf("%v: G = %d, want %d", tc.kind, s.G, tc.wantG)
+		}
+		if tc.preRoot && s.Pre.Count() != s.G {
+			t.Errorf("%v: pre should be rooted", tc.kind)
+		}
+		if tc.postAll && s.Post.Count() != s.G*p {
+			t.Errorf("%v: post should be All", tc.kind)
+		}
+	}
+}
+
+func TestToGlobal(t *testing.T) {
+	if g, _ := ToGlobal(Allgather, 8, 6); g != 48 {
+		t.Errorf("Allgather G = %d, want 48", g)
+	}
+	if g, _ := ToGlobal(Broadcast, 8, 6); g != 6 {
+		t.Errorf("Broadcast G = %d, want 6", g)
+	}
+	if g, _ := ToGlobal(Allreduce, 8, 48); g != 48 {
+		t.Errorf("Allreduce G = %d, want 48", g)
+	}
+	if _, err := ToGlobal(Allreduce, 8, 6); err == nil {
+		t.Error("Allreduce C not divisible by P should fail")
+	}
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(Allgather, 0, 1, 0); err == nil {
+		t.Error("P=0 should fail")
+	}
+	if _, err := New(Allgather, 4, 0, 0); err == nil {
+		t.Error("C=0 should fail")
+	}
+	if _, err := New(Broadcast, 4, 1, 9); err == nil {
+		t.Error("root out of range should fail")
+	}
+}
+
+func TestDualMapping(t *testing.T) {
+	cases := []struct {
+		kind     Kind
+		dual     Kind
+		inverted bool
+		composed bool
+	}{
+		{Allgather, Allgather, false, false},
+		{Reduce, Broadcast, true, false},
+		{Reducescatter, Allgather, true, false},
+		{Allreduce, Allgather, false, true},
+	}
+	for _, tc := range cases {
+		c := 8
+		s, err := New(tc.kind, 8, c, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		d, inv, comp, err := s.Dual()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if d != tc.dual || inv != tc.inverted || comp != tc.composed {
+			t.Errorf("%v: dual=(%v,%v,%v)", tc.kind, d, inv, comp)
+		}
+	}
+	s, _ := New(Allreduce, 8, 48, 0)
+	if got := s.DualPerNodeCount(); got != 6 {
+		t.Errorf("Allreduce dual C = %d, want 6", got)
+	}
+}
+
+func TestIsCombining(t *testing.T) {
+	for _, k := range []Kind{Reduce, Reducescatter, Allreduce} {
+		if !k.IsCombining() {
+			t.Errorf("%v should be combining", k)
+		}
+	}
+	for _, k := range []Kind{Gather, Allgather, Alltoall, Broadcast, Scatter} {
+		if k.IsCombining() {
+			t.Errorf("%v should not be combining", k)
+		}
+	}
+}
+
+func TestParseKindRoundTrip(t *testing.T) {
+	for _, k := range Kinds() {
+		got, err := ParseKind(k.String())
+		if err != nil || got != k {
+			t.Errorf("ParseKind(%s) = %v, %v", k, got, err)
+		}
+	}
+	if _, err := ParseKind("bogus"); err == nil {
+		t.Error("bogus kind should fail")
+	}
+}
+
+func TestLatencyLowerBoundDGX1(t *testing.T) {
+	d := topology.DGX1()
+	// Paper §2.5: Allgather latency lower bound = diameter = 2.
+	ag, _ := New(Allgather, 8, 1, 0)
+	if got := LatencyLowerBound(ag, d); got != 2 {
+		t.Errorf("Allgather latency bound = %d, want 2", got)
+	}
+	bc, _ := New(Broadcast, 8, 1, 0)
+	if got := LatencyLowerBound(bc, d); got != 2 {
+		t.Errorf("Broadcast latency bound = %d, want 2", got)
+	}
+}
+
+func TestBandwidthLowerBoundDGX1Allgather(t *testing.T) {
+	// Paper §2.4: any DGX-1 Allgather needs R/C >= 7/6.
+	d := topology.DGX1()
+	ag, _ := New(Allgather, 8, 1, 0)
+	got := BandwidthLowerBound(ag, d)
+	want := big.NewRat(7, 6)
+	if got.Cmp(want) != 0 {
+		t.Errorf("bandwidth bound = %v, want 7/6", got)
+	}
+}
+
+func TestBandwidthLowerBoundAMDAllgather(t *testing.T) {
+	// Bidirectional ring of 8 with unit links: each node ingests over 2
+	// links, needs 7 foreign per-node blocks: R/C >= 7/2.
+	a := topology.AMDZ52()
+	ag, _ := New(Allgather, 8, 1, 0)
+	got := BandwidthLowerBound(ag, a)
+	want := big.NewRat(7, 2)
+	if got.Cmp(want) != 0 {
+		t.Errorf("bandwidth bound = %v, want 7/2", got)
+	}
+}
+
+func TestBandwidthBoundScalesWithC(t *testing.T) {
+	// Doubling C doubles G; the per-C bound must stay identical.
+	d := topology.DGX1()
+	for _, c := range []int{1, 2, 3, 6} {
+		ag, _ := New(Allgather, 8, c, 0)
+		got := BandwidthLowerBound(ag, d)
+		if got.Cmp(big.NewRat(7, 6)) != 0 {
+			t.Errorf("C=%d: bound %v, want 7/6", c, got)
+		}
+	}
+}
+
+func TestEffectiveLowerBoundsDGX1(t *testing.T) {
+	d := topology.DGX1()
+	cases := []struct {
+		kind      Kind
+		c         int
+		wantSteps int
+		wantBW    *big.Rat
+	}{
+		{Allgather, 6, 2, big.NewRat(7, 6)},
+		{Reducescatter, 6, 2, big.NewRat(7, 6)},
+		{Allreduce, 48, 4, big.NewRat(7, 24)}, // 14/48
+		// Broadcast: each node ingests C chunks over bandwidth 6, so
+		// R/C >= 1/6 — matching NCCL's pipelined (6+m)/6m -> 1/6.
+		{Broadcast, 6, 2, big.NewRat(1, 6)},
+		// Alltoall: the 4/4 bisection demands 16 crossings over capacity
+		// 6 with C=8: R/C >= 1/3, matching Table 4's (24,8,8) optimum.
+		{Alltoall, 8, 2, big.NewRat(1, 3)},
+	}
+	for _, tc := range cases {
+		b, err := EffectiveLowerBounds(tc.kind, 8, tc.c, 0, d)
+		if err != nil {
+			t.Fatalf("%v: %v", tc.kind, err)
+		}
+		if b.Steps != tc.wantSteps {
+			t.Errorf("%v: steps bound %d, want %d", tc.kind, b.Steps, tc.wantSteps)
+		}
+		if tc.wantBW != nil && b.Bandwidth.Cmp(tc.wantBW) != 0 {
+			t.Errorf("%v: bw bound %v, want %v", tc.kind, b.Bandwidth, tc.wantBW)
+		}
+	}
+}
+
+func TestCutDemandBroadcastSingleSource(t *testing.T) {
+	// Broadcast: cutting the root away from everyone demands each chunk
+	// cross once.
+	d := topology.DGX1()
+	bc, _ := New(Broadcast, 8, 6, 0)
+	demand := cutDemand(bc, func(n topology.Node) bool { return n == 0 })
+	if demand != 6 {
+		t.Errorf("demand = %d, want 6", demand)
+	}
+	_ = d
+}
+
+func TestLatencyBoundUnreachable(t *testing.T) {
+	// A disconnected "topology": two nodes, no links.
+	tp := &topology.Topology{Name: "disc", P: 2, Relations: nil}
+	ag, _ := New(Allgather, 2, 1, 0)
+	if got := LatencyLowerBound(ag, tp); got != -1 {
+		t.Errorf("got %d, want -1 for unreachable", got)
+	}
+}
+
+func TestAllreduceBoundsAMD(t *testing.T) {
+	// Table 5: Allreduce latency-optimal S=8, bandwidth-optimal R/C=14/16.
+	a := topology.AMDZ52()
+	b, err := EffectiveLowerBounds(Allreduce, 8, 16, 0, a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Steps != 8 {
+		t.Errorf("steps = %d, want 8", b.Steps)
+	}
+	if b.Bandwidth.Cmp(big.NewRat(7, 8)) != 0 { // 14/16
+		t.Errorf("bw = %v, want 7/8", b.Bandwidth)
+	}
+}

@@ -1,0 +1,107 @@
+package collective
+
+import (
+	"fmt"
+
+	"repro/internal/topology"
+)
+
+// CustomKind marks specs built from explicit pre/post relations rather
+// than the standard registry. The paper's formalization deliberately uses
+// a global chunk numbering so that "exotic collectives, e.g. MPI's
+// Allgatherv, may not have a single per-node chunk count" are expressible
+// (§3.2.2); Custom and the *v builders realize that.
+const CustomKind Kind = -1
+
+// Custom builds a collective spec directly from pre/post relations. The
+// relations must be G x P and every chunk needs at least one source.
+// Custom specs are non-combining.
+func Custom(name string, p int, pre, post Rel) (*Spec, error) {
+	if len(pre) == 0 || len(pre) != len(post) {
+		return nil, fmt.Errorf("collective: pre/post must be same non-zero length (got %d, %d)", len(pre), len(post))
+	}
+	g := len(pre)
+	for c := 0; c < g; c++ {
+		if len(pre[c]) != p || len(post[c]) != p {
+			return nil, fmt.Errorf("collective: chunk %d rows must have width P=%d", c, p)
+		}
+		hasSrc := false
+		for n := 0; n < p; n++ {
+			if pre[c][n] {
+				hasSrc = true
+				break
+			}
+		}
+		if !hasSrc {
+			return nil, fmt.Errorf("collective: chunk %d has no source node", c)
+		}
+	}
+	return &Spec{Kind: CustomKind, P: p, C: 1, Root: 0, G: g, Pre: pre, Post: post}, nil
+}
+
+// AllgatherV builds an uneven Allgather: node n contributes counts[n]
+// chunks and every node must end with all of them. Chunk identifiers are
+// assigned contiguously by node.
+func AllgatherV(p int, counts []int) (*Spec, error) {
+	pre, post, err := unevenScatter(p, counts)
+	if err != nil {
+		return nil, err
+	}
+	for c := range post {
+		for n := 0; n < p; n++ {
+			post[c][n] = true
+		}
+	}
+	s, err := Custom("allgatherv", p, pre, post)
+	if err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// GatherV builds an uneven Gather to the root.
+func GatherV(p int, counts []int, root topology.Node) (*Spec, error) {
+	if int(root) < 0 || int(root) >= p {
+		return nil, fmt.Errorf("collective: root %d out of range", root)
+	}
+	pre, post, err := unevenScatter(p, counts)
+	if err != nil {
+		return nil, err
+	}
+	for c := range post {
+		post[c][root] = true
+	}
+	s, err := Custom("gatherv", p, pre, post)
+	if err != nil {
+		return nil, err
+	}
+	s.Root = root
+	return s, nil
+}
+
+// unevenScatter builds the pre relation placing counts[n] chunks at node
+// n, plus an empty post of matching shape.
+func unevenScatter(p int, counts []int) (pre, post Rel, err error) {
+	if len(counts) != p {
+		return nil, nil, fmt.Errorf("collective: need %d counts, got %d", p, len(counts))
+	}
+	g := 0
+	for n, c := range counts {
+		if c < 0 {
+			return nil, nil, fmt.Errorf("collective: negative count at node %d", n)
+		}
+		g += c
+	}
+	if g == 0 {
+		return nil, nil, fmt.Errorf("collective: no chunks at all")
+	}
+	pre, post = NewRel(g, p), NewRel(g, p)
+	c := 0
+	for n := 0; n < p; n++ {
+		for i := 0; i < counts[n]; i++ {
+			pre[c][n] = true
+			c++
+		}
+	}
+	return pre, post, nil
+}

@@ -1,0 +1,88 @@
+package collective
+
+import (
+	"testing"
+)
+
+func TestCustomValidation(t *testing.T) {
+	if _, err := Custom("x", 3, nil, nil); err == nil {
+		t.Error("empty relations should fail")
+	}
+	pre, post := NewRel(2, 3), NewRel(2, 3)
+	if _, err := Custom("x", 3, pre, post); err == nil {
+		t.Error("sourceless chunk should fail")
+	}
+	pre[0][0], pre[1][1] = true, true
+	s, err := Custom("x", 3, pre, post)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Kind != CustomKind || s.G != 2 {
+		t.Fatalf("spec: %+v", s)
+	}
+	if s.Kind.IsCombining() {
+		t.Error("custom specs are non-combining")
+	}
+	// Mismatched widths.
+	badPre := Rel{make([]bool, 2)}
+	badPre[0][0] = true
+	if _, err := Custom("x", 3, badPre, Rel{make([]bool, 3)}); err == nil {
+		t.Error("width mismatch should fail")
+	}
+}
+
+func TestAllgatherVShapes(t *testing.T) {
+	s, err := AllgatherV(3, []int{2, 0, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.G != 3 {
+		t.Fatalf("G = %d", s.G)
+	}
+	// Chunks 0,1 from node 0; chunk 2 from node 2.
+	if !s.Pre[0][0] || !s.Pre[1][0] || !s.Pre[2][2] {
+		t.Errorf("pre: %v", s.Pre)
+	}
+	if s.Pre[2][1] {
+		t.Error("node 1 contributes nothing")
+	}
+	// Everyone needs everything.
+	if s.Post.Count() != 9 {
+		t.Errorf("post count = %d", s.Post.Count())
+	}
+}
+
+func TestGatherVShapes(t *testing.T) {
+	s, err := GatherV(4, []int{1, 2, 1, 0}, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.G != 4 || s.Root != 3 {
+		t.Fatalf("spec: %+v", s)
+	}
+	for c := 0; c < s.G; c++ {
+		if !s.Post[c][3] {
+			t.Errorf("chunk %d not required at root", c)
+		}
+		for n := 0; n < 3; n++ {
+			if s.Post[c][n] {
+				t.Errorf("chunk %d wrongly required at node %d", c, n)
+			}
+		}
+	}
+	if _, err := GatherV(4, []int{1, 1, 1, 1}, 9); err == nil {
+		t.Error("bad root should fail")
+	}
+}
+
+func TestUnevenValidation(t *testing.T) {
+	if _, err := AllgatherV(3, []int{1, 1}); err == nil {
+		t.Error("wrong counts length should fail")
+	}
+	if _, err := AllgatherV(3, []int{-1, 1, 1}); err == nil {
+		t.Error("negative count should fail")
+	}
+	if _, err := AllgatherV(3, []int{0, 0, 0}); err == nil {
+		t.Error("zero chunks should fail")
+	}
+}

@@ -1,0 +1,260 @@
+// Package cost implements the (α, β) communication cost model the SCCL
+// paper uses throughout (§2.3, §3.6): an algorithm with S steps, R rounds
+// and C chunks moving an L-byte input costs S·α + (R/C)·L·β, where α is
+// the per-step fixed latency and β the per-byte time of a unit-bandwidth
+// link.
+//
+// The package adds the lowering dimension of §4: the same schedule can be
+// lowered as a single fused kernel with flag synchronization (low α), as
+// one kernel per step (high α), with push or pull copies (±bandwidth), or
+// through DMA engines via cudaMemcpy (higher α, ~10 % better β). Hardware
+// profiles calibrate these constants for the paper's two testbeds.
+package cost
+
+import (
+	"fmt"
+	"math"
+	"math/big"
+	"sort"
+)
+
+// Lowering selects how a schedule is realized (paper §4).
+type Lowering int
+
+const (
+	// LowerBaseline models the vendor library implementation (NCCL/RCCL
+	// fused ring kernels): fused-kernel α, reference β.
+	LowerBaseline Lowering = iota
+	// LowerFusedPush is SCCL's single fused kernel using push copies and
+	// fine-grained flag synchronization.
+	LowerFusedPush
+	// LowerFusedPull is the pull-model variant (request packets consume
+	// response bandwidth: up to ~10 % slower than push).
+	LowerFusedPull
+	// LowerMultiKernel launches one kernel per step (global sync between
+	// steps): much higher per-step α, push-copy β.
+	LowerMultiKernel
+	// LowerCudaMemcpy moves data with DMA engines: per-step launch α and
+	// ~10 % better β than kernel copies (maximum-size packets).
+	LowerCudaMemcpy
+)
+
+var loweringNames = map[Lowering]string{
+	LowerBaseline:    "baseline",
+	LowerFusedPush:   "fused-push",
+	LowerFusedPull:   "fused-pull",
+	LowerMultiKernel: "multi-kernel",
+	LowerCudaMemcpy:  "cudamemcpy",
+}
+
+func (l Lowering) String() string {
+	if n, ok := loweringNames[l]; ok {
+		return n
+	}
+	return fmt.Sprintf("Lowering(%d)", int(l))
+}
+
+// Profile calibrates the cost model for one machine.
+type Profile struct {
+	Name string
+	// AlphaBase is the fixed kernel-launch / setup overhead per collective
+	// invocation (seconds).
+	AlphaBase float64
+	// AlphaStep is the per-step synchronization latency inside a fused
+	// kernel (seconds).
+	AlphaStep float64
+	// AlphaLaunch is the per-step cost when every step is its own kernel
+	// launch or cudaMemcpy call (seconds).
+	AlphaLaunch float64
+	// LinkBytesPerSec is the kernel-copy bandwidth of a unit link
+	// (bandwidth-1 in the topology's chunk units).
+	LinkBytesPerSec float64
+	// DMAFactor is the DMA-engine bandwidth advantage over kernel copies
+	// (paper: ~1.1).
+	DMAFactor float64
+	// PullFactor is the pull-model bandwidth penalty (paper: push up to
+	// 10 % faster, so ~0.92).
+	PullFactor float64
+	// GenEff is the efficiency of SCCL's generated copy loops relative to
+	// the vendor baseline kernels (the paper's lowering wins ~10 % at
+	// large sizes).
+	GenEff float64
+}
+
+// DGX1Profile returns constants calibrated for the NVIDIA DGX-1 testbed:
+// 25 GB/s NVLink ports (~22 GB/s achievable with 128-byte kernel-copy
+// packets), single-digit-microsecond kernel sync, ~12 µs per kernel
+// launch or cudaMemcpy call.
+func DGX1Profile() Profile {
+	return Profile{
+		Name:            "dgx1",
+		AlphaBase:       9e-6,
+		AlphaStep:       4e-6,
+		AlphaLaunch:     12e-6,
+		LinkBytesPerSec: 22e9,
+		DMAFactor:       1.10,
+		PullFactor:      0.92,
+		GenEff:          1.10,
+	}
+}
+
+// AMDProfile returns constants for the Gigabyte Z52 (8x MI50): the paper
+// models every ring link at the PCIe-limited ~27 GB/s; ROCm launch
+// overheads are a bit higher than CUDA's.
+func AMDProfile() Profile {
+	return Profile{
+		Name:            "amd-z52",
+		AlphaBase:       12e-6,
+		AlphaStep:       5e-6,
+		AlphaLaunch:     16e-6,
+		LinkBytesPerSec: 24e9,
+		DMAFactor:       1.10,
+		PullFactor:      0.92,
+		GenEff:          1.12,
+	}
+}
+
+// Alpha returns the total fixed cost of an S-step schedule under the
+// lowering.
+func (p Profile) Alpha(steps int, low Lowering) float64 {
+	switch low {
+	case LowerMultiKernel, LowerCudaMemcpy:
+		return p.AlphaBase + float64(steps)*p.AlphaLaunch
+	default:
+		return p.AlphaBase + float64(steps)*p.AlphaStep
+	}
+}
+
+// BytesPerSec returns the effective unit-link bandwidth under the
+// lowering.
+func (p Profile) BytesPerSec(low Lowering) float64 {
+	switch low {
+	case LowerBaseline:
+		return p.LinkBytesPerSec
+	case LowerFusedPush, LowerMultiKernel:
+		return p.LinkBytesPerSec * p.GenEff
+	case LowerFusedPull:
+		return p.LinkBytesPerSec * p.GenEff * p.PullFactor
+	case LowerCudaMemcpy:
+		return p.LinkBytesPerSec * p.DMAFactor
+	}
+	return p.LinkBytesPerSec
+}
+
+// Time evaluates the (α, β) cost of a schedule with S steps, R rounds and
+// C chunks on an input of `bytes` bytes: S·α + (R/C)·L·β.
+func (p Profile) Time(steps, rounds, chunks int, low Lowering, bytes float64) float64 {
+	alpha := p.Alpha(steps, low)
+	beta := 1.0 / p.BytesPerSec(low)
+	return alpha + float64(rounds)/float64(chunks)*bytes*beta
+}
+
+// Point is an algorithm summarized by its cost coefficients.
+type Point struct {
+	Name    string
+	S, R, C int
+	Low     Lowering
+}
+
+// BandwidthCost returns R/C as a rational.
+func (pt Point) BandwidthCost() *big.Rat {
+	return big.NewRat(int64(pt.R), int64(pt.C))
+}
+
+// Time evaluates the point's cost at a given size.
+func (pt Point) Time(p Profile, bytes float64) float64 {
+	return p.Time(pt.S, pt.R, pt.C, pt.Low, bytes)
+}
+
+// Speedup returns base.Time / pt.Time at the given size (> 1 means pt is
+// faster).
+func Speedup(p Profile, base, pt Point, bytes float64) float64 {
+	return base.Time(p, bytes) / pt.Time(p, bytes)
+}
+
+// Best returns the fastest point at the given size.
+func Best(p Profile, pts []Point, bytes float64) (Point, float64) {
+	best := pts[0]
+	bt := best.Time(p, bytes)
+	for _, cand := range pts[1:] {
+		if t := cand.Time(p, bytes); t < bt {
+			best, bt = cand, t
+		}
+	}
+	return best, bt
+}
+
+// Crossover finds the input size at which a and b cost the same, by
+// bisection over [lo, hi]. Returns NaN when no crossover exists in range.
+func Crossover(p Profile, a, b Point, lo, hi float64) float64 {
+	f := func(x float64) float64 { return a.Time(p, x) - b.Time(p, x) }
+	flo, fhi := f(lo), f(hi)
+	if flo == 0 {
+		return lo
+	}
+	if fhi == 0 {
+		return hi
+	}
+	if (flo > 0) == (fhi > 0) {
+		return math.NaN()
+	}
+	for i := 0; i < 200; i++ {
+		mid := math.Sqrt(lo * hi) // geometric bisection suits size sweeps
+		if mid <= lo || mid >= hi {
+			mid = (lo + hi) / 2
+		}
+		fm := f(mid)
+		if fm == 0 {
+			return mid
+		}
+		if (fm > 0) == (flo > 0) {
+			lo, flo = mid, fm
+		} else {
+			hi = mid
+		}
+	}
+	return math.Sqrt(lo * hi)
+}
+
+// ParetoFrontier filters points to those not dominated in (latency cost,
+// bandwidth cost): point x dominates y if x.S <= y.S and x.R/x.C <= y.R/y.C
+// with at least one strict. Lowering is ignored (frontier is a property of
+// the schedule). The result is sorted by S.
+func ParetoFrontier(pts []Point) []Point {
+	var out []Point
+	for i, x := range pts {
+		dominated := false
+		for j, y := range pts {
+			if i == j {
+				continue
+			}
+			sLe := y.S <= x.S
+			bCmp := y.BandwidthCost().Cmp(x.BandwidthCost())
+			if sLe && bCmp <= 0 && (y.S < x.S || bCmp < 0) {
+				dominated = true
+				break
+			}
+		}
+		if !dominated {
+			out = append(out, x)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].S != out[j].S {
+			return out[i].S < out[j].S
+		}
+		return out[i].BandwidthCost().Cmp(out[j].BandwidthCost()) < 0
+	})
+	return out
+}
+
+// SizeSweep returns a geometric series of buffer sizes from lo to hi with
+// the given number of points per decade factor (factor > 1), matching the
+// paper's log-scale x axes.
+func SizeSweep(lo, hi float64, factor float64) []float64 {
+	var out []float64
+	for x := lo; x <= hi*1.0000001; x *= factor {
+		out = append(out, x)
+	}
+	return out
+}

@@ -1,0 +1,180 @@
+package cost
+
+import (
+	"math"
+	"testing"
+)
+
+func TestTimeFormula(t *testing.T) {
+	p := Profile{
+		AlphaBase: 1e-6, AlphaStep: 2e-6, AlphaLaunch: 10e-6,
+		LinkBytesPerSec: 1e9, DMAFactor: 1.1, PullFactor: 0.9, GenEff: 1.0,
+	}
+	// Baseline: 3 steps, R/C = 2, 1e9 bytes at 1 GB/s -> 2 s + alpha.
+	got := p.Time(3, 2, 1, LowerBaseline, 1e9)
+	want := 1e-6 + 3*2e-6 + 2.0
+	if math.Abs(got-want) > 1e-9 {
+		t.Fatalf("Time = %v, want %v", got, want)
+	}
+	// Multi-kernel pays launch alpha.
+	got = p.Time(3, 2, 1, LowerMultiKernel, 0)
+	want = 1e-6 + 3*10e-6
+	if math.Abs(got-want) > 1e-12 {
+		t.Fatalf("multi-kernel alpha = %v, want %v", got, want)
+	}
+}
+
+func TestLoweringBandwidthOrdering(t *testing.T) {
+	p := DGX1Profile()
+	// DMA beats generated kernel copies beats baseline; pull is worst of
+	// the generated variants.
+	bBase := p.BytesPerSec(LowerBaseline)
+	bPush := p.BytesPerSec(LowerFusedPush)
+	bPull := p.BytesPerSec(LowerFusedPull)
+	bDMA := p.BytesPerSec(LowerCudaMemcpy)
+	if !(bPush > bBase) {
+		t.Error("generated push should beat baseline bandwidth")
+	}
+	if !(bPull < bPush) {
+		t.Error("pull should be slower than push")
+	}
+	if !(bDMA > bBase) {
+		t.Error("DMA should beat baseline")
+	}
+}
+
+func TestSpeedupSmallVsLarge(t *testing.T) {
+	// Latency-optimal (1,2,2) must beat NCCL's (6,7,7) at small sizes and
+	// lose at large sizes (paper Figure 4's two regimes).
+	p := DGX1Profile()
+	nccl := Point{Name: "nccl", S: 7, R: 7, C: 6, Low: LowerBaseline}
+	lat := Point{Name: "lat", S: 2, R: 2, C: 1, Low: LowerFusedPush}
+	if s := Speedup(p, nccl, lat, 1024); s <= 1.5 {
+		t.Errorf("small-size speedup = %.2f, want > 1.5", s)
+	}
+	if s := Speedup(p, nccl, lat, 256<<20); s >= 1 {
+		t.Errorf("large-size speedup = %.2f, want < 1", s)
+	}
+	// Bandwidth-optimal fused push must win at large sizes.
+	bw := Point{Name: "bw", S: 7, R: 7, C: 6, Low: LowerFusedPush}
+	if s := Speedup(p, nccl, bw, 256<<20); s <= 1.0 {
+		t.Errorf("bw large speedup = %.2f, want > 1", s)
+	}
+}
+
+func TestCudaMemcpyWinsOnlyVeryLarge(t *testing.T) {
+	// (6,7,7) cudaMemcpy vs (6,7,7) fused push: the DMA route has higher
+	// alpha but (DMAFactor/GenEff) bandwidth ratio=1; with GenEff=1.10 and
+	// DMA=1.10 the bandwidths tie, so fused push should win everywhere.
+	// Against the *baseline* lowering, DMA wins at very large sizes only.
+	p := DGX1Profile()
+	dma := Point{Name: "dma", S: 7, R: 7, C: 6, Low: LowerCudaMemcpy}
+	base := Point{Name: "base", S: 7, R: 7, C: 6, Low: LowerBaseline}
+	if s := Speedup(p, base, dma, 4096); s >= 1 {
+		t.Errorf("DMA should lose at 4 KB (speedup %.2f)", s)
+	}
+	if s := Speedup(p, base, dma, 1<<30); s <= 1 {
+		t.Errorf("DMA should win at 1 GB (speedup %.2f)", s)
+	}
+}
+
+func TestCrossoverMonotone(t *testing.T) {
+	p := DGX1Profile()
+	lat := Point{S: 2, R: 2, C: 1, Low: LowerFusedPush}
+	bw := Point{S: 7, R: 7, C: 6, Low: LowerFusedPush}
+	x := Crossover(p, lat, bw, 1, 1<<32)
+	if math.IsNaN(x) {
+		t.Fatal("expected a crossover")
+	}
+	// Below the crossover the latency-optimal point wins; above, the
+	// bandwidth-optimal one.
+	if lat.Time(p, x/4) >= bw.Time(p, x/4) {
+		t.Error("latency-optimal should win below crossover")
+	}
+	if lat.Time(p, x*4) <= bw.Time(p, x*4) {
+		t.Error("bandwidth-optimal should win above crossover")
+	}
+}
+
+func TestCrossoverNone(t *testing.T) {
+	p := DGX1Profile()
+	a := Point{S: 2, R: 2, C: 1, Low: LowerFusedPush}
+	b := Point{S: 2, R: 4, C: 1, Low: LowerFusedPush} // dominated everywhere
+	if x := Crossover(p, a, b, 1, 1<<32); !math.IsNaN(x) {
+		t.Errorf("expected NaN, got %v", x)
+	}
+}
+
+func TestBestSwitchesWithSize(t *testing.T) {
+	p := DGX1Profile()
+	pts := []Point{
+		{Name: "lat", S: 2, R: 2, C: 1, Low: LowerFusedPush},
+		{Name: "mid", S: 3, R: 7, C: 6, Low: LowerFusedPush},
+		{Name: "bw", S: 7, R: 7, C: 6, Low: LowerFusedPush},
+	}
+	small, _ := Best(p, pts, 512)
+	if small.Name != "lat" {
+		t.Errorf("512 B best = %s", small.Name)
+	}
+	large, _ := Best(p, pts, 1<<30)
+	if large.Name == "lat" {
+		t.Errorf("1 GB best should not be latency-optimal")
+	}
+	// (3,7,6) dominates (7,7,6) at every size (same R/C, lower S).
+	for _, sz := range []float64{1 << 10, 1 << 20, 1 << 30} {
+		if pts[1].Time(p, sz) > pts[2].Time(p, sz) {
+			t.Errorf("(3,7,6) should never lose to (7,7,6) at %v", sz)
+		}
+	}
+}
+
+func TestParetoFrontier(t *testing.T) {
+	pts := []Point{
+		{Name: "a", S: 2, R: 2, C: 1}, // dominated by e (same S, higher R/C)
+		{Name: "b", S: 3, R: 7, C: 6}, // bw-optimal, 3 steps: frontier
+		{Name: "c", S: 7, R: 7, C: 6}, // dominated by b
+		{Name: "d", S: 3, R: 3, C: 2}, // 3 steps, cost 3/2: dominated by b
+		{Name: "e", S: 2, R: 3, C: 2}, // 2 steps, cost 3/2: frontier
+	}
+	front := ParetoFrontier(pts)
+	names := map[string]bool{}
+	for _, f := range front {
+		names[f.Name] = true
+	}
+	if !names["b"] || !names["e"] || len(front) != 2 {
+		t.Errorf("frontier = %v, want exactly {e, b}", front)
+	}
+	// Frontier is sorted by S: e (S=2) before b (S=3).
+	if len(front) == 2 && (front[0].Name != "e" || front[1].Name != "b") {
+		t.Errorf("frontier order = %v", front)
+	}
+}
+
+func TestSizeSweep(t *testing.T) {
+	s := SizeSweep(1024, 1024*64, 2)
+	if len(s) != 7 {
+		t.Fatalf("sweep = %v", s)
+	}
+	if s[0] != 1024 || s[6] != 65536 {
+		t.Fatalf("sweep endpoints: %v", s)
+	}
+}
+
+func TestProfilesSane(t *testing.T) {
+	for _, p := range []Profile{DGX1Profile(), AMDProfile()} {
+		if p.AlphaLaunch <= p.AlphaStep {
+			t.Errorf("%s: launch alpha should exceed fused-step alpha", p.Name)
+		}
+		if p.DMAFactor <= 1 || p.PullFactor >= 1 || p.GenEff < 1 {
+			t.Errorf("%s: factor sanity failed: %+v", p.Name, p)
+		}
+	}
+}
+
+func TestLoweringStrings(t *testing.T) {
+	for l := LowerBaseline; l <= LowerCudaMemcpy; l++ {
+		if l.String() == "" {
+			t.Errorf("lowering %d has empty name", l)
+		}
+	}
+}

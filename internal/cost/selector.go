@@ -1,0 +1,108 @@
+package cost
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Selector implements the paper's size dispatch: "It is possible for SCCL
+// to automatically switch between multiple implementations based on the
+// input size. In which case, SCCL will consistently outperform NCCL."
+// Given a candidate set of lowered algorithms and a hardware profile, it
+// precomputes the winning algorithm per size range.
+type Selector struct {
+	Profile Profile
+	ranges  []SwitchRange
+}
+
+// SwitchRange is one contiguous size interval with a single winner.
+type SwitchRange struct {
+	Lo, Hi float64 // bytes, inclusive-lo / exclusive-hi; Hi=+Inf for last
+	Winner Point
+}
+
+// NewSelector computes the dispatch table over [lo, hi] bytes. The scan
+// uses a fine geometric grid and refines each switch point by bisection.
+func NewSelector(p Profile, candidates []Point, lo, hi float64) (*Selector, error) {
+	if len(candidates) == 0 {
+		return nil, fmt.Errorf("cost: no candidate algorithms")
+	}
+	if lo <= 0 || hi <= lo {
+		return nil, fmt.Errorf("cost: bad size range [%g, %g]", lo, hi)
+	}
+	s := &Selector{Profile: p}
+	const gridFactor = 1.05
+	cur, _ := Best(p, candidates, lo)
+	start := lo
+	for x := lo * gridFactor; x <= hi; x *= gridFactor {
+		w, _ := Best(p, candidates, x)
+		if w != cur {
+			// Refine the switch point between x/gridFactor and x.
+			sw := Crossover(p, cur, w, x/gridFactor, x)
+			if math.IsNaN(sw) {
+				sw = x
+			}
+			s.ranges = append(s.ranges, SwitchRange{Lo: start, Hi: sw, Winner: cur})
+			cur, start = w, sw
+		}
+	}
+	s.ranges = append(s.ranges, SwitchRange{Lo: start, Hi: math.Inf(1), Winner: cur})
+	return s, nil
+}
+
+// Pick returns the winning algorithm for the given size.
+func (s *Selector) Pick(bytes float64) Point {
+	for _, r := range s.ranges {
+		if bytes >= r.Lo && bytes < r.Hi {
+			return r.Winner
+		}
+	}
+	return s.ranges[len(s.ranges)-1].Winner
+}
+
+// Ranges returns the dispatch table.
+func (s *Selector) Ranges() []SwitchRange {
+	return append([]SwitchRange(nil), s.ranges...)
+}
+
+// Format renders the dispatch table.
+func (s *Selector) Format() string {
+	var b strings.Builder
+	for _, r := range s.ranges {
+		hi := "∞"
+		if !math.IsInf(r.Hi, 1) {
+			hi = fmt.Sprintf("%.0f", r.Hi)
+		}
+		fmt.Fprintf(&b, "[%12.0f, %12s) -> %s (S=%d, R/C=%d/%d, %s)\n",
+			r.Lo, hi, r.Winner.Name, r.Winner.S, r.Winner.R, r.Winner.C, r.Winner.Low)
+	}
+	return b.String()
+}
+
+// ConsistentlyBeats reports whether the selector's per-size choice is at
+// least as fast as the baseline across the sampled range, with the
+// minimum observed speedup.
+func (s *Selector) ConsistentlyBeats(base Point, lo, hi float64) (bool, float64) {
+	min := math.Inf(1)
+	for _, x := range SizeSweep(lo, hi, 1.2) {
+		w := s.Pick(x)
+		sp := Speedup(s.Profile, base, w, x)
+		if sp < min {
+			min = sp
+		}
+	}
+	return min >= 1.0, min
+}
+
+// SortPointsByAlpha orders points by ascending latency cost — useful for
+// presenting frontier tables.
+func SortPointsByAlpha(pts []Point) {
+	sort.Slice(pts, func(i, j int) bool {
+		if pts[i].S != pts[j].S {
+			return pts[i].S < pts[j].S
+		}
+		return pts[i].BandwidthCost().Cmp(pts[j].BandwidthCost()) < 0
+	})
+}

@@ -1,0 +1,238 @@
+package eval
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/collective"
+	"repro/internal/topology"
+)
+
+// TestTable4OptimalityLabelsMatchPaper verifies the computed optimality
+// column reproduces the paper's Table 4 annotations exactly.
+func TestTable4OptimalityLabelsMatchPaper(t *testing.T) {
+	want := map[[4]interface{}]string{}
+	cases := []struct {
+		kind    collective.Kind
+		c, s, r int
+		label   string
+	}{
+		{collective.Allgather, 1, 2, 2, "Latency"},
+		{collective.Allgather, 2, 3, 3, ""},
+		{collective.Allgather, 6, 7, 7, "Bandwidth"},
+		{collective.Allgather, 6, 3, 7, "Bandwidth"},
+		{collective.Allgather, 2, 2, 3, "Latency"},
+		{collective.Allreduce, 8, 4, 4, "Latency"},
+		{collective.Allreduce, 48, 14, 14, "Bandwidth"},
+		{collective.Allreduce, 48, 6, 14, "Bandwidth"},
+		{collective.Allreduce, 16, 4, 6, "Latency"},
+		{collective.Broadcast, 2, 2, 2, "Latency"},
+		{collective.Broadcast, 18, 5, 5, ""},
+		{collective.Gather, 1, 2, 2, "Latency"},
+		{collective.Gather, 6, 7, 7, "Bandwidth"},
+		{collective.Gather, 6, 3, 7, "Bandwidth"},
+		{collective.Alltoall, 8, 3, 3, ""},
+		{collective.Alltoall, 8, 2, 3, "Latency"},
+		{collective.Alltoall, 24, 8, 8, "Bandwidth"},
+		{collective.Alltoall, 24, 2, 8, "Both"},
+	}
+	topo := topology.DGX1()
+	for _, tc := range cases {
+		got, err := optimalityLabel(rowSpec{tc.kind, tc.c, tc.s, tc.r, false}, topo)
+		if err != nil {
+			t.Fatalf("%v: %v", tc.kind, err)
+		}
+		if got != tc.label {
+			t.Errorf("%v (%d,%d,%d): label %q, want %q", tc.kind, tc.c, tc.s, tc.r, got, tc.label)
+		}
+		want[[4]interface{}{tc.kind, tc.c, tc.s, tc.r}] = tc.label
+	}
+}
+
+func TestTable5OptimalityLabelsMatchPaper(t *testing.T) {
+	cases := []struct {
+		kind    collective.Kind
+		c, s, r int
+		label   string
+	}{
+		{collective.Allgather, 1, 4, 4, "Latency"},
+		{collective.Allgather, 2, 7, 7, "Bandwidth"},
+		{collective.Allgather, 2, 4, 7, "Both"},
+		{collective.Allreduce, 8, 8, 8, "Latency"},
+		{collective.Allreduce, 16, 14, 14, "Bandwidth"},
+		{collective.Allreduce, 16, 8, 14, "Both"},
+		{collective.Broadcast, 2, 4, 4, "Latency"},
+		{collective.Broadcast, 10, 8, 8, ""},
+		{collective.Gather, 1, 4, 4, "Latency"},
+		{collective.Gather, 2, 4, 7, "Both"},
+		{collective.Alltoall, 8, 4, 8, "Both"},
+	}
+	topo := topology.AMDZ52()
+	for _, tc := range cases {
+		got, err := optimalityLabel(rowSpec{tc.kind, tc.c, tc.s, tc.r, false}, topo)
+		if err != nil {
+			t.Fatalf("%v: %v", tc.kind, err)
+		}
+		if got != tc.label {
+			t.Errorf("%v (%d,%d,%d): label %q, want %q", tc.kind, tc.c, tc.s, tc.r, got, tc.label)
+		}
+	}
+}
+
+func TestTable3Shape(t *testing.T) {
+	rows, err := Table3()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 || rows[0].C != "6" || rows[1].C != "48" {
+		t.Fatalf("rows: %+v", rows)
+	}
+}
+
+// TestTable5FullSynthesis regenerates all of Table 5 (the cheaper table).
+func TestTable5FullSynthesis(t *testing.T) {
+	if testing.Short() {
+		t.Skip("synthesis table skipped in -short")
+	}
+	rows, err := Table5(Options{Timeout: 5 * time.Minute})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != len(paperTable5) {
+		t.Fatalf("rows = %d, want %d", len(rows), len(paperTable5))
+	}
+	for _, r := range rows {
+		if r.Status != "SAT" {
+			t.Errorf("row %+v not SAT", r)
+		}
+	}
+}
+
+// TestTable4SubsetSynthesis spot-checks representative Table 4 rows
+// (the full table runs in the benchmark harness).
+func TestTable4SubsetSynthesis(t *testing.T) {
+	if testing.Short() {
+		t.Skip("synthesis skipped in -short")
+	}
+	subset := []rowSpec{
+		{collective.Allgather, 1, 2, 2, false},
+		{collective.Allgather, 6, 3, 7, false},
+		{collective.Allreduce, 8, 4, 4, false},
+		{collective.Broadcast, 6, 3, 3, false},
+		{collective.Gather, 2, 2, 3, false},
+		{collective.Alltoall, 8, 2, 3, false},
+	}
+	rows, err := synthesisTable(topology.DGX1(), subset, Options{Timeout: 5 * time.Minute})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range rows {
+		if r.Status != "SAT" {
+			t.Errorf("row %+v not SAT", r)
+		}
+	}
+}
+
+func TestSlowRowsSkippedByDefault(t *testing.T) {
+	rows := []rowSpec{{collective.Alltoall, 24, 8, 8, true}}
+	out, err := synthesisTable(topology.DGX1(), rows, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 1 || !out[0].Skipped {
+		t.Fatalf("slow row should be skipped: %+v", out)
+	}
+	if !strings.Contains(out[0].Format(), "skipped") {
+		t.Error("format should mention skip")
+	}
+}
+
+func TestFigure4Shape(t *testing.T) {
+	fig := Figure4()
+	if len(fig.Series) != 5 {
+		t.Fatalf("series = %d", len(fig.Series))
+	}
+	if len(fig.Sizes) != 7 {
+		t.Fatalf("sizes = %d: %v", len(fig.Sizes), fig.Sizes)
+	}
+	lat := fig.Series[0]
+	if lat.Speedups[0] < 1.5 {
+		t.Errorf("(1,2,2) small-size speedup %.2f, want > 1.5 (paper ~2.2)", lat.Speedups[0])
+	}
+	if lat.Speedups[len(lat.Speedups)-1] > 1 {
+		t.Errorf("(1,2,2) large-size speedup %.2f, want < 1", lat.Speedups[len(lat.Speedups)-1])
+	}
+	bw := fig.Series[3] // (6,7,7) fused
+	last := bw.Speedups[len(bw.Speedups)-1]
+	if last <= 1.0 || last > 1.4 {
+		t.Errorf("(6,7,7) large speedup %.2f, want modest win (paper ~1.1-1.2)", last)
+	}
+	memcpy := fig.Series[4]
+	if memcpy.Speedups[0] >= 1 {
+		t.Errorf("memcpy small speedup %.2f, want < 1", memcpy.Speedups[0])
+	}
+	if memcpy.Speedups[len(memcpy.Speedups)-1] <= 1 {
+		t.Errorf("memcpy large speedup %.2f, want > 1", memcpy.Speedups[len(memcpy.Speedups)-1])
+	}
+}
+
+func TestFigure5Shape(t *testing.T) {
+	fig := Figure5()
+	lat := fig.Series[0] // (1,2,2)
+	if lat.Speedups[0] <= 1 {
+		t.Errorf("(1,2,2) allreduce should win at small sizes, got %.2f", lat.Speedups[0])
+	}
+	// The paper's mid-size dip: every SCCL line loses to NCCL somewhere in
+	// the middle.
+	for _, s := range fig.Series {
+		dipped := false
+		for _, v := range s.Speedups {
+			if v < 1 {
+				dipped = true
+			}
+		}
+		if !dipped {
+			t.Errorf("series %s never dips below 1 (expected multi-kernel sync cost)", s.Label)
+		}
+	}
+	bw := fig.Series[3] // (6,7,7)
+	if last := bw.Speedups[len(bw.Speedups)-1]; last <= 1 {
+		t.Errorf("(6,7,7) allreduce large speedup %.2f, want > 1", last)
+	}
+}
+
+func TestFigure6Shape(t *testing.T) {
+	fig := Figure6()
+	latSmall := fig.Series[0].Speedups[0]
+	bwSmall := fig.Series[1].Speedups[0]
+	if latSmall >= 1 || bwSmall >= 1 {
+		t.Errorf("RCCL should win small sizes: %.2f %.2f", latSmall, bwSmall)
+	}
+	if latSmall <= bwSmall {
+		t.Errorf("(1,4,4) should beat (2,7,7) at small sizes: %.2f vs %.2f", latSmall, bwSmall)
+	}
+	n := len(fig.Series[1].Speedups)
+	if last := fig.Series[1].Speedups[n-1]; last <= 1 {
+		t.Errorf("(2,7,7) should win large sizes, got %.2f", last)
+	}
+}
+
+func TestFigureFormatOutput(t *testing.T) {
+	out := Figure4().Format()
+	for _, want := range []string{"Figure 4", "(1,2,2)", "960", "251658240"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("format missing %q", want)
+		}
+	}
+}
+
+func TestFormatTable(t *testing.T) {
+	rows := []TableRow{{Collective: "Allgather", C: 1, S: 2, R: 2, Optimality: "Latency", Status: "SAT"}}
+	out := FormatTable("Table X", rows)
+	for _, want := range []string{"Table X", "Allgather", "Latency", "SAT"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q in %s", want, out)
+		}
+	}
+}

@@ -1,0 +1,315 @@
+// Package machine executes collective algorithms on real in-memory
+// buffers: every node of the topology becomes a goroutine ("GPU") and
+// every directed link a buffered channel. This is the repository's
+// stand-in for the paper's CUDA execution substrate — it validates that a
+// lowered schedule moves and reduces actual data correctly, including the
+// step-synchronous semantics (a chunk received in step s is usable only
+// from step s+1).
+package machine
+
+import (
+	"fmt"
+	"math"
+	"runtime"
+	"sync"
+
+	"repro/internal/algorithm"
+	"repro/internal/topology"
+)
+
+// Elem is the element type carried in chunk buffers. Integer-valued
+// float32 inputs give bit-exact reductions (exact below 2^24), which the
+// verifier exploits.
+type Elem = float32
+
+// Buffers holds per-node, per-chunk data: Buffers[n][c] is nil when node n
+// does not hold chunk c.
+type Buffers [][][]Elem
+
+// NewBuffers allocates an empty P x G buffer table.
+func NewBuffers(p, g int) Buffers {
+	b := make(Buffers, p)
+	for n := range b {
+		b[n] = make([][]Elem, g)
+	}
+	return b
+}
+
+// message is one transfer on a link.
+type message struct {
+	chunk   int
+	payload []Elem
+	reduce  bool
+}
+
+// Executor runs an algorithm on buffers with one goroutine per node.
+type Executor struct {
+	alg *algorithm.Algorithm
+	// links[from][to] is the channel for the directed link; nil if absent.
+	links [][]chan message
+	// sendPlan[step][node] lists sends issued by that node at that step.
+	sendPlan [][][]algorithm.Send
+	// recvCount[step][node] is how many messages the node awaits.
+	recvCount [][]int
+}
+
+// NewExecutor prepares the execution plan. The algorithm must validate.
+func NewExecutor(alg *algorithm.Algorithm) (*Executor, error) {
+	if err := alg.Validate(); err != nil {
+		return nil, fmt.Errorf("machine: refusing invalid algorithm: %w", err)
+	}
+	p := alg.P
+	e := &Executor{alg: alg}
+	e.links = make([][]chan message, p)
+	for i := range e.links {
+		e.links[i] = make([]chan message, p)
+	}
+	maxPerLink := map[topology.Link]int{}
+	S := alg.Steps()
+	e.sendPlan = make([][][]algorithm.Send, S)
+	e.recvCount = make([][]int, S)
+	for s := 0; s < S; s++ {
+		e.sendPlan[s] = make([][]algorithm.Send, p)
+		e.recvCount[s] = make([]int, p)
+		perLink := map[topology.Link]int{}
+		for _, snd := range alg.SendsAtStep(s) {
+			e.sendPlan[s][snd.From] = append(e.sendPlan[s][snd.From], snd)
+			e.recvCount[s][snd.To]++
+			perLink[topology.Link{Src: snd.From, Dst: snd.To}]++
+		}
+		for l, cnt := range perLink {
+			if cnt > maxPerLink[l] {
+				maxPerLink[l] = cnt
+			}
+		}
+	}
+	for l, cap := range maxPerLink {
+		e.links[l.Src][l.Dst] = make(chan message, cap)
+	}
+	return e, nil
+}
+
+// Run executes the algorithm over the input buffers and returns the final
+// buffers. The input is copied; Run is safe for repeated use.
+func (e *Executor) Run(input Buffers) (Buffers, error) {
+	alg := e.alg
+	p, g := alg.P, alg.G
+	if len(input) != p {
+		return nil, fmt.Errorf("machine: input has %d nodes, want %d", len(input), p)
+	}
+	// Check the input covers the precondition.
+	for c := 0; c < g; c++ {
+		for n := 0; n < p; n++ {
+			if alg.Coll.Pre[c][n] && input[n][c] == nil {
+				return nil, fmt.Errorf("machine: precondition chunk %d missing at node %d", c, n)
+			}
+		}
+	}
+	state := NewBuffers(p, g)
+	for n := 0; n < p; n++ {
+		for c := 0; c < g; c++ {
+			if input[n][c] != nil {
+				state[n][c] = append([]Elem(nil), input[n][c]...)
+			}
+		}
+	}
+
+	S := alg.Steps()
+	var wg sync.WaitGroup
+	barrier := newBarrier(p)
+	errs := make([]error, p)
+	for n := 0; n < p; n++ {
+		wg.Add(1)
+		go func(node int) {
+			defer wg.Done()
+			for s := 0; s < S; s++ {
+				// Phase 1: issue sends from the current state.
+				for _, snd := range e.sendPlan[s][node] {
+					data := state[node][snd.Chunk]
+					if data == nil {
+						errs[node] = fmt.Errorf("machine: node %d step %d: chunk %d absent at send time", node, s, snd.Chunk)
+						barrier.wait() // phase A
+						barrier.wait() // phase B
+						continue
+					}
+					payload := append([]Elem(nil), data...)
+					e.links[snd.From][snd.To] <- message{chunk: snd.Chunk, payload: payload, reduce: snd.Reduce}
+				}
+				// Phase 2: collect the expected arrivals but do not apply
+				// them yet — they become visible next step.
+				pending := make([]message, 0, e.recvCount[s][node])
+				for i := 0; i < e.recvCount[s][node]; i++ {
+					// Receive from any in-link; messages are tagged.
+					m := e.recvAny(node, s)
+					pending = append(pending, m)
+				}
+				// All nodes finish sending/receiving before state changes.
+				barrier.wait()
+				for _, m := range pending {
+					if m.reduce && state[node][m.chunk] != nil {
+						dst := state[node][m.chunk]
+						for i := range dst {
+							dst[i] += m.payload[i]
+						}
+					} else {
+						state[node][m.chunk] = m.payload
+					}
+				}
+				// All nodes apply before the next step's sends read state.
+				barrier.wait()
+			}
+		}(n)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return state, nil
+}
+
+// recvAny pulls one message destined to node during step s. Because every
+// message sent in a step is received in the same step and channels are
+// sized for the worst case, a simple round-robin poll over in-links
+// terminates.
+func (e *Executor) recvAny(node, step int) message {
+	for {
+		for from := 0; from < e.alg.P; from++ {
+			ch := e.links[from][node]
+			if ch == nil {
+				continue
+			}
+			select {
+			case m := <-ch:
+				return m
+			default:
+			}
+		}
+		// Nothing ready on any in-link: yield instead of burning the
+		// scheduler (senders in this step are still copying).
+		runtime.Gosched()
+	}
+}
+
+// barrier is a reusable cyclic barrier for p parties.
+type barrier struct {
+	mu    sync.Mutex
+	cond  *sync.Cond
+	n     int
+	count int
+	phase int
+}
+
+func newBarrier(n int) *barrier {
+	b := &barrier{n: n}
+	b.cond = sync.NewCond(&b.mu)
+	return b
+}
+
+func (b *barrier) wait() {
+	b.mu.Lock()
+	phase := b.phase
+	b.count++
+	if b.count == b.n {
+		b.count = 0
+		b.phase++
+		b.cond.Broadcast()
+	} else {
+		for phase == b.phase {
+			b.cond.Wait()
+		}
+	}
+	b.mu.Unlock()
+}
+
+// MakeInputs builds deterministic input buffers for the algorithm's
+// precondition: chunk c held by node n is filled with the value
+// base(c, n) = c*1000 + n + 1 (distinct per (chunk, holder), exact in
+// float32). chunkLen sets the elements per chunk.
+func MakeInputs(alg *algorithm.Algorithm, chunkLen int) Buffers {
+	in := NewBuffers(alg.P, alg.G)
+	for c := 0; c < alg.G; c++ {
+		for n := 0; n < alg.P; n++ {
+			if alg.Coll.Pre[c][n] {
+				buf := make([]Elem, chunkLen)
+				for i := range buf {
+					buf[i] = Elem(c*1000 + n + 1)
+				}
+				in[n][c] = buf
+			}
+		}
+	}
+	return in
+}
+
+// Verify checks the output buffers against the collective's semantics
+// given the inputs:
+//
+//   - non-combining: every (c, n) in post holds exactly the unique source
+//     value of chunk c;
+//   - combining: every (c, n) in post holds the elementwise sum of all
+//     contributions to chunk c.
+func Verify(alg *algorithm.Algorithm, input, output Buffers) error {
+	g, p := alg.G, alg.P
+	combining := alg.Coll.Kind.IsCombining()
+	for c := 0; c < g; c++ {
+		var want []Elem
+		if combining {
+			for n := 0; n < p; n++ {
+				if input[n][c] == nil {
+					continue
+				}
+				if want == nil {
+					want = append([]Elem(nil), input[n][c]...)
+				} else {
+					for i := range want {
+						want[i] += input[n][c][i]
+					}
+				}
+			}
+		} else {
+			for n := 0; n < p; n++ {
+				if alg.Coll.Pre[c][n] {
+					want = input[n][c]
+					break
+				}
+			}
+		}
+		if want == nil {
+			return fmt.Errorf("machine: chunk %d has no source", c)
+		}
+		for n := 0; n < p; n++ {
+			if !alg.Coll.Post[c][n] {
+				continue
+			}
+			got := output[n][c]
+			if got == nil {
+				return fmt.Errorf("machine: chunk %d missing at node %d", c, n)
+			}
+			if len(got) != len(want) {
+				return fmt.Errorf("machine: chunk %d at node %d has %d elems, want %d", c, n, len(got), len(want))
+			}
+			for i := range want {
+				if math.Abs(float64(got[i]-want[i])) > 1e-3 {
+					return fmt.Errorf("machine: chunk %d at node %d elem %d = %v, want %v", c, n, i, got[i], want[i])
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// ExecuteAndVerify is the one-call convenience: build inputs, run, verify.
+func ExecuteAndVerify(alg *algorithm.Algorithm, chunkLen int) error {
+	ex, err := NewExecutor(alg)
+	if err != nil {
+		return err
+	}
+	in := MakeInputs(alg, chunkLen)
+	out, err := ex.Run(in)
+	if err != nil {
+		return err
+	}
+	return Verify(alg, in, out)
+}

@@ -1,0 +1,272 @@
+// Package nccl reimplements the vendor baseline algorithms the SCCL paper
+// compares against (§5.3, Table 3): NCCL's ring-based collectives on the
+// DGX-1 and RCCL's on the Gigabyte Z52. Each baseline is produced as an
+// explicit k-synchronous schedule (internal/algorithm.Algorithm), so it
+// runs on the same validators, simulators and executors as synthesized
+// algorithms — making baseline-vs-SCCL comparisons apples-to-apples.
+//
+// On the DGX-1 the NVLink topology forms 6 logical single-NVLink rings
+// (two directions of the doubled Hamiltonian cycle, counted twice, plus
+// two directions of the single cycle). NCCL's Allgather runs one ring
+// algorithm per logical ring with one chunk each: (C,S,R) = (6,7,7).
+// Allreduce is ring Reducescatter + ring Allgather: (48,14,14). Broadcast
+// and Reduce pipeline m chunks per ring along paths: (6m, 6+m, 6+m).
+package nccl
+
+import (
+	"fmt"
+
+	"repro/internal/algorithm"
+	"repro/internal/collective"
+	"repro/internal/topology"
+)
+
+// DGX1Rings returns NCCL's 6 logical single-NVLink rings on the DGX-1
+// (paper §2.2): the doubled cycle contributes four (two parallel NVLinks
+// x two directions) and the single cycle two (two directions).
+func DGX1Rings() [][]topology.Node {
+	double := []topology.Node{0, 1, 4, 5, 6, 7, 2, 3}
+	single := []topology.Node{0, 2, 1, 3, 6, 4, 7, 5}
+	rev := func(r []topology.Node) []topology.Node {
+		out := make([]topology.Node, len(r))
+		out[0] = r[0]
+		for i := 1; i < len(r); i++ {
+			out[i] = r[len(r)-i]
+		}
+		return out
+	}
+	return [][]topology.Node{
+		double, rev(double), // NVLink pair 1 of the doubled cycle
+		double, rev(double), // NVLink pair 2 of the doubled cycle
+		single, rev(single),
+	}
+}
+
+// Z52Rings returns RCCL's 2 logical rings on the AMD Z52 (the
+// bidirectional PCIe-bridged xGMI ring, one per direction).
+func Z52Rings() [][]topology.Node {
+	ring := []topology.Node{0, 2, 3, 5, 4, 6, 7, 1}
+	rev := make([]topology.Node, len(ring))
+	rev[0] = ring[0]
+	for i := 1; i < len(ring); i++ {
+		rev[i] = ring[len(ring)-i]
+	}
+	return [][]topology.Node{ring, rev}
+}
+
+// rotate returns the ring rotated so it starts at node `start`.
+func rotate(ring []topology.Node, start topology.Node) ([]topology.Node, error) {
+	for i, n := range ring {
+		if n == start {
+			out := make([]topology.Node, 0, len(ring))
+			out = append(out, ring[i:]...)
+			out = append(out, ring[:i]...)
+			return out, nil
+		}
+	}
+	return nil, fmt.Errorf("nccl: node %d not on ring", start)
+}
+
+// MultiRingAllgather builds the ring Allgather running one classic ring
+// algorithm per logical ring, one chunk per node per ring: C = len(rings),
+// S = R = P-1. Chunk i*P+n is node n's chunk assigned to ring i.
+func MultiRingAllgather(name string, topo *topology.Topology, rings [][]topology.Node) (*algorithm.Algorithm, error) {
+	p := topo.P
+	coll, err := collective.New(collective.Allgather, p, len(rings), 0)
+	if err != nil {
+		return nil, err
+	}
+	var sends []algorithm.Send
+	rounds := make([]int, p-1)
+	for s := 0; s < p-1; s++ {
+		rounds[s] = 1
+		for i, ring := range rings {
+			if len(ring) != p {
+				return nil, fmt.Errorf("nccl: ring %d has %d nodes, topology has %d", i, len(ring), p)
+			}
+			for pos, node := range ring {
+				ownerPos := ((pos-s)%p + p) % p
+				chunk := i*p + int(ring[ownerPos])
+				sends = append(sends, algorithm.Send{
+					Chunk: chunk,
+					From:  node,
+					To:    ring[(pos+1)%p],
+					Step:  s,
+				})
+			}
+		}
+	}
+	alg := algorithm.New(name, coll, topo, rounds, sends)
+	if err := alg.Validate(); err != nil {
+		return nil, fmt.Errorf("nccl: %s invalid: %w", name, err)
+	}
+	return alg, nil
+}
+
+// PipelinedBroadcast builds NCCL's pipelined Broadcast: each logical ring
+// becomes a path from the root, and m chunks are pipelined down each path.
+// C = m*len(rings). A path over P nodes has P-1 hops and chunk j crosses
+// hop h at step j+h, so S = R = (P-1)+(m-1) = P+m-2 — for the DGX-1's P=8
+// this is 6+m, matching Table 3.
+func PipelinedBroadcast(name string, topo *topology.Topology, rings [][]topology.Node, root topology.Node, m int) (*algorithm.Algorithm, error) {
+	if m < 1 {
+		return nil, fmt.Errorf("nccl: pipeline multiplier m must be >= 1, got %d", m)
+	}
+	p := topo.P
+	coll, err := collective.New(collective.Broadcast, p, m*len(rings), root)
+	if err != nil {
+		return nil, err
+	}
+	steps := (p - 1) + m - 1
+	var sends []algorithm.Send
+	rounds := make([]int, steps)
+	for s := range rounds {
+		rounds[s] = 1
+	}
+	for i, ring := range rings {
+		path, err := rotate(ring, root)
+		if err != nil {
+			return nil, err
+		}
+		for j := 0; j < m; j++ {
+			chunk := i*m + j
+			for h := 0; h+1 < len(path); h++ {
+				sends = append(sends, algorithm.Send{
+					Chunk: chunk,
+					From:  path[h],
+					To:    path[h+1],
+					Step:  j + h,
+				})
+			}
+		}
+	}
+	alg := algorithm.New(name, coll, topo, rounds, sends)
+	if err := alg.Validate(); err != nil {
+		return nil, fmt.Errorf("nccl: %s invalid: %w", name, err)
+	}
+	return alg, nil
+}
+
+// Allgather returns NCCL's DGX-1 Allgather: (C,S,R) = (6,7,7).
+func Allgather() (*algorithm.Algorithm, error) {
+	return MultiRingAllgather("nccl-ring-allgather", topology.DGX1(), DGX1Rings())
+}
+
+// Reducescatter returns NCCL's DGX-1 Reducescatter, the inverse of the
+// ring Allgather: (6,7,7) with the table's x8 chunk footnote.
+func Reducescatter() (*algorithm.Algorithm, error) {
+	ag, err := MultiRingAllgather("nccl-ring-allgather", topology.DGX1().Reverse(), DGX1Rings())
+	if err != nil {
+		return nil, err
+	}
+	rs, err := algorithm.Invert(ag)
+	if err != nil {
+		return nil, err
+	}
+	rs = algorithm.New("nccl-ring-reducescatter", rs.Coll, topology.DGX1(), rs.Rounds, rs.Sends)
+	if err := rs.Validate(); err != nil {
+		return nil, err
+	}
+	return rs, nil
+}
+
+// Allreduce returns NCCL's DGX-1 ring Allreduce — Reducescatter followed
+// by Allgather: (C,S,R) = (48,14,14).
+func Allreduce() (*algorithm.Algorithm, error) {
+	rs, err := Reducescatter()
+	if err != nil {
+		return nil, err
+	}
+	ag, err := Allgather()
+	if err != nil {
+		return nil, err
+	}
+	ar, err := algorithm.ComposeAllreduce(rs, ag)
+	if err != nil {
+		return nil, err
+	}
+	ar.Name = "nccl-ring-allreduce"
+	if err := ar.Validate(); err != nil {
+		return nil, err
+	}
+	return ar, nil
+}
+
+// Broadcast returns NCCL's DGX-1 pipelined Broadcast with multiplier m:
+// (C,S,R) = (6m, 6+m, 6+m).
+func Broadcast(root topology.Node, m int) (*algorithm.Algorithm, error) {
+	return PipelinedBroadcast("nccl-pipelined-broadcast", topology.DGX1(), DGX1Rings(), root, m)
+}
+
+// Reduce returns NCCL's DGX-1 pipelined Reduce (inverse of Broadcast).
+func Reduce(root topology.Node, m int) (*algorithm.Algorithm, error) {
+	bc, err := PipelinedBroadcast("nccl-pipelined-broadcast", topology.DGX1().Reverse(), DGX1Rings(), root, m)
+	if err != nil {
+		return nil, err
+	}
+	rd, err := algorithm.Invert(bc)
+	if err != nil {
+		return nil, err
+	}
+	rd = algorithm.New("nccl-pipelined-reduce", rd.Coll, topology.DGX1(), rd.Rounds, rd.Sends)
+	if err := rd.Validate(); err != nil {
+		return nil, err
+	}
+	return rd, nil
+}
+
+// RCCLAllgather returns RCCL's Z52 ring Allgather: (C,S,R) = (2,7,7).
+func RCCLAllgather() (*algorithm.Algorithm, error) {
+	return MultiRingAllgather("rccl-ring-allgather", topology.AMDZ52(), Z52Rings())
+}
+
+// RCCLAllreduce returns RCCL's Z52 ring Allreduce: (C,S,R) = (16,14,14).
+func RCCLAllreduce() (*algorithm.Algorithm, error) {
+	agRev, err := MultiRingAllgather("rccl-ring-allgather", topology.AMDZ52().Reverse(), Z52Rings())
+	if err != nil {
+		return nil, err
+	}
+	rs, err := algorithm.Invert(agRev)
+	if err != nil {
+		return nil, err
+	}
+	rs = algorithm.New("rccl-ring-reducescatter", rs.Coll, topology.AMDZ52(), rs.Rounds, rs.Sends)
+	ag, err := RCCLAllgather()
+	if err != nil {
+		return nil, err
+	}
+	ar, err := algorithm.ComposeAllreduce(rs, ag)
+	if err != nil {
+		return nil, err
+	}
+	ar.Name = "rccl-ring-allreduce"
+	if err := ar.Validate(); err != nil {
+		return nil, err
+	}
+	return ar, nil
+}
+
+// Table3Row is one row of the paper's Table 3.
+type Table3Row struct {
+	Collective string
+	C, S, R    string
+}
+
+// Table3 reproduces the paper's Table 3 from the constructed baseline
+// algorithms (m symbolic for the pipelined collectives).
+func Table3() ([]Table3Row, error) {
+	ag, err := Allgather()
+	if err != nil {
+		return nil, err
+	}
+	ar, err := Allreduce()
+	if err != nil {
+		return nil, err
+	}
+	rows := []Table3Row{
+		{"Allgather/Reducescatter", fmt.Sprint(ag.C), fmt.Sprint(ag.Steps()), fmt.Sprint(ag.TotalRounds())},
+		{"Allreduce", fmt.Sprint(ar.C), fmt.Sprint(ar.Steps()), fmt.Sprint(ar.TotalRounds())},
+		{"Broadcast/Reduce", "6m", "6+m", "6+m"},
+	}
+	return rows, nil
+}

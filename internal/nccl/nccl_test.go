@@ -1,0 +1,191 @@
+package nccl
+
+import (
+	"testing"
+
+	"repro/internal/collective"
+	"repro/internal/topology"
+)
+
+func TestDGX1RingsAreValidCycles(t *testing.T) {
+	topo := topology.DGX1()
+	for i, ring := range DGX1Rings() {
+		if len(ring) != 8 {
+			t.Fatalf("ring %d has %d nodes", i, len(ring))
+		}
+		seen := map[topology.Node]bool{}
+		for _, n := range ring {
+			if seen[n] {
+				t.Fatalf("ring %d repeats node %d", i, n)
+			}
+			seen[n] = true
+		}
+		for p := range ring {
+			a, b := ring[p], ring[(p+1)%8]
+			if !topo.HasEdge(a, b) {
+				t.Errorf("ring %d uses missing edge %d->%d", i, a, b)
+			}
+		}
+	}
+}
+
+func TestZ52RingsAreValidCycles(t *testing.T) {
+	topo := topology.AMDZ52()
+	rings := Z52Rings()
+	if len(rings) != 2 {
+		t.Fatalf("want 2 rings, got %d", len(rings))
+	}
+	for i, ring := range rings {
+		for p := range ring {
+			a, b := ring[p], ring[(p+1)%8]
+			if !topo.HasEdge(a, b) {
+				t.Errorf("ring %d uses missing edge %d->%d", i, a, b)
+			}
+		}
+	}
+}
+
+func TestAllgatherMatchesTable3(t *testing.T) {
+	ag, err := Allgather()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ag.C != 6 || ag.Steps() != 7 || ag.TotalRounds() != 7 {
+		t.Fatalf("Allgather (C,S,R) = %s, want (6,7,7)", ag.CSR())
+	}
+}
+
+func TestReducescatterMatchesTable3(t *testing.T) {
+	rs, err := Reducescatter()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rs.C != 6 || rs.Steps() != 7 || rs.TotalRounds() != 7 {
+		t.Fatalf("Reducescatter (C,S,R) = %s, want (6,7,7)", rs.CSR())
+	}
+	if rs.Coll.Kind != collective.Reducescatter {
+		t.Fatalf("kind = %v", rs.Coll.Kind)
+	}
+}
+
+func TestAllreduceMatchesTable3(t *testing.T) {
+	ar, err := Allreduce()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ar.C != 48 || ar.Steps() != 14 || ar.TotalRounds() != 14 {
+		t.Fatalf("Allreduce (C,S,R) = %s, want (48,14,14)", ar.CSR())
+	}
+}
+
+func TestBroadcastMatchesTable3(t *testing.T) {
+	for m := 1; m <= 4; m++ {
+		bc, err := Broadcast(0, m)
+		if err != nil {
+			t.Fatalf("m=%d: %v", m, err)
+		}
+		if bc.C != 6*m || bc.Steps() != 6+m || bc.TotalRounds() != 6+m {
+			t.Fatalf("m=%d: (C,S,R) = %s, want (%d,%d,%d)", m, bc.CSR(), 6*m, 6+m, 6+m)
+		}
+	}
+}
+
+func TestBroadcastNonRootSources(t *testing.T) {
+	// Broadcast must work from any root, not just node 0.
+	for _, root := range []topology.Node{1, 5, 7} {
+		bc, err := Broadcast(root, 2)
+		if err != nil {
+			t.Fatalf("root=%d: %v", root, err)
+		}
+		if bc.Coll.Root != root {
+			t.Errorf("root=%d: algorithm root %d", root, bc.Coll.Root)
+		}
+	}
+}
+
+func TestReduceIsValidInverse(t *testing.T) {
+	rd, err := Reduce(0, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rd.Coll.Kind != collective.Reduce {
+		t.Fatalf("kind = %v", rd.Coll.Kind)
+	}
+	if rd.C != 12 || rd.Steps() != 8 {
+		t.Fatalf("(C,S,R) = %s, want (12,8,8)", rd.CSR())
+	}
+}
+
+func TestRCCLAllgather(t *testing.T) {
+	ag, err := RCCLAllgather()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ag.C != 2 || ag.Steps() != 7 || ag.TotalRounds() != 7 {
+		t.Fatalf("(C,S,R) = %s, want (2,7,7)", ag.CSR())
+	}
+}
+
+func TestRCCLAllreduce(t *testing.T) {
+	ar, err := RCCLAllreduce()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ar.C != 16 || ar.Steps() != 14 || ar.TotalRounds() != 14 {
+		t.Fatalf("(C,S,R) = %s, want (16,14,14)", ar.CSR())
+	}
+}
+
+func TestMultiRingAllgatherRejectsBadRing(t *testing.T) {
+	topo := topology.DGX1()
+	if _, err := MultiRingAllgather("bad", topo, [][]topology.Node{{0, 1, 2}}); err == nil {
+		t.Fatal("short ring must fail")
+	}
+	// A "ring" that uses a non-existent edge fails validation.
+	bad := []topology.Node{0, 4, 1, 5, 2, 6, 3, 7}
+	if _, err := MultiRingAllgather("bad2", topo, [][]topology.Node{bad}); err == nil {
+		t.Fatal("non-edge ring must fail")
+	}
+}
+
+func TestPipelinedBroadcastRejectsBadM(t *testing.T) {
+	if _, err := Broadcast(0, 0); err == nil {
+		t.Fatal("m=0 must fail")
+	}
+}
+
+func TestTable3(t *testing.T) {
+	rows, err := Table3()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	if rows[0].C != "6" || rows[0].S != "7" || rows[0].R != "7" {
+		t.Errorf("row 0: %+v", rows[0])
+	}
+	if rows[1].C != "48" || rows[1].S != "14" {
+		t.Errorf("row 1: %+v", rows[1])
+	}
+	if rows[2].C != "6m" {
+		t.Errorf("row 2: %+v", rows[2])
+	}
+}
+
+func TestGenericRingOnCustomTopology(t *testing.T) {
+	// The ring machinery generalizes to any ring: a 4-node bidir ring has
+	// 2 logical rings, giving (2,3,3).
+	topo := topology.BidirRing(4)
+	rings := [][]topology.Node{
+		{0, 1, 2, 3},
+		{0, 3, 2, 1},
+	}
+	ag, err := MultiRingAllgather("bidir4", topo, rings)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ag.C != 2 || ag.Steps() != 3 {
+		t.Fatalf("(C,S,R) = %s", ag.CSR())
+	}
+}

@@ -1,0 +1,352 @@
+// Package pb provides pseudo-Boolean and cardinality constraint encodings
+// over the CDCL solver in internal/sat. The SCCL synthesis encoding (paper
+// §3.4, constraints C3, C5 and C6) needs exactly-one constraints, bounded
+// sums of Booleans compared against (scaled) integer variables, and integer
+// sums — all of which this package lowers to CNF.
+//
+// The workhorse is the totalizer encoding (Bailleux & Boufkhad 2003): it
+// produces a unary "output register" o_1 >= o_2 >= ... >= o_n where o_j is
+// true iff at least j of the inputs are true. Comparisons against constants
+// or order-encoded integers then become single literals or small clause
+// sets, which keeps the SCCL bandwidth constraints (C5) compact.
+package pb
+
+import "repro/internal/sat"
+
+// Adder abstracts the subset of the solver used by encoders, easing tests.
+type Adder interface {
+	NewVar() sat.Var
+	AddClause(lits ...sat.Lit) bool
+}
+
+// AtMostOnePairwise adds the quadratic at-most-one encoding. Best for small
+// n (the SCCL incoming-send constraints have node-degree many literals).
+func AtMostOnePairwise(s Adder, lits []sat.Lit) {
+	for i := 0; i < len(lits); i++ {
+		for j := i + 1; j < len(lits); j++ {
+			s.AddClause(lits[i].Neg(), lits[j].Neg())
+		}
+	}
+}
+
+// AtMostOneCommander adds the commander at-most-one encoding, linear in n
+// with auxiliary variables; used when n is large.
+func AtMostOneCommander(s Adder, lits []sat.Lit) {
+	const groupSize = 4
+	if len(lits) <= groupSize+1 {
+		AtMostOnePairwise(s, lits)
+		return
+	}
+	var commanders []sat.Lit
+	for i := 0; i < len(lits); i += groupSize {
+		j := i + groupSize
+		if j > len(lits) {
+			j = len(lits)
+		}
+		group := lits[i:j]
+		c := sat.PosLit(s.NewVar())
+		// c is true if any group member is true: member -> c.
+		for _, l := range group {
+			s.AddClause(l.Neg(), c)
+		}
+		AtMostOnePairwise(s, group)
+		commanders = append(commanders, c)
+	}
+	AtMostOneCommander(s, commanders)
+}
+
+// AtMostOne picks an encoding based on size.
+func AtMostOne(s Adder, lits []sat.Lit) {
+	if len(lits) <= 6 {
+		AtMostOnePairwise(s, lits)
+	} else {
+		AtMostOneCommander(s, lits)
+	}
+}
+
+// ExactlyOne constrains exactly one of lits to be true.
+func ExactlyOne(s Adder, lits []sat.Lit) {
+	s.AddClause(lits...)
+	AtMostOne(s, lits)
+}
+
+// Totalizer is a unary counter over a set of input literals.
+// Outputs[j] (0-based) is true iff at least j+1 inputs are true.
+type Totalizer struct {
+	Outputs []sat.Lit
+}
+
+// NewTotalizer builds a totalizer over lits. Both directions of the
+// counting semantics are encoded, so outputs can be used positively
+// ("count >= k") and negatively ("count <= k").
+func NewTotalizer(s Adder, lits []sat.Lit) *Totalizer {
+	out := buildTotalizer(s, lits)
+	return &Totalizer{Outputs: out}
+}
+
+func buildTotalizer(s Adder, lits []sat.Lit) []sat.Lit {
+	switch len(lits) {
+	case 0:
+		return nil
+	case 1:
+		return []sat.Lit{lits[0]}
+	}
+	mid := len(lits) / 2
+	left := buildTotalizer(s, lits[:mid])
+	right := buildTotalizer(s, lits[mid:])
+	n := len(left) + len(right)
+	out := make([]sat.Lit, n)
+	for i := range out {
+		out[i] = sat.PosLit(s.NewVar())
+	}
+	// Monotonicity of the output register: out[j] -> out[j-1].
+	for j := 1; j < n; j++ {
+		s.AddClause(out[j].Neg(), out[j-1])
+	}
+	// Merge: for all a in [0..len(left)], b in [0..len(right)]:
+	//   left>=a && right>=b -> out>=a+b         (upper direction)
+	//   left<a+1 && right<b+1 -> out<a+b+1      (lower direction)
+	for a := 0; a <= len(left); a++ {
+		for b := 0; b <= len(right); b++ {
+			if a+b > 0 {
+				// left>=a ∧ right>=b → out>=a+b
+				cl := make([]sat.Lit, 0, 3)
+				if a > 0 {
+					cl = append(cl, left[a-1].Neg())
+				}
+				if b > 0 {
+					cl = append(cl, right[b-1].Neg())
+				}
+				cl = append(cl, out[a+b-1])
+				s.AddClause(cl...)
+			}
+			if a+b < n {
+				// left<=a ∧ right<=b → out<=a+b, i.e.
+				// ¬left[a] ∧ ¬right[b] → ¬out[a+b]
+				cl := make([]sat.Lit, 0, 3)
+				if a < len(left) {
+					cl = append(cl, left[a])
+				}
+				if b < len(right) {
+					cl = append(cl, right[b])
+				}
+				cl = append(cl, out[a+b].Neg())
+				s.AddClause(cl...)
+			}
+		}
+	}
+	return out
+}
+
+// AtLeast returns a literal that is true iff at least k of the totalizer's
+// inputs are true. For k <= 0 the caller should treat the constraint as
+// trivially true; ok=false signals that (and for k > n, trivially false).
+func (t *Totalizer) AtLeast(k int) (lit sat.Lit, ok bool) {
+	if k <= 0 || k > len(t.Outputs) {
+		return 0, false
+	}
+	return t.Outputs[k-1], true
+}
+
+// AssertAtMost adds clauses forcing at most k inputs true.
+func (t *Totalizer) AssertAtMost(s Adder, k int) {
+	if k < 0 {
+		k = 0
+	}
+	if k >= len(t.Outputs) {
+		return
+	}
+	s.AddClause(t.Outputs[k].Neg())
+}
+
+// AssertAtLeast adds clauses forcing at least k inputs true.
+func (t *Totalizer) AssertAtLeast(s Adder, k int) {
+	if k <= 0 {
+		return
+	}
+	if k > len(t.Outputs) {
+		// Impossible: force conflict.
+		s.AddClause()
+		return
+	}
+	s.AddClause(t.Outputs[k-1])
+}
+
+// AssertExactly forces exactly k inputs true.
+func (t *Totalizer) AssertExactly(s Adder, k int) {
+	t.AssertAtLeast(s, k)
+	t.AssertAtMost(s, k)
+}
+
+// UpperTotalizer is a totalizer that only encodes the "count >= j forces
+// output j" direction, with outputs capped at a maximum count of
+// interest. It is sound for use in upper-bound constraints (count <= k,
+// count <= k -> x): outputs are forced true when the count reaches them
+// but are otherwise free, so asserting an output's negation still forbids
+// the count — while the encoding stays linear in the cap instead of the
+// input size. For the SCCL bandwidth constraints (C5) the cap is
+// b*r_max+1, typically tiny compared to the number of candidate sends.
+type UpperTotalizer struct {
+	Outputs []sat.Lit // Outputs[j] is forced true iff count >= j+1 (j < cap)
+}
+
+// NewUpperTotalizer builds the capped upper-direction totalizer.
+func NewUpperTotalizer(s Adder, lits []sat.Lit, cap int) *UpperTotalizer {
+	if cap < 1 {
+		cap = 1
+	}
+	return &UpperTotalizer{Outputs: buildUpperTotalizer(s, lits, cap)}
+}
+
+func buildUpperTotalizer(s Adder, lits []sat.Lit, cap int) []sat.Lit {
+	switch len(lits) {
+	case 0:
+		return nil
+	case 1:
+		return []sat.Lit{lits[0]}
+	}
+	mid := len(lits) / 2
+	left := buildUpperTotalizer(s, lits[:mid], cap)
+	right := buildUpperTotalizer(s, lits[mid:], cap)
+	n := len(left) + len(right)
+	if n > cap {
+		n = cap
+	}
+	out := make([]sat.Lit, n)
+	for i := range out {
+		out[i] = sat.PosLit(s.NewVar())
+	}
+	for j := 1; j < n; j++ {
+		s.AddClause(out[j].Neg(), out[j-1])
+	}
+	// Upper direction only: left>=a ∧ right>=b → out>=a+b, for a+b <= n.
+	for a := 0; a <= len(left); a++ {
+		for b := 0; b <= len(right); b++ {
+			sum := a + b
+			if sum == 0 || sum > n {
+				continue
+			}
+			cl := make([]sat.Lit, 0, 3)
+			if a > 0 {
+				cl = append(cl, left[a-1].Neg())
+			}
+			if b > 0 {
+				cl = append(cl, right[b-1].Neg())
+			}
+			cl = append(cl, out[sum-1])
+			s.AddClause(cl...)
+		}
+	}
+	return out
+}
+
+// AtLeast returns the output literal meaning "count >= k" (forced-true
+// direction only); ok=false when k is out of the encoded range.
+func (t *UpperTotalizer) AtLeast(k int) (sat.Lit, bool) {
+	if k <= 0 || k > len(t.Outputs) {
+		return 0, false
+	}
+	return t.Outputs[k-1], true
+}
+
+// AssertAtMost forbids counts above k: with the upper direction encoded,
+// negating output k makes any count >= k+1 contradictory.
+func (t *UpperTotalizer) AssertAtMost(s Adder, k int) {
+	if k < 0 {
+		k = 0
+	}
+	if k >= len(t.Outputs) {
+		return
+	}
+	s.AddClause(t.Outputs[k].Neg())
+}
+
+// SequentialAtMostK adds Sinz's sequential-counter encoding of
+// "at most k of lits", an alternative to the totalizer used by the
+// encoding ablation benchmarks.
+func SequentialAtMostK(s Adder, lits []sat.Lit, k int) {
+	n := len(lits)
+	if k >= n {
+		return
+	}
+	if k <= 0 {
+		for _, l := range lits {
+			s.AddClause(l.Neg())
+		}
+		return
+	}
+	// reg[i][j]: among lits[0..i], at least j+1 are true.
+	reg := make([][]sat.Lit, n)
+	for i := range reg {
+		reg[i] = make([]sat.Lit, k)
+		for j := range reg[i] {
+			reg[i][j] = sat.PosLit(s.NewVar())
+		}
+	}
+	s.AddClause(lits[0].Neg(), reg[0][0])
+	for j := 1; j < k; j++ {
+		s.AddClause(reg[0][j].Neg())
+	}
+	for i := 1; i < n; i++ {
+		s.AddClause(lits[i].Neg(), reg[i][0])
+		s.AddClause(reg[i-1][0].Neg(), reg[i][0])
+		for j := 1; j < k; j++ {
+			s.AddClause(lits[i].Neg(), reg[i-1][j-1].Neg(), reg[i][j])
+			s.AddClause(reg[i-1][j].Neg(), reg[i][j])
+		}
+		s.AddClause(lits[i].Neg(), reg[i-1][k-1].Neg())
+	}
+}
+
+// AtMostK asserts that at most k of lits are true, choosing an encoding by
+// size.
+func AtMostK(s Adder, lits []sat.Lit, k int) {
+	if k >= len(lits) {
+		return
+	}
+	if k == 0 {
+		for _, l := range lits {
+			s.AddClause(l.Neg())
+		}
+		return
+	}
+	if k == 1 {
+		AtMostOne(s, lits)
+		return
+	}
+	t := NewTotalizer(s, lits)
+	t.AssertAtMost(s, k)
+}
+
+// AtLeastK asserts that at least k of lits are true.
+func AtLeastK(s Adder, lits []sat.Lit, k int) {
+	if k <= 0 {
+		return
+	}
+	if k == 1 {
+		s.AddClause(lits...)
+		return
+	}
+	if k > len(lits) {
+		s.AddClause()
+		return
+	}
+	t := NewTotalizer(s, lits)
+	t.AssertAtLeast(s, k)
+}
+
+// ExactlyK asserts that exactly k of lits are true.
+func ExactlyK(s Adder, lits []sat.Lit, k int) {
+	if k < 0 || k > len(lits) {
+		s.AddClause()
+		return
+	}
+	if k == 0 {
+		for _, l := range lits {
+			s.AddClause(l.Neg())
+		}
+		return
+	}
+	t := NewTotalizer(s, lits)
+	t.AssertExactly(s, k)
+}

@@ -1,0 +1,131 @@
+package pb
+
+import (
+	"testing"
+
+	"repro/internal/sat"
+)
+
+func TestUpperTotalizerForcesOutputs(t *testing.T) {
+	// Forcing m inputs true must force outputs[0..m-1] true (within cap).
+	for n := 1; n <= 8; n++ {
+		for cap := 1; cap <= n+1; cap++ {
+			for m := 0; m <= n; m++ {
+				s := sat.NewSolver()
+				_, lits := mkVars(s, n)
+				tot := NewUpperTotalizer(s, lits, cap)
+				for i, l := range lits {
+					if i < m {
+						s.AddClause(l)
+					} else {
+						s.AddClause(l.Neg())
+					}
+				}
+				if s.Solve() != sat.Sat {
+					t.Fatalf("n=%d cap=%d m=%d: unexpectedly unsat", n, cap, m)
+				}
+				for j, o := range tot.Outputs {
+					if j+1 <= m && !s.ValueLit(o) {
+						t.Fatalf("n=%d cap=%d m=%d: output %d not forced", n, cap, m, j)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestUpperTotalizerAssertAtMost(t *testing.T) {
+	// AtMost(k) with m forced-true inputs is SAT iff m <= k.
+	for n := 2; n <= 7; n++ {
+		for k := 0; k <= n; k++ {
+			for m := 0; m <= n; m++ {
+				s := sat.NewSolver()
+				_, lits := mkVars(s, n)
+				tot := NewUpperTotalizer(s, lits, k+1)
+				tot.AssertAtMost(s, k)
+				for i, l := range lits {
+					if i < m {
+						s.AddClause(l)
+					} else {
+						s.AddClause(l.Neg())
+					}
+				}
+				got := s.Solve()
+				want := m <= k
+				if (got == sat.Sat) != want {
+					t.Fatalf("n=%d k=%d m=%d: got %v want sat=%v", n, k, m, got, want)
+				}
+			}
+		}
+	}
+}
+
+func TestUpperTotalizerAtLeastPremise(t *testing.T) {
+	// Using AtLeast(k) as a premise (¬cnt ∨ x) must trigger exactly when
+	// the count reaches k.
+	for m := 0; m <= 5; m++ {
+		s := sat.NewSolver()
+		vars, lits := mkVars(s, 5)
+		tot := NewUpperTotalizer(s, lits, 3)
+		x := s.NewVar()
+		cnt, ok := tot.AtLeast(3)
+		if !ok {
+			t.Fatal("AtLeast(3) should exist with cap 3")
+		}
+		s.AddClause(cnt.Neg(), sat.PosLit(x))
+		s.AddClause(sat.NegLit(x)) // x forced false: count must stay < 3
+		for i := range vars {
+			if i < m {
+				s.AddClause(lits[i])
+			} else {
+				s.AddClause(lits[i].Neg())
+			}
+		}
+		got := s.Solve()
+		want := m < 3
+		if (got == sat.Sat) != want {
+			t.Fatalf("m=%d: got %v, want sat=%v", m, got, want)
+		}
+	}
+}
+
+func TestUpperTotalizerOutOfRange(t *testing.T) {
+	s := sat.NewSolver()
+	_, lits := mkVars(s, 4)
+	tot := NewUpperTotalizer(s, lits, 2)
+	if _, ok := tot.AtLeast(0); ok {
+		t.Error("AtLeast(0) should be out of range")
+	}
+	if _, ok := tot.AtLeast(3); ok {
+		t.Error("AtLeast(3) exceeds cap 2")
+	}
+	// AssertAtMost beyond the cap is a no-op (cannot constrain).
+	tot.AssertAtMost(s, 10)
+	if s.Solve() != sat.Sat {
+		t.Error("want Sat")
+	}
+}
+
+func BenchmarkUpperTotalizerCap3Of192(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		s := sat.NewSolver()
+		_, lits := mkVars(s, 192)
+		tot := NewUpperTotalizer(s, lits, 3)
+		tot.AssertAtMost(s, 2)
+		if s.Solve() != sat.Sat {
+			b.Fatal("want Sat")
+		}
+	}
+}
+
+func BenchmarkFullTotalizer192(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		s := sat.NewSolver()
+		_, lits := mkVars(s, 192)
+		tot := NewTotalizer(s, lits)
+		tot.AssertAtMost(s, 2)
+		if s.Solve() != sat.Sat {
+			b.Fatal("want Sat")
+		}
+	}
+}

@@ -1,0 +1,98 @@
+package sat
+
+// activityHeap is a binary max-heap of variables ordered by VSIDS activity.
+// It maintains an index map so membership tests and targeted updates are
+// O(1)/O(log n).
+type activityHeap struct {
+	heap     []Var
+	indices  []int // var -> heap position, -1 if absent
+	activity *[]float64
+}
+
+func newActivityHeap(act *[]float64) *activityHeap {
+	return &activityHeap{activity: act}
+}
+
+func (h *activityHeap) grow(n int) {
+	for len(h.indices) <= n {
+		h.indices = append(h.indices, -1)
+	}
+}
+
+func (h *activityHeap) less(a, b Var) bool {
+	return (*h.activity)[a] > (*h.activity)[b]
+}
+
+func (h *activityHeap) contains(v Var) bool {
+	return int(v) < len(h.indices) && h.indices[v] >= 0
+}
+
+func (h *activityHeap) empty() bool { return len(h.heap) == 0 }
+
+func (h *activityHeap) push(v Var) {
+	if h.contains(v) {
+		return
+	}
+	h.grow(int(v))
+	h.indices[v] = len(h.heap)
+	h.heap = append(h.heap, v)
+	h.siftUp(len(h.heap) - 1)
+}
+
+func (h *activityHeap) pop() Var {
+	top := h.heap[0]
+	last := len(h.heap) - 1
+	h.heap[0] = h.heap[last]
+	h.indices[h.heap[0]] = 0
+	h.heap = h.heap[:last]
+	h.indices[top] = -1
+	if len(h.heap) > 0 {
+		h.siftDown(0)
+	}
+	return top
+}
+
+// update restores the heap invariant after v's activity increased.
+func (h *activityHeap) update(v Var) {
+	if h.contains(v) {
+		h.siftUp(h.indices[v])
+	}
+}
+
+func (h *activityHeap) siftUp(i int) {
+	v := h.heap[i]
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !h.less(v, h.heap[parent]) {
+			break
+		}
+		h.heap[i] = h.heap[parent]
+		h.indices[h.heap[i]] = i
+		i = parent
+	}
+	h.heap[i] = v
+	h.indices[v] = i
+}
+
+func (h *activityHeap) siftDown(i int) {
+	v := h.heap[i]
+	n := len(h.heap)
+	for {
+		left := 2*i + 1
+		if left >= n {
+			break
+		}
+		best := left
+		if right := left + 1; right < n && h.less(h.heap[right], h.heap[left]) {
+			best = right
+		}
+		if !h.less(h.heap[best], v) {
+			break
+		}
+		h.heap[i] = h.heap[best]
+		h.indices[h.heap[i]] = i
+		i = best
+	}
+	h.heap[i] = v
+	h.indices[v] = i
+}

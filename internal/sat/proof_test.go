@@ -1,0 +1,163 @@
+package sat
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+func TestProofPigeonholeChecks(t *testing.T) {
+	for n := 2; n <= 5; n++ {
+		s := NewSolver()
+		proof := s.StartProof()
+		// Rebuild PHP(n) with proof recording on.
+		p := make([][]Var, n+1)
+		for i := range p {
+			p[i] = make([]Var, n)
+			for j := range p[i] {
+				p[i][j] = s.NewVar()
+			}
+		}
+		for i := 0; i <= n; i++ {
+			lits := make([]Lit, n)
+			for j := 0; j < n; j++ {
+				lits[j] = PosLit(p[i][j])
+			}
+			s.AddClause(lits...)
+		}
+		for j := 0; j < n; j++ {
+			for i1 := 0; i1 <= n; i1++ {
+				for i2 := i1 + 1; i2 <= n; i2++ {
+					s.AddClause(NegLit(p[i1][j]), NegLit(p[i2][j]))
+				}
+			}
+		}
+		if s.Solve() != Unsat {
+			t.Fatalf("PHP(%d) should be Unsat", n)
+		}
+		if !proof.Complete() {
+			t.Fatalf("PHP(%d): proof incomplete", n)
+		}
+		if err := s.CheckProof(); err != nil {
+			t.Fatalf("PHP(%d): %v", n, err)
+		}
+	}
+}
+
+func TestProofTopLevelConflict(t *testing.T) {
+	s := NewSolver()
+	s.StartProof()
+	a := s.NewVar()
+	s.AddClause(PosLit(a))
+	s.AddClause(NegLit(a))
+	if s.Solve() != Unsat {
+		t.Fatal("want Unsat")
+	}
+	if err := s.CheckProof(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestProofRandomUnsatInstances(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	checked := 0
+	for iter := 0; iter < 200 && checked < 25; iter++ {
+		nVars := 5 + rng.Intn(8)
+		nClauses := 6*nVars + rng.Intn(20) // dense: likely UNSAT
+		s := NewSolver()
+		proof := s.StartProof()
+		for i := 0; i < nVars; i++ {
+			s.NewVar()
+		}
+		for i := 0; i < nClauses; i++ {
+			var lits []Lit
+			seen := map[int]bool{}
+			for len(lits) < 3 {
+				v := rng.Intn(nVars) + 1
+				if seen[v] {
+					continue
+				}
+				seen[v] = true
+				lits = append(lits, MkLit(Var(v), rng.Intn(2) == 1))
+			}
+			if !s.AddClause(lits...) {
+				break
+			}
+		}
+		if s.Solve() != Unsat {
+			continue
+		}
+		checked++
+		if !proof.Complete() {
+			t.Fatalf("iter %d: incomplete proof", iter)
+		}
+		if err := s.CheckProof(); err != nil {
+			t.Fatalf("iter %d: %v", iter, err)
+		}
+	}
+	if checked == 0 {
+		t.Fatal("no UNSAT instances sampled")
+	}
+}
+
+func TestProofNotCompleteOnSat(t *testing.T) {
+	s := NewSolver()
+	proof := s.StartProof()
+	a, b := s.NewVar(), s.NewVar()
+	s.AddClause(PosLit(a), PosLit(b))
+	if s.Solve() != Sat {
+		t.Fatal("want Sat")
+	}
+	if proof.Complete() {
+		t.Fatal("SAT run should not complete a refutation")
+	}
+	if err := s.CheckProof(); err == nil {
+		t.Fatal("checking an incomplete proof must fail")
+	}
+}
+
+func TestWriteDRATFormat(t *testing.T) {
+	s := NewSolver()
+	proof := s.StartProof()
+	a := s.NewVar()
+	b := s.NewVar()
+	s.AddClause(PosLit(a), PosLit(b))
+	s.AddClause(PosLit(a), NegLit(b))
+	s.AddClause(NegLit(a), PosLit(b))
+	s.AddClause(NegLit(a), NegLit(b))
+	if s.Solve() != Unsat {
+		t.Fatal("want Unsat")
+	}
+	var sb strings.Builder
+	if err := proof.WriteDRAT(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) == 0 {
+		t.Fatal("empty DRAT output")
+	}
+	for _, line := range lines {
+		if !strings.HasSuffix(line, "0") {
+			t.Errorf("DRAT line %q not 0-terminated", line)
+		}
+	}
+	if lines[len(lines)-1] != "0" {
+		t.Errorf("last line %q should be the empty clause", lines[len(lines)-1])
+	}
+}
+
+func TestCheckRUPRejectsBogusProof(t *testing.T) {
+	problem := [][]Lit{{PosLit(1), PosLit(2)}}
+	bogus := &Proof{
+		problem: problem,
+		steps:   [][]Lit{{NegLit(1)}, {}},
+		done:    true,
+	}
+	if err := CheckRUP(problem, bogus); err == nil {
+		t.Fatal("bogus proof should be rejected")
+	}
+	if err := CheckRUP(problem, nil); err == nil {
+		t.Fatal("nil proof should be rejected")
+	}
+}

@@ -1,0 +1,120 @@
+// Package sat implements a from-scratch CDCL (conflict-driven clause
+// learning) Boolean satisfiability solver. It is the solver substrate this
+// repository uses in place of Z3: the SCCL synthesis encoding (paper §3.4)
+// only needs Booleans, bounded integers and pseudo-Boolean sums, all of
+// which lower to propositional logic (see internal/pb and internal/smt).
+//
+// The solver implements two-watched-literal propagation, VSIDS branching
+// with phase saving, first-UIP clause learning, Luby restarts and activity
+// based learnt-clause deletion. It supports incremental solving under
+// assumptions.
+package sat
+
+import "fmt"
+
+// Var identifies a Boolean variable. Valid variables are >= 1; use
+// (*Solver).NewVar to allocate them.
+type Var int
+
+// Lit is a literal: a variable or its negation. The encoding is
+// 2*v for the positive literal of v and 2*v+1 for the negation, which lets
+// a literal index arrays directly.
+type Lit int
+
+// PosLit returns the positive literal of v.
+func PosLit(v Var) Lit { return Lit(v << 1) }
+
+// NegLit returns the negative literal of v.
+func NegLit(v Var) Lit { return Lit(v<<1 | 1) }
+
+// MkLit returns the literal of v with the given sign. sign=false means the
+// positive literal.
+func MkLit(v Var, negated bool) Lit {
+	if negated {
+		return NegLit(v)
+	}
+	return PosLit(v)
+}
+
+// Var returns the variable underlying l.
+func (l Lit) Var() Var { return Var(l >> 1) }
+
+// Neg returns the negation of l.
+func (l Lit) Neg() Lit { return l ^ 1 }
+
+// Sign reports whether l is a negated literal.
+func (l Lit) Sign() bool { return l&1 == 1 }
+
+// String renders the literal in DIMACS-like form, e.g. "3" or "-3".
+func (l Lit) String() string {
+	if l.Sign() {
+		return fmt.Sprintf("-%d", l.Var())
+	}
+	return fmt.Sprintf("%d", l.Var())
+}
+
+// lbool is a lifted Boolean: true, false or undefined.
+type lbool int8
+
+const (
+	lUndef lbool = iota
+	lTrue
+	lFalse
+)
+
+func (b lbool) neg() lbool {
+	switch b {
+	case lTrue:
+		return lFalse
+	case lFalse:
+		return lTrue
+	}
+	return lUndef
+}
+
+// Status is the result of a Solve call.
+type Status int
+
+const (
+	// Unknown means the solver was interrupted (budget exhausted).
+	Unknown Status = iota
+	// Sat means a satisfying assignment was found.
+	Sat
+	// Unsat means the formula (under the given assumptions) is
+	// unsatisfiable.
+	Unsat
+)
+
+func (s Status) String() string {
+	switch s {
+	case Sat:
+		return "SAT"
+	case Unsat:
+		return "UNSAT"
+	}
+	return "UNKNOWN"
+}
+
+// clauseRef indexes into the solver's clause arena.
+type clauseRef int32
+
+const nilClause clauseRef = -1
+
+// clause is a disjunction of literals. Learnt clauses carry an activity
+// used by the clause-database reduction heuristic and an LBD (literal block
+// distance) quality measure.
+type clause struct {
+	lits     []Lit
+	activity float64
+	lbd      int32
+	learnt   bool
+	deleted  bool
+}
+
+// watcher pairs a watching clause with a blocker literal: if the blocker is
+// already true the clause cannot be falsified and the watch list entry can
+// be skipped without touching the clause memory.
+type watcher struct {
+	ref     clauseRef
+	blocker Lit
+}

@@ -1,0 +1,169 @@
+package sim
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+
+	"repro/internal/algorithm"
+	"repro/internal/topology"
+)
+
+// TransferEvent is one simulated transfer with its modeled time window.
+type TransferEvent struct {
+	Send  algorithm.Send
+	Start float64 // seconds
+	End   float64
+}
+
+// Trace is a timeline of simulated transfers (flag-synchronized mode).
+type Trace struct {
+	Algorithm string
+	Total     float64
+	Events    []TransferEvent
+}
+
+// CollectTrace runs the flag-mode simulation while recording every
+// transfer's start/end times. It mirrors simulateFlags exactly; the
+// returned total matches Simulate's Result.Time for fused lowerings.
+func CollectTrace(alg *algorithm.Algorithm, cfg Config) (*Trace, error) {
+	if err := alg.Validate(); err != nil {
+		return nil, fmt.Errorf("sim: invalid algorithm: %w", err)
+	}
+	hop := cfg.HopLatency
+	if hop == 0 {
+		hop = cfg.Profile.AlphaStep
+	}
+	chunkBytes := cfg.Bytes / float64(alg.C)
+
+	avail := make(map[[2]int]float64)
+	for c := 0; c < alg.G; c++ {
+		for n := 0; n < alg.P; n++ {
+			if alg.Coll.Pre[c][n] {
+				avail[[2]int{c, n}] = 0
+			}
+		}
+	}
+	linkFree := map[topology.Link]float64{}
+	tr := &Trace{Algorithm: alg.Name}
+
+	sends := append([]algorithm.Send(nil), alg.Sends...)
+	sort.SliceStable(sends, func(i, j int) bool { return sends[i].Step < sends[j].Step })
+
+	finish := cfg.Profile.AlphaBase
+	for _, snd := range sends {
+		t0, ok := avail[[2]int{snd.Chunk, int(snd.From)}]
+		if !ok {
+			return nil, fmt.Errorf("sim: %v sends unavailable chunk", snd)
+		}
+		l := topology.Link{Src: snd.From, Dst: snd.To}
+		rate := linkRate(alg, cfg, snd.From, snd.To)
+		if rate == 0 {
+			return nil, fmt.Errorf("sim: send %v over zero-rate link", snd)
+		}
+		start := t0
+		if lf := linkFree[l]; lf > start {
+			start = lf
+		}
+		end := start + chunkBytes/rate + hop
+		linkFree[l] = end
+		dkey := [2]int{snd.Chunk, int(snd.To)}
+		if prev, ok := avail[dkey]; !ok || end > prev {
+			if snd.Reduce && ok && prev > end {
+				end = prev
+			}
+			avail[dkey] = end
+		}
+		tr.Events = append(tr.Events, TransferEvent{Send: snd, Start: start, End: end})
+		if end+cfg.Profile.AlphaBase > finish {
+			finish = end + cfg.Profile.AlphaBase
+		}
+	}
+	tr.Total = finish
+	return tr, nil
+}
+
+// chromeEvent is the Chrome tracing "complete" event shape.
+type chromeEvent struct {
+	Name string  `json:"name"`
+	Cat  string  `json:"cat"`
+	Ph   string  `json:"ph"`
+	Ts   float64 `json:"ts"`  // microseconds
+	Dur  float64 `json:"dur"` // microseconds
+	Pid  int     `json:"pid"`
+	Tid  int     `json:"tid"`
+}
+
+// ChromeTraceJSON renders the trace in the Chrome tracing (about://tracing,
+// Perfetto) JSON array format: one process per GPU, one thread row per
+// outgoing link, transfers as complete events.
+func (t *Trace) ChromeTraceJSON() ([]byte, error) {
+	events := make([]chromeEvent, 0, len(t.Events))
+	for _, e := range t.Events {
+		op := "copy"
+		if e.Send.Reduce {
+			op = "reduce"
+		}
+		events = append(events, chromeEvent{
+			Name: fmt.Sprintf("c%d %s step%d", e.Send.Chunk, op, e.Send.Step),
+			Cat:  op,
+			Ph:   "X",
+			Ts:   e.Start * 1e6,
+			Dur:  (e.End - e.Start) * 1e6,
+			Pid:  int(e.Send.From),
+			Tid:  int(e.Send.To),
+		})
+	}
+	return json.Marshal(events)
+}
+
+// Utilization returns per-link busy fractions over the trace duration.
+func (t *Trace) Utilization() map[topology.Link]float64 {
+	busy := map[topology.Link]float64{}
+	for _, e := range t.Events {
+		busy[topology.Link{Src: e.Send.From, Dst: e.Send.To}] += e.End - e.Start
+	}
+	if t.Total > 0 {
+		for l := range busy {
+			busy[l] /= t.Total
+		}
+	}
+	return busy
+}
+
+// CriticalPath returns the chain of transfers ending at the latest
+// required delivery: each hop is the transfer that produced the chunk at
+// the source of the next. Useful for diagnosing which link bounds a
+// schedule.
+func (t *Trace) CriticalPath() []TransferEvent {
+	if len(t.Events) == 0 {
+		return nil
+	}
+	// Find the latest-ending event.
+	last := t.Events[0]
+	for _, e := range t.Events[1:] {
+		if e.End > last.End {
+			last = e
+		}
+	}
+	// Walk producers backwards: the producer of (chunk, from) is the
+	// event that delivered that chunk to that node.
+	path := []TransferEvent{last}
+	cur := last
+	for {
+		var producer *TransferEvent
+		for i := range t.Events {
+			e := &t.Events[i]
+			if e.Send.Chunk == cur.Send.Chunk && e.Send.To == cur.Send.From {
+				producer = e
+				break
+			}
+		}
+		if producer == nil {
+			break
+		}
+		path = append([]TransferEvent{*producer}, path...)
+		cur = *producer
+	}
+	return path
+}

@@ -1,0 +1,127 @@
+package sim
+
+import (
+	"encoding/json"
+	"math"
+	"testing"
+
+	"repro/internal/cost"
+)
+
+func TestCollectTraceMatchesSimulate(t *testing.T) {
+	ag := ncclAllgather(t)
+	cfg := Config{Profile: cost.DGX1Profile(), Lowering: cost.LowerFusedPush, Bytes: 1 << 20}
+	res, err := Simulate(ag, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := CollectTrace(ag, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(tr.Total-res.Time) > 1e-12 {
+		t.Fatalf("trace total %.9e != simulate %.9e", tr.Total, res.Time)
+	}
+	if len(tr.Events) != len(ag.Sends) {
+		t.Fatalf("events = %d, want %d", len(tr.Events), len(ag.Sends))
+	}
+	for _, e := range tr.Events {
+		if e.End <= e.Start {
+			t.Fatalf("non-positive duration: %+v", e)
+		}
+	}
+}
+
+func TestTraceLinkSerialization(t *testing.T) {
+	// Transfers on the same link must not overlap in time.
+	ag := ncclAllgather(t)
+	tr, err := CollectTrace(ag, Config{Profile: cost.DGX1Profile(), Lowering: cost.LowerFusedPush, Bytes: 4 << 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	type window struct{ s, e float64 }
+	perLink := map[[2]int][]window{}
+	for _, e := range tr.Events {
+		k := [2]int{int(e.Send.From), int(e.Send.To)}
+		perLink[k] = append(perLink[k], window{e.Start, e.End})
+	}
+	for link, ws := range perLink {
+		for i := 0; i < len(ws); i++ {
+			for j := i + 1; j < len(ws); j++ {
+				a, b := ws[i], ws[j]
+				if a.s < b.e && b.s < a.e {
+					t.Fatalf("link %v: overlapping transfers [%g,%g] and [%g,%g]", link, a.s, a.e, b.s, b.e)
+				}
+			}
+		}
+	}
+}
+
+func TestChromeTraceJSON(t *testing.T) {
+	ag := ncclAllgather(t)
+	tr, err := CollectTrace(ag, Config{Profile: cost.DGX1Profile(), Lowering: cost.LowerFusedPush, Bytes: 1 << 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := tr.ChromeTraceJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var events []map[string]any
+	if err := json.Unmarshal(data, &events); err != nil {
+		t.Fatalf("invalid JSON: %v", err)
+	}
+	if len(events) != len(tr.Events) {
+		t.Fatalf("events = %d", len(events))
+	}
+	e0 := events[0]
+	if e0["ph"] != "X" || e0["dur"].(float64) <= 0 {
+		t.Errorf("bad event: %v", e0)
+	}
+}
+
+func TestUtilizationBounded(t *testing.T) {
+	ag := ncclAllgather(t)
+	tr, err := CollectTrace(ag, Config{Profile: cost.DGX1Profile(), Lowering: cost.LowerFusedPush, Bytes: 64 << 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	util := tr.Utilization()
+	if len(util) != 32 {
+		t.Fatalf("links = %d, want 32", len(util))
+	}
+	for l, u := range util {
+		if u <= 0 || u > 1.0000001 {
+			t.Errorf("link %v utilization %f out of (0,1]", l, u)
+		}
+	}
+}
+
+func TestCriticalPathChained(t *testing.T) {
+	ag := ncclAllgather(t)
+	tr, err := CollectTrace(ag, Config{Profile: cost.DGX1Profile(), Lowering: cost.LowerFusedPush, Bytes: 1 << 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := tr.CriticalPath()
+	if len(path) == 0 {
+		t.Fatal("empty critical path")
+	}
+	// The path is a chain: each hop's destination is the next hop's
+	// source, all on one chunk, with non-decreasing start times.
+	for i := 1; i < len(path); i++ {
+		if path[i].Send.Chunk != path[0].Send.Chunk {
+			t.Fatal("critical path mixes chunks")
+		}
+		if path[i-1].Send.To != path[i].Send.From {
+			t.Fatal("critical path not chained")
+		}
+		if path[i].Start < path[i-1].Start {
+			t.Fatal("critical path start times decrease")
+		}
+	}
+	// On a ring algorithm the critical chain spans P-1 hops.
+	if len(path) != 7 {
+		t.Errorf("critical path length %d, want 7 on the 8-node ring", len(path))
+	}
+}

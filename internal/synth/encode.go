@@ -1,0 +1,589 @@
+// Package synth implements the SCCL synthesis engine: it encodes a
+// SynColl instance (paper §3.2) into constraints C1–C6 (§3.4), discharges
+// them to the CDCL solver in internal/sat through the order-encoding layer
+// in internal/smt, and extracts the algorithm (Q, T) from a model. The
+// Pareto-Synthesize procedure (Algorithm 1) and the dual/inversion routes
+// for combining collectives (§3.5) build on that core.
+package synth
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/algorithm"
+	"repro/internal/collective"
+	"repro/internal/sat"
+	"repro/internal/smt"
+	"repro/internal/topology"
+)
+
+// Instance is a SynColl instance: the collective's (G, pre, post) plus the
+// (S, R) budget and the topology (P, B).
+type Instance struct {
+	Coll  *collective.Spec
+	Topo  *topology.Topology
+	Steps int
+	Round int
+}
+
+// Encoding selects the constraint encoding strategy.
+type Encoding int
+
+const (
+	// EncodingPaper is the paper's scalable encoding (§3.4): integer
+	// time(c,n) variables plus Boolean snd(n,c,n') variables.
+	EncodingPaper Encoding = iota
+	// EncodingDirect is the naive per-(c,n,n',s) Boolean encoding the
+	// paper reports as over 30x slower; kept for the ablation benchmarks.
+	EncodingDirect
+)
+
+// Options tunes a synthesis call.
+type Options struct {
+	Encoding     Encoding
+	MaxConflicts int64
+	Timeout      time.Duration
+	// ProveUnsat enables solver proof recording: on an Unsat answer the
+	// Result carries a checkable RUP refutation (Result.Proof), turning
+	// the procedure's optimality claims into verifiable certificates.
+	ProveUnsat bool
+	// NoSymmetryBreak disables chunk-symmetry breaking. Chunks with
+	// identical pre and post rows are interchangeable, so the encoder
+	// normally orders their arrival times at a witness node — this is
+	// satisfiability-preserving (any solution can be permuted into the
+	// canonical form) and prunes factorially many symmetric assignments.
+	NoSymmetryBreak bool
+}
+
+// Result carries a synthesis outcome: the algorithm if Status == sat.Sat,
+// plus solver statistics.
+type Result struct {
+	Status    sat.Status
+	Algorithm *algorithm.Algorithm
+	Stats     sat.Stats
+	Encode    time.Duration
+	Solve     time.Duration
+	Vars      int
+	Clauses   int
+	// Proof is the recorded refutation when Options.ProveUnsat was set
+	// and the answer is Unsat (nil for pruning-detected infeasibility,
+	// where the certificate is the unreachable requirement itself).
+	Proof *sat.Proof
+}
+
+// Validate checks instance coherence.
+func (in Instance) Validate() error {
+	if in.Coll == nil || in.Topo == nil {
+		return fmt.Errorf("synth: instance missing collective or topology")
+	}
+	if in.Coll.Kind.IsCombining() {
+		return fmt.Errorf("synth: %v is combining; synthesize its dual (see SynthesizeCollective)", in.Coll.Kind)
+	}
+	if in.Coll.P != in.Topo.P {
+		return fmt.Errorf("synth: collective P=%d but topology P=%d", in.Coll.P, in.Topo.P)
+	}
+	if in.Steps < 1 {
+		return fmt.Errorf("synth: need at least 1 step")
+	}
+	if in.Round < in.Steps {
+		return fmt.Errorf("synth: R=%d < S=%d (each step has >= 1 round)", in.Round, in.Steps)
+	}
+	return in.Topo.Validate()
+}
+
+// encoded holds the variable maps produced by the paper encoding.
+type encoded struct {
+	ctx *smt.Context
+	// time[c][n]; nil where the chunk can never reach n within budget and
+	// is not required (the variable is omitted).
+	times [][]*smt.IntVar
+	// snd[c][edgeIndex]: 0 means the variable was pruned away.
+	snds  [][]sat.Lit
+	edges []topology.Link
+	rs    []*smt.IntVar
+	proof *sat.Proof
+	// feasible is false when pruning proved the instance UNSAT outright.
+	feasible bool
+}
+
+// encodePaper builds the paper's encoding (§3.4).
+//
+// Pruning beyond the paper's description (correctness-preserving):
+//   - time(c,n) lower bounds are BFS distances from the chunk's sources;
+//   - a node that cannot hold chunk c before step S never gets send
+//     variables for c;
+//   - if a required (c,n) cannot be reached within S steps the instance is
+//     immediately unsatisfiable.
+func encodePaper(in Instance, opts Options) *encoded {
+	ctx := smt.NewContext()
+	e := &encoded{ctx: ctx, feasible: true, edges: in.Topo.Edges()}
+	if opts.ProveUnsat {
+		e.proof = ctx.Solver.StartProof()
+	}
+	coll, topo := in.Coll, in.Topo
+	S := in.Steps
+	G, P := coll.G, coll.P
+
+	// BFS distance from any pre node of chunk c to every node.
+	dist := make([][]int, G)
+	for c := 0; c < G; c++ {
+		dist[c] = multiSourceDistances(topo, coll.Pre.Nodes(c))
+	}
+
+	// Integer time variables (C1, C2 via domains).
+	e.times = make([][]*smt.IntVar, G)
+	for c := 0; c < G; c++ {
+		e.times[c] = make([]*smt.IntVar, P)
+		for n := 0; n < P; n++ {
+			name := fmt.Sprintf("time_c%d_n%d", c, n)
+			switch {
+			case coll.Pre[c][n]:
+				e.times[c][n] = ctx.NewIntVar(name, 0, 0)
+			case coll.Post[c][n]:
+				d := dist[c][n]
+				if d < 0 || d > S {
+					e.feasible = false
+					return e
+				}
+				e.times[c][n] = ctx.NewIntVar(name, d, S)
+			default:
+				d := dist[c][n]
+				if d < 0 || d > S {
+					// Unreachable and not required: chunk never there.
+					e.times[c][n] = nil
+					continue
+				}
+				// Hi = S+1 encodes "never arrives".
+				e.times[c][n] = ctx.NewIntVar(name, d, S+1)
+			}
+		}
+	}
+
+	// Chunk-symmetry breaking: chunks with identical pre and post rows are
+	// interchangeable; order their arrival times at the group's witness
+	// node (the first non-pre post node).
+	if !opts.NoSymmetryBreak {
+		groups := symmetricChunkGroups(coll)
+		for _, group := range groups {
+			w := witnessNode(coll, group[0])
+			if w < 0 {
+				continue
+			}
+			for i := 0; i+1 < len(group); i++ {
+				a, b := e.times[group[i]][w], e.times[group[i+1]][w]
+				if a == nil || b == nil {
+					continue
+				}
+				// a <= b: for every threshold t, a>=t -> b>=t.
+				for t := b.Lo + 1; t <= a.Hi; t++ {
+					la, okA := a.GeLit(t)
+					if !okA {
+						if !a.TriviallyGe(t) {
+							continue
+						}
+						// a always >= t: force b >= t.
+						ctx.AssertGe(b, t)
+						continue
+					}
+					if lb, okB := b.GeLit(t); okB {
+						ctx.AddClause(la.Neg(), lb)
+					} else if !b.TriviallyGe(t) {
+						ctx.AddClause(la.Neg())
+					}
+				}
+			}
+		}
+	}
+
+	// Send Booleans, pruned. A send n->n' of chunk c is only possible when
+	// n can hold the chunk strictly before step S (dist <= S-1) and n' can
+	// accept it (variable exists and is not a pre holder).
+	e.snds = make([][]sat.Lit, G)
+	for c := 0; c < G; c++ {
+		e.snds[c] = make([]sat.Lit, len(e.edges))
+		for ei, l := range e.edges {
+			src, dst := int(l.Src), int(l.Dst)
+			if e.times[c][src] == nil || e.times[c][dst] == nil {
+				continue
+			}
+			if coll.Pre[c][dst] {
+				continue // never send a chunk to a node that starts with it
+			}
+			if dist[c][src] > S-1 {
+				continue // source can never usefully hold the chunk
+			}
+			e.snds[c][ei] = ctx.BoolVar()
+		}
+	}
+
+	// Minimal-solution constraints. Any valid algorithm can be stripped of
+	// wasteful sends without violating C1–C6 (bandwidth only decreases),
+	// so restricting the search to minimal solutions preserves SAT/UNSAT:
+	//
+	//  (m1) a chunk received at a non-post node must be forwarded at least
+	//       once (otherwise the receive was wasteful);
+	//  (m2) a chunk with a single post node travels a simple path, so each
+	//       node sends it at most once;
+	//  (m3) in a minimal solution every holder of a chunk has a post node
+	//       downstream, so time(c,n) <= S - dist(n, post(c)); nodes that
+	//       cannot reach any post node never usefully receive the chunk.
+	distToPost := make([][]int, G)
+	for c := 0; c < G; c++ {
+		distToPost[c] = distancesToSet(topo, coll.Post, c)
+	}
+	for c := 0; c < G; c++ {
+		singlePost := len(coll.Post.Nodes(c)) == 1
+		for n := 0; n < P; n++ {
+			tv := e.times[c][n]
+			if tv == nil || coll.Post[c][n] {
+				continue
+			}
+			var outgoing []sat.Lit
+			for ei, l := range e.edges {
+				if int(l.Src) == n && e.snds[c][ei] != 0 {
+					outgoing = append(outgoing, e.snds[c][ei])
+				}
+			}
+			d := distToPost[c][n]
+			if d < 0 || len(outgoing) == 0 {
+				// (m3) dead end: never usefully holds the chunk.
+				if coll.Pre[c][n] {
+					continue // pre holders may simply keep their copy
+				}
+				ctx.AssertEq(tv, S+1)
+				continue
+			}
+			// (m3) arrival leaves enough steps to reach a post node.
+			if ub := S - d; ub < tv.Hi && !coll.Pre[c][n] {
+				if leS, ok := tv.LeLit(S); ok {
+					if leUB, ok2 := tv.LeLit(ub); ok2 {
+						ctx.AddClause(leS.Neg(), leUB)
+					} else if !tv.TriviallyLe(ub) {
+						ctx.AddClause(leS.Neg()) // can only be "never"
+					}
+				}
+			}
+			// (m1) received => forwards at least once.
+			if !coll.Pre[c][n] {
+				if leS, ok := tv.LeLit(S); ok {
+					cl := append([]sat.Lit{leS.Neg()}, outgoing...)
+					ctx.AddClause(cl...)
+				} else if tv.TriviallyLe(S) {
+					ctx.AddClause(outgoing...)
+				}
+			}
+			// (m2) single-destination chunks form paths.
+			if singlePost {
+				atMostOne(ctx, outgoing)
+			}
+		}
+		// (m2) also applies to the chunk's source(s).
+		if singlePost {
+			for n := 0; n < P; n++ {
+				if !coll.Pre[c][n] || coll.Post[c][n] {
+					continue
+				}
+				var outgoing []sat.Lit
+				for ei, l := range e.edges {
+					if int(l.Src) == n && e.snds[c][ei] != 0 {
+						outgoing = append(outgoing, e.snds[c][ei])
+					}
+				}
+				atMostOne(ctx, outgoing)
+			}
+		}
+	}
+
+	// Round variables and C6.
+	e.rs = make([]*smt.IntVar, S)
+	maxRounds := in.Round - S + 1
+	for s := 0; s < S; s++ {
+		e.rs[s] = ctx.NewIntVar(fmt.Sprintf("r_%d", s), 1, maxRounds)
+	}
+	ctx.AssertSumEquals(e.rs, in.Round)
+
+	// C3: exactly-one receive for arriving non-pre chunks; C4: causality;
+	// and the snd -> arrival-within-budget tie.
+	for c := 0; c < G; c++ {
+		for n := 0; n < P; n++ {
+			tv := e.times[c][n]
+			if tv == nil || coll.Pre[c][n] {
+				continue
+			}
+			var incoming []sat.Lit
+			for ei, l := range e.edges {
+				if int(l.Dst) == n && e.snds[c][ei] != 0 {
+					incoming = append(incoming, e.snds[c][ei])
+				}
+			}
+			if len(incoming) == 0 {
+				// No way to receive: if required, UNSAT; else pin "never".
+				if coll.Post[c][n] {
+					e.feasible = false
+					return e
+				}
+				ctx.AssertEq(tv, S+1)
+				continue
+			}
+			// At most one receive always (paper's optimality refinement).
+			atMostOne(ctx, incoming)
+			// time <= S -> at least one incoming send.
+			if leLit, ok := tv.LeLit(S); ok {
+				cl := append([]sat.Lit{leLit.Neg()}, incoming...)
+				ctx.AddClause(cl...)
+			} else if tv.TriviallyLe(S) {
+				ctx.AddClause(incoming...)
+			}
+		}
+	}
+	for c := 0; c < G; c++ {
+		for ei, l := range e.edges {
+			snd := e.snds[c][ei]
+			if snd == 0 {
+				continue
+			}
+			src, dst := e.times[c][int(l.Src)], e.times[c][int(l.Dst)]
+			// C4: snd -> time(src) < time(dst).
+			ctx.ImplyLess(snd, src, dst)
+			// Arrival must happen within the algorithm: snd -> time(dst) <= S.
+			ctx.ImplyLe(snd, dst, S)
+		}
+	}
+
+	// C5: per-step, per-relation bandwidth. The arrival literal for
+	// (c, link, s) is snd(c,link) ∧ time(c,dst) == s.
+	arrival := func(c, ei, s int) (sat.Lit, bool) {
+		snd := e.snds[c][ei]
+		if snd == 0 {
+			return 0, false
+		}
+		dst := e.times[c][int(e.edges[ei].Dst)]
+		conj, possible := dst.EqClauses(s)
+		if !possible {
+			return 0, false
+		}
+		lits := append([]sat.Lit{snd}, conj...)
+		return ctx.AndLit(lits...), true
+	}
+	// Cache arrival lits per (c, ei, s) as they may appear in multiple
+	// relations.
+	type key struct{ c, ei, s int }
+	cache := map[key]sat.Lit{}
+	edgeIndex := map[topology.Link]int{}
+	for ei, l := range e.edges {
+		edgeIndex[l] = ei
+	}
+	for s := 1; s <= S; s++ {
+		for _, rel := range topo.Relations {
+			var lits []sat.Lit
+			for _, l := range rel.Links {
+				ei, ok := edgeIndex[l]
+				if !ok {
+					continue
+				}
+				for c := 0; c < G; c++ {
+					k := key{c, ei, s}
+					al, cached := cache[k]
+					if !cached {
+						var okA bool
+						al, okA = arrival(c, ei, s)
+						if !okA {
+							cache[k] = 0
+							continue
+						}
+						cache[k] = al
+					}
+					if al != 0 {
+						lits = append(lits, al)
+					}
+				}
+			}
+			if len(lits) > 0 {
+				ctx.CountLeScaled(lits, rel.Bandwidth, e.rs[s-1])
+			}
+		}
+	}
+	return e
+}
+
+// symmetricChunkGroups partitions chunks into groups with identical pre
+// and post rows; only groups of size >= 2 are returned, each sorted by
+// chunk id.
+func symmetricChunkGroups(coll *collective.Spec) [][]int {
+	sig := func(c int) string {
+		b := make([]byte, 0, 2*coll.P)
+		for n := 0; n < coll.P; n++ {
+			x, y := byte('0'), byte('0')
+			if coll.Pre[c][n] {
+				x = '1'
+			}
+			if coll.Post[c][n] {
+				y = '1'
+			}
+			b = append(b, x, y)
+		}
+		return string(b)
+	}
+	bySig := map[string][]int{}
+	var order []string
+	for c := 0; c < coll.G; c++ {
+		s := sig(c)
+		if len(bySig[s]) == 0 {
+			order = append(order, s)
+		}
+		bySig[s] = append(bySig[s], c)
+	}
+	var out [][]int
+	for _, s := range order {
+		if g := bySig[s]; len(g) >= 2 {
+			out = append(out, g)
+		}
+	}
+	return out
+}
+
+// witnessNode picks the node at which symmetric chunks' arrival times are
+// ordered: the first post node that is not a pre node.
+func witnessNode(coll *collective.Spec, c int) int {
+	for n := 0; n < coll.P; n++ {
+		if coll.Post[c][n] && !coll.Pre[c][n] {
+			return n
+		}
+	}
+	return -1
+}
+
+// distancesToSet returns, for every node, the hop distance to the nearest
+// post node of chunk c (BFS over reversed edges); -1 if none reachable.
+func distancesToSet(t *topology.Topology, post collective.Rel, c int) []int {
+	dist := make([]int, t.P)
+	for i := range dist {
+		dist[i] = -1
+	}
+	radj := make([][]topology.Node, t.P)
+	for _, l := range t.Edges() {
+		radj[l.Dst] = append(radj[l.Dst], l.Src)
+	}
+	var queue []topology.Node
+	for n := 0; n < t.P; n++ {
+		if post[c][n] {
+			dist[n] = 0
+			queue = append(queue, topology.Node(n))
+		}
+	}
+	for len(queue) > 0 {
+		n := queue[0]
+		queue = queue[1:]
+		for _, m := range radj[n] {
+			if dist[m] == -1 {
+				dist[m] = dist[n] + 1
+				queue = append(queue, m)
+			}
+		}
+	}
+	return dist
+}
+
+// multiSourceDistances runs BFS from a set of sources.
+func multiSourceDistances(t *topology.Topology, srcs []topology.Node) []int {
+	dist := make([]int, t.P)
+	for i := range dist {
+		dist[i] = -1
+	}
+	adj := make([][]topology.Node, t.P)
+	for _, l := range t.Edges() {
+		adj[l.Src] = append(adj[l.Src], l.Dst)
+	}
+	queue := make([]topology.Node, 0, len(srcs))
+	for _, s := range srcs {
+		dist[s] = 0
+		queue = append(queue, s)
+	}
+	for len(queue) > 0 {
+		n := queue[0]
+		queue = queue[1:]
+		for _, m := range adj[n] {
+			if dist[m] == -1 {
+				dist[m] = dist[n] + 1
+				queue = append(queue, m)
+			}
+		}
+	}
+	return dist
+}
+
+func atMostOne(ctx *smt.Context, lits []sat.Lit) {
+	for i := 0; i < len(lits); i++ {
+		for j := i + 1; j < len(lits); j++ {
+			ctx.AddClause(lits[i].Neg(), lits[j].Neg())
+		}
+	}
+}
+
+// extract reads the model into an Algorithm.
+func (e *encoded) extract(in Instance, name string) *algorithm.Algorithm {
+	rounds := make([]int, in.Steps)
+	for s := range rounds {
+		rounds[s] = e.ctx.Value(e.rs[s])
+	}
+	var sends []algorithm.Send
+	for c := 0; c < in.Coll.G; c++ {
+		for ei, l := range e.edges {
+			snd := e.snds[c][ei]
+			if snd == 0 || !e.ctx.ValueLit(snd) {
+				continue
+			}
+			t := e.ctx.Value(e.times[c][int(l.Dst)])
+			if t >= 1 && t <= in.Steps {
+				sends = append(sends, algorithm.Send{
+					Chunk: c, From: l.Src, To: l.Dst, Step: t - 1,
+				})
+			}
+		}
+	}
+	return algorithm.New(name, in.Coll, in.Topo, rounds, sends)
+}
+
+// Synthesize solves one SynColl instance, returning the synthesized
+// algorithm on Sat. The returned algorithm is always Validate()d before
+// being returned; an invalid extraction is reported as an error.
+func Synthesize(in Instance, opts Options) (Result, error) {
+	var res Result
+	if err := in.Validate(); err != nil {
+		return res, err
+	}
+	if opts.Encoding == EncodingDirect {
+		return synthesizeDirect(in, opts)
+	}
+	t0 := time.Now()
+	e := encodePaper(in, opts)
+	res.Encode = time.Since(t0)
+	if !e.feasible {
+		res.Status = sat.Unsat
+		return res, nil
+	}
+	applySolverOpts(e.ctx.Solver, opts)
+	res.Vars = e.ctx.Solver.NumVars()
+	res.Clauses = e.ctx.Solver.NumClauses()
+	t1 := time.Now()
+	res.Status = e.ctx.Solve()
+	res.Solve = time.Since(t1)
+	res.Stats = e.ctx.Solver.Stats()
+	if res.Status != sat.Sat {
+		if res.Status == sat.Unsat {
+			res.Proof = e.proof
+		}
+		return res, nil
+	}
+	name := fmt.Sprintf("sccl-%s-c%d-s%d-r%d", in.Coll.Kind, in.Coll.C, in.Steps, in.Round)
+	alg := e.extract(in, name)
+	if err := alg.Validate(); err != nil {
+		return res, fmt.Errorf("synth: extracted algorithm failed validation: %w", err)
+	}
+	res.Algorithm = alg
+	return res, nil
+}
+
+func applySolverOpts(s *sat.Solver, opts Options) {
+	s.SetBudget(opts.MaxConflicts, opts.Timeout)
+}

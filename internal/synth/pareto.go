@@ -1,0 +1,243 @@
+package synth
+
+import (
+	"fmt"
+	"math/big"
+	"sort"
+	"time"
+
+	"repro/internal/algorithm"
+	"repro/internal/collective"
+	"repro/internal/sat"
+	"repro/internal/topology"
+)
+
+// ParetoOptions tunes the Pareto-Synthesize procedure (paper Algorithm 1).
+type ParetoOptions struct {
+	// K bounds the algorithm class: R <= S + K (k-synchronous, §3.1).
+	K int
+	// MaxSteps caps the S enumeration; Algorithm 1 can otherwise run
+	// forever on topologies with unbounded Pareto frontiers.
+	MaxSteps int
+	// MaxChunks caps the per-node chunk count C considered.
+	MaxChunks int
+	// Per-instance solving options.
+	Instance Options
+	// Progress, if non-nil, receives a line per probe.
+	Progress func(format string, args ...any)
+}
+
+// ParetoPoint is one synthesized Pareto-frontier member.
+type ParetoPoint struct {
+	Algorithm *algorithm.Algorithm
+	C, S, R   int
+	// LatencyOptimal: S equals the latency lower bound.
+	LatencyOptimal bool
+	// BandwidthOptimal: R/C equals the bandwidth lower bound.
+	BandwidthOptimal bool
+	SynthesisTime    time.Duration
+}
+
+// Optimality renders the paper's Optimality column.
+func (p ParetoPoint) Optimality() string {
+	switch {
+	case p.LatencyOptimal && p.BandwidthOptimal:
+		return "Both"
+	case p.LatencyOptimal:
+		return "Latency"
+	case p.BandwidthOptimal:
+		return "Bandwidth"
+	}
+	return ""
+}
+
+func (p ParetoPoint) String() string {
+	s := fmt.Sprintf("(C=%d,S=%d,R=%d)", p.C, p.S, p.R)
+	if o := p.Optimality(); o != "" {
+		s += " " + o
+	}
+	return s
+}
+
+// candidate is an (R, C) pair ordered by bandwidth cost R/C.
+type candidate struct {
+	R, C int
+	cost *big.Rat
+}
+
+// enumerateCandidates builds the paper's set
+// A = {(R,C) | S <= R <= S+k ∧ R/C >= bl} sorted ascending by R/C
+// (ties: smaller C first — cheaper instances solve faster).
+func enumerateCandidates(S, k, maxChunks int, bl *big.Rat) []candidate {
+	var out []candidate
+	for R := S; R <= S+k; R++ {
+		for C := 1; C <= maxChunks; C++ {
+			cost := big.NewRat(int64(R), int64(C))
+			if bl.Sign() > 0 && cost.Cmp(bl) < 0 {
+				continue
+			}
+			out = append(out, candidate{R: R, C: C, cost: cost})
+		}
+	}
+	sort.SliceStable(out, func(i, j int) bool {
+		if c := out[i].cost.Cmp(out[j].cost); c != 0 {
+			return c < 0
+		}
+		if out[i].C != out[j].C {
+			return out[i].C < out[j].C
+		}
+		return out[i].R < out[j].R
+	})
+	return out
+}
+
+// ParetoSynthesize runs Algorithm 1 for a non-combining collective kind on
+// a topology: starting from the latency lower bound a_l it enumerates step
+// counts, for each S probing (R, C) candidates in ascending bandwidth cost
+// until one is satisfiable — that algorithm is Pareto-optimal for its S.
+// The procedure stops when the bandwidth lower bound b_l is met, or when
+// MaxSteps is exceeded.
+func ParetoSynthesize(kind collective.Kind, topo *topology.Topology, root topology.Node, opts ParetoOptions) ([]ParetoPoint, error) {
+	if kind.IsCombining() {
+		return nil, fmt.Errorf("synth: ParetoSynthesize needs a non-combining collective; got %v (use SynthesizeCollective)", kind)
+	}
+	if opts.MaxSteps == 0 {
+		opts.MaxSteps = topo.P + 2
+	}
+	if opts.MaxChunks == 0 {
+		opts.MaxChunks = 2 * topo.P
+	}
+	progress := opts.Progress
+	if progress == nil {
+		progress = func(string, ...any) {}
+	}
+	bounds, err := collective.EffectiveLowerBounds(kind, topo.P, 1, root, topo)
+	if err != nil {
+		return nil, err
+	}
+	al, bl := bounds.Steps, bounds.Bandwidth
+	if al < 0 {
+		return nil, fmt.Errorf("synth: %v unachievable on %s (unreachable nodes)", kind, topo.Name)
+	}
+	if al == 0 {
+		al = 1 // degenerate specs (e.g. P=1) still need one step encoding-wise
+	}
+	var points []ParetoPoint
+	for S := al; S <= opts.MaxSteps; S++ {
+		cands := enumerateCandidates(S, opts.K, opts.MaxChunks, bl)
+		for _, cand := range cands {
+			coll, err := collective.New(kind, topo.P, cand.C, root)
+			if err != nil {
+				return points, err
+			}
+			inst := Instance{Coll: coll, Topo: topo, Steps: S, Round: cand.R}
+			t0 := time.Now()
+			res, err := Synthesize(inst, opts.Instance)
+			dt := time.Since(t0)
+			progress("probe %v C=%d S=%d R=%d: %v (%.2fs)", kind, cand.C, S, cand.R, res.Status, dt.Seconds())
+			if err != nil {
+				return points, err
+			}
+			if res.Status == sat.Unknown {
+				return points, fmt.Errorf("synth: solver budget exhausted at C=%d S=%d R=%d", cand.C, S, cand.R)
+			}
+			if res.Status != sat.Sat {
+				continue
+			}
+			pt := ParetoPoint{
+				Algorithm:        res.Algorithm,
+				C:                cand.C,
+				S:                S,
+				R:                cand.R,
+				LatencyOptimal:   S == bounds.Steps,
+				BandwidthOptimal: bl.Sign() > 0 && cand.cost.Cmp(bl) == 0,
+				SynthesisTime:    res.Encode + res.Solve,
+			}
+			points = append(points, pt)
+			if pt.BandwidthOptimal {
+				return points, nil
+			}
+			break // Pareto-optimal for this S found; increase S
+		}
+	}
+	return points, nil
+}
+
+// SynthesizeCollective synthesizes any collective kind — including
+// combining ones via their duals (§3.5) — for a specific (C, S, R). For
+// combining collectives S and R refer to the dual instance; the resulting
+// algorithm's step/round counts are those of the derived algorithm
+// (doubled for Allreduce).
+func SynthesizeCollective(kind collective.Kind, topo *topology.Topology, root topology.Node, c, s, r int, opts Options) (*algorithm.Algorithm, sat.Status, error) {
+	switch kind {
+	case collective.Reduce, collective.Reducescatter:
+		dualKind := collective.Broadcast
+		if kind == collective.Reducescatter {
+			dualKind = collective.Allgather
+		}
+		coll, err := collective.New(dualKind, topo.P, c, root)
+		if err != nil {
+			return nil, sat.Unknown, err
+		}
+		res, err := Synthesize(Instance{Coll: coll, Topo: topo.Reverse(), Steps: s, Round: r}, opts)
+		if err != nil || res.Status != sat.Sat {
+			return nil, res.Status, err
+		}
+		inv, err := algorithm.Invert(res.Algorithm)
+		if err != nil {
+			return nil, res.Status, err
+		}
+		// The inverted algorithm runs on topo (reverse of reverse); rebind
+		// to the caller's topology object for cleanliness.
+		inv = algorithm.New(inv.Name, inv.Coll, topo, inv.Rounds, inv.Sends)
+		if err := inv.Validate(); err != nil {
+			return nil, res.Status, fmt.Errorf("synth: inverted algorithm invalid: %w", err)
+		}
+		return inv, sat.Sat, nil
+
+	case collective.Allreduce:
+		// Phase 1: Allgather on the reversed topology, inverted into the
+		// Reducescatter phase; Phase 2: Allgather on the topology itself.
+		agColl := func() (*collective.Spec, error) { return collective.New(collective.Allgather, topo.P, c, root) }
+		coll1, err := agColl()
+		if err != nil {
+			return nil, sat.Unknown, err
+		}
+		res1, err := Synthesize(Instance{Coll: coll1, Topo: topo.Reverse(), Steps: s, Round: r}, opts)
+		if err != nil || res1.Status != sat.Sat {
+			return nil, res1.Status, err
+		}
+		rs, err := algorithm.Invert(res1.Algorithm)
+		if err != nil {
+			return nil, res1.Status, err
+		}
+		rs = algorithm.New(rs.Name, rs.Coll, topo, rs.Rounds, rs.Sends)
+		coll2, err := agColl()
+		if err != nil {
+			return nil, sat.Unknown, err
+		}
+		res2, err := Synthesize(Instance{Coll: coll2, Topo: topo, Steps: s, Round: r}, opts)
+		if err != nil || res2.Status != sat.Sat {
+			return nil, res2.Status, err
+		}
+		ar, err := algorithm.ComposeAllreduce(rs, res2.Algorithm)
+		if err != nil {
+			return nil, sat.Sat, err
+		}
+		if err := ar.Validate(); err != nil {
+			return nil, sat.Sat, fmt.Errorf("synth: composed Allreduce invalid: %w", err)
+		}
+		return ar, sat.Sat, nil
+
+	default:
+		coll, err := collective.New(kind, topo.P, c, root)
+		if err != nil {
+			return nil, sat.Unknown, err
+		}
+		res, err := Synthesize(Instance{Coll: coll, Topo: topo, Steps: s, Round: r}, opts)
+		if err != nil {
+			return nil, res.Status, err
+		}
+		return res.Algorithm, res.Status, nil
+	}
+}

@@ -1,0 +1,205 @@
+package synth
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/algorithm"
+	"repro/internal/collective"
+	"repro/internal/machine"
+	"repro/internal/sat"
+	"repro/internal/topology"
+)
+
+// randomConnectedTopology builds a bidirectional ring of 3..6 nodes plus a
+// few random chords — always strongly connected.
+func randomConnectedTopology(rng *rand.Rand) *topology.Topology {
+	n := 3 + rng.Intn(4)
+	topo := topology.BidirRing(n)
+	extra := rng.Intn(3)
+	for i := 0; i < extra; i++ {
+		a := topology.Node(rng.Intn(n))
+		b := topology.Node(rng.Intn(n))
+		if a == b || topo.HasEdge(a, b) {
+			continue
+		}
+		topo.Relations = append(topo.Relations,
+			topology.Relation{Links: []topology.Link{{Src: a, Dst: b}}, Bandwidth: 1},
+			topology.Relation{Links: []topology.Link{{Src: b, Dst: a}}, Bandwidth: 1},
+		)
+	}
+	topo.Name = "random"
+	return topo
+}
+
+var propertyKinds = []collective.Kind{
+	collective.Allgather, collective.Broadcast, collective.Gather, collective.Scatter,
+}
+
+// TestQuickSynthesizedAlgorithmsExecute: for random topologies and
+// budgets, any SAT result must validate AND move real data correctly.
+func TestQuickSynthesizedAlgorithmsExecute(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		topo := randomConnectedTopology(rng)
+		kind := propertyKinds[rng.Intn(len(propertyKinds))]
+		root := topology.Node(rng.Intn(topo.P))
+		bounds, err := collective.EffectiveLowerBounds(kind, topo.P, 1, root, topo)
+		if err != nil || bounds.Steps < 0 {
+			return false
+		}
+		S := bounds.Steps + rng.Intn(2)
+		if S < 1 {
+			S = 1
+		}
+		R := S + rng.Intn(3)
+		coll, err := collective.New(kind, topo.P, 1+rng.Intn(2), root)
+		if err != nil {
+			return false
+		}
+		res, err := Synthesize(Instance{Coll: coll, Topo: topo, Steps: S, Round: R}, Options{})
+		if err != nil {
+			t.Logf("seed %d: %v", seed, err)
+			return false
+		}
+		if res.Status != sat.Sat {
+			return true // UNSAT budgets are legitimate
+		}
+		if err := machine.ExecuteAndVerify(res.Algorithm, 8); err != nil {
+			t.Logf("seed %d: execution failed: %v", seed, err)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickSATMonotoneInRounds: if (C,S,R) is SAT then (C,S,R+1) must be
+// too (extra rounds only loosen bandwidth constraints).
+func TestQuickSATMonotoneInRounds(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		topo := randomConnectedTopology(rng)
+		kind := propertyKinds[rng.Intn(len(propertyKinds))]
+		coll, err := collective.New(kind, topo.P, 1, 0)
+		if err != nil {
+			return false
+		}
+		S := 1 + rng.Intn(topo.P)
+		R := S + rng.Intn(2)
+		first, err := Synthesize(Instance{Coll: coll, Topo: topo, Steps: S, Round: R}, Options{})
+		if err != nil {
+			return false
+		}
+		if first.Status != sat.Sat {
+			return true
+		}
+		second, err := Synthesize(Instance{Coll: coll, Topo: topo, Steps: S, Round: R + 1}, Options{})
+		if err != nil {
+			return false
+		}
+		return second.Status == sat.Sat
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickSATMonotoneInSteps: appending an idle step preserves
+// satisfiability: (C,S,R) SAT implies (C,S+1,R+1) SAT.
+func TestQuickSATMonotoneInSteps(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		topo := randomConnectedTopology(rng)
+		kind := propertyKinds[rng.Intn(len(propertyKinds))]
+		coll, err := collective.New(kind, topo.P, 1, 0)
+		if err != nil {
+			return false
+		}
+		S := 1 + rng.Intn(topo.P)
+		first, err := Synthesize(Instance{Coll: coll, Topo: topo, Steps: S, Round: S}, Options{})
+		if err != nil {
+			return false
+		}
+		if first.Status != sat.Sat {
+			return true
+		}
+		second, err := Synthesize(Instance{Coll: coll, Topo: topo, Steps: S + 1, Round: S + 1}, Options{})
+		if err != nil {
+			return false
+		}
+		return second.Status == sat.Sat
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickSymmetryBreakingPreservesStatus: enabling/disabling symmetry
+// breaking and minimality must never change SAT vs UNSAT.
+func TestQuickSymmetryBreakingPreservesStatus(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		topo := randomConnectedTopology(rng)
+		kind := propertyKinds[rng.Intn(len(propertyKinds))]
+		coll, err := collective.New(kind, topo.P, 1+rng.Intn(2), 0)
+		if err != nil {
+			return false
+		}
+		S := 1 + rng.Intn(topo.P)
+		R := S + rng.Intn(2)
+		inst := Instance{Coll: coll, Topo: topo, Steps: S, Round: R}
+		a, err := Synthesize(inst, Options{})
+		if err != nil {
+			return false
+		}
+		b, err := Synthesize(inst, Options{NoSymmetryBreak: true})
+		if err != nil {
+			return false
+		}
+		return a.Status == b.Status
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickInversionValidates: any synthesized Allgather/Broadcast must
+// invert into a valid combining algorithm with identical S and R.
+func TestQuickInversionValidates(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		topo := randomConnectedTopology(rng)
+		kind := collective.Allgather
+		if rng.Intn(2) == 0 {
+			kind = collective.Broadcast
+		}
+		coll, err := collective.New(kind, topo.P, 1, 0)
+		if err != nil {
+			return false
+		}
+		res, err := Synthesize(Instance{Coll: coll, Topo: topo, Steps: topo.P, Round: topo.P}, Options{})
+		if err != nil {
+			return false
+		}
+		if res.Status != sat.Sat {
+			return true
+		}
+		alg := res.Algorithm
+		inv, err := algorithm.Invert(alg)
+		if err != nil {
+			t.Logf("seed %d: inversion failed: %v", seed, err)
+			return false
+		}
+		if inv.Steps() != alg.Steps() || inv.TotalRounds() != alg.TotalRounds() {
+			return false
+		}
+		return inv.Validate() == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,122 @@
+package synth
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/smt"
+)
+
+// EmitSMTLIB renders the SynColl instance as an SMT-LIB2 (QF_LIA) script
+// semantically mirroring constraints C1–C6 of the paper — the exact form
+// SCCL hands to Z3. The script can be discharged to an external solver via
+// smt.RunExternal to cross-check the built-in SAT backend.
+func EmitSMTLIB(in Instance) (*smt.Script, error) {
+	if err := in.Validate(); err != nil {
+		return nil, err
+	}
+	s := smt.NewScript()
+	coll, topo := in.Coll, in.Topo
+	S, G := in.Steps, coll.G
+	edges := topo.Edges()
+
+	timeName := func(c, n int) string { return fmt.Sprintf("time_c%d_n%d", c, n) }
+	sndName := func(c int, src, dst int) string { return fmt.Sprintf("snd_n%d_c%d_n%d", src, c, dst) }
+	rName := func(st int) string { return fmt.Sprintf("r_%d", st) }
+
+	for c := 0; c < G; c++ {
+		for n := 0; n < coll.P; n++ {
+			s.DeclareInt(timeName(c, n), 0, S+1)
+		}
+	}
+	for c := 0; c < G; c++ {
+		for _, l := range edges {
+			s.DeclareBool(sndName(c, int(l.Src), int(l.Dst)))
+		}
+	}
+	for st := 0; st < S; st++ {
+		s.DeclareInt(rName(st), 1, in.Round-S+1)
+	}
+
+	// C1: pre chunks available at time 0.
+	for c := 0; c < G; c++ {
+		for n := 0; n < coll.P; n++ {
+			if coll.Pre[c][n] {
+				s.Assertf("(= %s 0)", timeName(c, n))
+			}
+		}
+	}
+	// C2: post chunks arrive within S steps.
+	for c := 0; c < G; c++ {
+		for n := 0; n < coll.P; n++ {
+			if coll.Post[c][n] {
+				s.Assertf("(<= %s %d)", timeName(c, n), S)
+			}
+		}
+	}
+	// C3: arriving non-pre chunks are received exactly once.
+	for c := 0; c < G; c++ {
+		for n := 0; n < coll.P; n++ {
+			if coll.Pre[c][n] {
+				continue
+			}
+			var terms []string
+			for _, l := range edges {
+				if int(l.Dst) == n {
+					terms = append(terms, fmt.Sprintf("(ite %s 1 0)", sndName(c, int(l.Src), n)))
+				}
+			}
+			if len(terms) == 0 {
+				s.Assertf("(= %s %d)", timeName(c, n), S+1)
+				continue
+			}
+			sum := terms[0]
+			if len(terms) > 1 {
+				sum = "(+ " + strings.Join(terms, " ") + ")"
+			}
+			s.Assertf("(=> (<= %s %d) (= %s 1))", timeName(c, n), S, sum)
+			s.Assertf("(<= %s 1)", sum)
+		}
+	}
+	// C4: causality.
+	for c := 0; c < G; c++ {
+		for _, l := range edges {
+			s.Assertf("(=> %s (< %s %s))",
+				sndName(c, int(l.Src), int(l.Dst)),
+				timeName(c, int(l.Src)), timeName(c, int(l.Dst)))
+			s.Assertf("(=> %s (<= %s %d))",
+				sndName(c, int(l.Src), int(l.Dst)), timeName(c, int(l.Dst)), S)
+		}
+	}
+	// C5: bandwidth per step and relation.
+	for st := 1; st <= S; st++ {
+		for _, rel := range topo.Relations {
+			var terms []string
+			for _, l := range rel.Links {
+				for c := 0; c < G; c++ {
+					terms = append(terms, fmt.Sprintf("(ite (and %s (= %s %d)) 1 0)",
+						sndName(c, int(l.Src), int(l.Dst)), timeName(c, int(l.Dst)), st))
+				}
+			}
+			if len(terms) == 0 {
+				continue
+			}
+			sum := terms[0]
+			if len(terms) > 1 {
+				sum = "(+ " + strings.Join(terms, " ") + ")"
+			}
+			s.Assertf("(<= %s (* %d %s))", sum, rel.Bandwidth, rName(st-1))
+		}
+	}
+	// C6: total rounds.
+	var rTerms []string
+	for st := 0; st < S; st++ {
+		rTerms = append(rTerms, rName(st))
+	}
+	if len(rTerms) == 1 {
+		s.Assertf("(= %s %d)", rTerms[0], in.Round)
+	} else {
+		s.Assertf("(= (+ %s) %d)", strings.Join(rTerms, " "), in.Round)
+	}
+	return s, nil
+}

@@ -1,0 +1,196 @@
+package topology
+
+// DGX1 models the NVLink topology of an NVIDIA DGX-1 (paper Figure 1 and
+// §5.2.1): 8 V100 GPUs connected by two non-overlapping Hamiltonian
+// cycles. The cycle {0,1,4,5,6,7,2,3} has two NVLinks per edge (bandwidth
+// 2 chunks/round per direction); the cycle {0,2,1,3,6,4,7,5} has one. PCIe
+// links to the host are excluded, as in the paper.
+func DGX1() *Topology {
+	var rs []Relation
+	double := []Node{0, 1, 4, 5, 6, 7, 2, 3}
+	single := []Node{0, 2, 1, 3, 6, 4, 7, 5}
+	for i := range double {
+		a, b := double[i], double[(i+1)%len(double)]
+		biP2P(&rs, a, b, 2)
+	}
+	for i := range single {
+		a, b := single[i], single[(i+1)%len(single)]
+		biP2P(&rs, a, b, 1)
+	}
+	return &Topology{Name: "dgx1", P: 8, Relations: rs}
+}
+
+// AMDZ52 models the Gigabyte Z52 with 8 AMD MI50 GPUs the way the paper
+// does (§5.2.2): the xGMI islands are bridged by PCIe through GPUs 1 and
+// 5, and because bisection bandwidth is PCIe-limited, all links are
+// modeled with the same unit chunk/round bandwidth, forming one
+// bidirectional 8-ring. The ring order follows Figure 3's islands
+// ({0,2,3}+5 and {4,6,7}+1) with PCIe edges 1–0 and 5–4.
+func AMDZ52() *Topology {
+	var rs []Relation
+	ring := []Node{0, 2, 3, 5, 4, 6, 7, 1}
+	for i := range ring {
+		a, b := ring[i], ring[(i+1)%len(ring)]
+		biP2P(&rs, a, b, 1)
+	}
+	return &Topology{Name: "amd-z52", P: 8, Relations: rs}
+}
+
+// Ring returns a unidirectional ring of n nodes with unit bandwidth.
+func Ring(n int) *Topology {
+	var rs []Relation
+	for i := 0; i < n; i++ {
+		p2p(&rs, Node(i), Node((i+1)%n), 1)
+	}
+	return &Topology{Name: "ring", P: n, Relations: rs}
+}
+
+// BidirRing returns a bidirectional ring of n nodes with unit bandwidth
+// per direction.
+func BidirRing(n int) *Topology {
+	var rs []Relation
+	for i := 0; i < n; i++ {
+		biP2P(&rs, Node(i), Node((i+1)%n), 1)
+	}
+	return &Topology{Name: "bidir-ring", P: n, Relations: rs}
+}
+
+// Line returns a bidirectional path of n nodes with unit bandwidth.
+func Line(n int) *Topology {
+	var rs []Relation
+	for i := 0; i+1 < n; i++ {
+		biP2P(&rs, Node(i), Node(i+1), 1)
+	}
+	return &Topology{Name: "line", P: n, Relations: rs}
+}
+
+// FullyConnected returns the complete directed graph on n nodes with unit
+// bandwidth per directed link.
+func FullyConnected(n int) *Topology {
+	var rs []Relation
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			if i != j {
+				p2p(&rs, Node(i), Node(j), 1)
+			}
+		}
+	}
+	return &Topology{Name: "fully-connected", P: n, Relations: rs}
+}
+
+// Star returns a star with node 0 at the center, unit bandwidth in both
+// directions on each spoke.
+func Star(n int) *Topology {
+	var rs []Relation
+	for i := 1; i < n; i++ {
+		biP2P(&rs, 0, Node(i), 1)
+	}
+	return &Topology{Name: "star", P: n, Relations: rs}
+}
+
+// Hypercube returns a d-dimensional hypercube (2^d nodes) with unit
+// bandwidth per directed link.
+func Hypercube(d int) *Topology {
+	n := 1 << uint(d)
+	var rs []Relation
+	for i := 0; i < n; i++ {
+		for b := 0; b < d; b++ {
+			j := i ^ (1 << uint(b))
+			if i < j {
+				biP2P(&rs, Node(i), Node(j), 1)
+			}
+		}
+	}
+	return &Topology{Name: "hypercube", P: n, Relations: rs}
+}
+
+// Torus2D returns an r x c wraparound mesh with unit-bandwidth
+// bidirectional links. Degenerate dimensions (size 1 or 2) avoid duplicate
+// parallel links.
+func Torus2D(r, c int) *Topology {
+	var rs []Relation
+	id := func(i, j int) Node { return Node(i*c + j) }
+	for i := 0; i < r; i++ {
+		for j := 0; j < c; j++ {
+			if c > 1 {
+				nj := (j + 1) % c
+				if nj != j && !(c == 2 && j == 1) {
+					biP2P(&rs, id(i, j), id(i, nj), 1)
+				}
+			}
+			if r > 1 {
+				ni := (i + 1) % r
+				if ni != i && !(r == 2 && i == 1) {
+					biP2P(&rs, id(i, j), id(ni, j), 1)
+				}
+			}
+		}
+	}
+	return &Topology{Name: "torus2d", P: r * c, Relations: rs}
+}
+
+// SharedBus models n nodes on one shared medium: any node may send to any
+// other, but only `bw` chunks total traverse the bus per round. This
+// demonstrates the relation form ({(a,b) | a,b ∈ N}, bw) from §3.2.1.
+func SharedBus(n, bw int) *Topology {
+	var links []Link
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			if i != j {
+				links = append(links, Link{Node(i), Node(j)})
+			}
+		}
+	}
+	return &Topology{
+		Name:      "shared-bus",
+		P:         n,
+		Relations: []Relation{{Links: links, Bandwidth: bw}},
+	}
+}
+
+// DGX2 models an NVIDIA DGX-2-style system: 16 V100 GPUs attached to
+// NVSwitch planes giving full-bandwidth all-to-all connectivity, modeled
+// as a complete directed graph with 6 chunks/round per GPU pair being
+// unnecessary — NVSwitch serializes per-port, so each GPU's 6 NVLink
+// ports cap its aggregate egress and ingress at 6 chunks/round while any
+// pair may communicate. This demonstrates the per-node-cap relation form.
+func DGX2() *Topology {
+	const n = 16
+	t := FullyConnected(n)
+	t.Name = "dgx2"
+	// Per-GPU egress and ingress caps of 6 chunks/round (6 NVLink ports).
+	for node := 0; node < n; node++ {
+		var out, in []Link
+		for peer := 0; peer < n; peer++ {
+			if peer == node {
+				continue
+			}
+			out = append(out, Link{Node(node), Node(peer)})
+			in = append(in, Link{Node(peer), Node(node)})
+		}
+		t.Relations = append(t.Relations,
+			Relation{Links: out, Bandwidth: 6},
+			Relation{Links: in, Bandwidth: 6},
+		)
+	}
+	return t
+}
+
+// WithEgressCap returns a copy of t with an additional per-node egress
+// relation limiting the total chunks each node may send per round.
+func WithEgressCap(t *Topology, cap int) *Topology {
+	out := &Topology{Name: t.Name + "+egress", P: t.P}
+	out.Relations = append(out.Relations, t.Relations...)
+	for n := 0; n < t.P; n++ {
+		var links []Link
+		for _, l := range t.Edges() {
+			if l.Src == Node(n) {
+				links = append(links, l)
+			}
+		}
+		if len(links) > 0 {
+			out.Relations = append(out.Relations, Relation{Links: links, Bandwidth: cap})
+		}
+	}
+	return out
+}

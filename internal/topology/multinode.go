@@ -1,0 +1,62 @@
+package topology
+
+import "fmt"
+
+// MultiNode builds a hierarchical cluster of `count` copies of a base
+// single-node topology, joined by NIC links. Node i of copy k becomes
+// global node k*base.P + i. Each copy designates `nics` gateway GPUs
+// (0..nics-1 locally); gateway j of copy k has a bidirectional NIC link
+// to gateway j of the "next" copy (ring of machines), with nicBW
+// chunks/round, plus a shared per-machine egress relation capping all NIC
+// traffic leaving a machine at nicBW*nics per round.
+//
+// This extends the paper's single-node scope toward the hierarchical
+// systems its related-work section discusses (Horovod, BlueConnect,
+// PLink): the same SynColl machinery synthesizes cross-machine
+// collectives once the topology expresses the NIC bottleneck.
+func MultiNode(base *Topology, count, nics, nicBW int) (*Topology, error) {
+	if count < 2 {
+		return nil, fmt.Errorf("topology: MultiNode needs >= 2 machines, got %d", count)
+	}
+	if nics < 1 || nics > base.P {
+		return nil, fmt.Errorf("topology: nics %d out of [1,%d]", nics, base.P)
+	}
+	if nicBW < 1 {
+		return nil, fmt.Errorf("topology: nicBW must be >= 1")
+	}
+	out := &Topology{
+		Name: fmt.Sprintf("%dx-%s", count, base.Name),
+		P:    count * base.P,
+	}
+	// Intra-machine links: copy the base relations with node offsets.
+	for k := 0; k < count; k++ {
+		off := Node(k * base.P)
+		for _, r := range base.Relations {
+			nr := Relation{Bandwidth: r.Bandwidth}
+			for _, l := range r.Links {
+				nr.Links = append(nr.Links, Link{Src: l.Src + off, Dst: l.Dst + off})
+			}
+			out.Relations = append(out.Relations, nr)
+		}
+	}
+	// Inter-machine NIC links: machine ring.
+	for k := 0; k < count; k++ {
+		next := (k + 1) % count
+		var egress, ingress []Link
+		for j := 0; j < nics; j++ {
+			a := Node(k*base.P + j)
+			b := Node(next*base.P + j)
+			p2p(&out.Relations, a, b, nicBW)
+			p2p(&out.Relations, b, a, nicBW)
+			egress = append(egress, Link{a, b})
+			ingress = append(ingress, Link{b, a})
+		}
+		// Shared machine-level NIC capacity (both directions counted
+		// separately, as NICs are full duplex).
+		out.Relations = append(out.Relations,
+			Relation{Links: egress, Bandwidth: nicBW * nics},
+			Relation{Links: ingress, Bandwidth: nicBW * nics},
+		)
+	}
+	return out, nil
+}

@@ -1,0 +1,83 @@
+package topology
+
+import "testing"
+
+func TestMultiNodeStructure(t *testing.T) {
+	base := BidirRing(4)
+	m, err := MultiNode(base, 2, 1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if m.P != 8 {
+		t.Fatalf("P = %d", m.P)
+	}
+	// Intra links exist in both copies.
+	if !m.HasEdge(0, 1) || !m.HasEdge(4, 5) {
+		t.Error("intra-machine links missing")
+	}
+	// NIC links between gateway 0 of each machine (ring of 2 machines
+	// gives both directions between 0 and 4).
+	if !m.HasEdge(0, 4) || !m.HasEdge(4, 0) {
+		t.Error("NIC links missing")
+	}
+	// Non-gateway nodes have no cross-machine links.
+	if m.HasEdge(1, 5) {
+		t.Error("unexpected cross-machine link")
+	}
+	// Cross-machine cut is NIC-limited.
+	cut := m.CutCapacity(func(n Node) bool { return n < 4 })
+	if cut != 1 {
+		t.Errorf("cross-machine cut = %d, want 1", cut)
+	}
+}
+
+func TestMultiNodeValidation(t *testing.T) {
+	base := BidirRing(4)
+	if _, err := MultiNode(base, 1, 1, 1); err == nil {
+		t.Error("count=1 should fail")
+	}
+	if _, err := MultiNode(base, 2, 0, 1); err == nil {
+		t.Error("nics=0 should fail")
+	}
+	if _, err := MultiNode(base, 2, 9, 1); err == nil {
+		t.Error("nics > P should fail")
+	}
+	if _, err := MultiNode(base, 2, 1, 0); err == nil {
+		t.Error("nicBW=0 should fail")
+	}
+}
+
+func TestMultiNodeDiameter(t *testing.T) {
+	m, err := MultiNode(BidirRing(4), 2, 1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Worst case: node 2 (far side of ring A) to node 6 (far side of
+	// ring B): 2 hops to gateway 0, 1 NIC hop, 2 hops out = 5.
+	if got := m.Diameter(); got != 5 {
+		t.Errorf("diameter = %d, want 5", got)
+	}
+}
+
+func TestMultiNodeThreeMachines(t *testing.T) {
+	m, err := MultiNode(Line(2), 3, 1, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.P != 6 {
+		t.Fatalf("P = %d", m.P)
+	}
+	if err := m.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Machine ring: 0 -> 2 -> 4 -> 0 (gateways are local node 0 = global
+	// 0, 2, 4).
+	for _, e := range [][2]Node{{0, 2}, {2, 4}, {4, 0}} {
+		if !m.HasEdge(e[0], e[1]) {
+			t.Errorf("missing NIC edge %v", e)
+		}
+	}
+}

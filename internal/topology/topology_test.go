@@ -1,0 +1,298 @@
+package topology
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestDGX1Structure(t *testing.T) {
+	d := DGX1()
+	if err := d.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if d.P != 8 {
+		t.Fatalf("P = %d", d.P)
+	}
+	// 2 Hamiltonian cycles x 8 edges x 2 directions = 32 directed links.
+	if got := len(d.Edges()); got != 32 {
+		t.Fatalf("edges = %d, want 32", got)
+	}
+	// Every GPU has 6 NVLink ports: total in/out chunk bandwidth 3 links
+	// out (2+2+... per Figure 1 each node has 3 neighbors; bandwidth sums
+	// to 2+... Check: each node's out-bandwidth must be 4 (2 from the
+	// double ring's two neighbors at bw 2? no: each node has 2 neighbors
+	// in each cycle; double cycle contributes 2+2, single contributes 1+1.
+	for n := 0; n < 8; n++ {
+		if got := d.OutBandwidth(Node(n)); got != 6 {
+			t.Errorf("node %d out-bandwidth = %d, want 6", n, got)
+		}
+		if got := d.InBandwidth(Node(n)); got != 6 {
+			t.Errorf("node %d in-bandwidth = %d, want 6", n, got)
+		}
+		if got := len(d.OutNeighbors(Node(n))); got != 4 {
+			t.Errorf("node %d degree = %d, want 4", n, got)
+		}
+	}
+	// Paper §2.5: the DGX-1 has diameter 2.
+	if got := d.Diameter(); got != 2 {
+		t.Fatalf("diameter = %d, want 2", got)
+	}
+}
+
+func TestDGX1LinkBandwidths(t *testing.T) {
+	d := DGX1()
+	// Double ring edge 0-1 has bandwidth 2, single ring edge 0-2 has 1.
+	if got := d.LinkBandwidth(0, 1); got != 2 {
+		t.Errorf("bw(0,1) = %d, want 2", got)
+	}
+	if got := d.LinkBandwidth(0, 2); got != 1 {
+		t.Errorf("bw(0,2) = %d, want 1", got)
+	}
+	// 0 and 4 are not adjacent.
+	if got := d.LinkBandwidth(0, 4); got != 0 {
+		t.Errorf("bw(0,4) = %d, want 0", got)
+	}
+}
+
+func TestAMDZ52Structure(t *testing.T) {
+	a := AMDZ52()
+	if err := a.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if a.P != 8 {
+		t.Fatalf("P = %d", a.P)
+	}
+	if got := len(a.Edges()); got != 16 {
+		t.Fatalf("edges = %d, want 16 (bidirectional 8-ring)", got)
+	}
+	// Table 5: Allgather latency-optimal needs 4 steps -> diameter 4.
+	if got := a.Diameter(); got != 4 {
+		t.Fatalf("diameter = %d, want 4", got)
+	}
+	for n := 0; n < 8; n++ {
+		if got := a.InBandwidth(Node(n)); got != 2 {
+			t.Errorf("node %d in-bandwidth = %d, want 2", n, got)
+		}
+	}
+}
+
+func TestRingProperties(t *testing.T) {
+	r := Ring(5)
+	if r.Diameter() != 4 {
+		t.Errorf("ring(5) diameter = %d, want 4", r.Diameter())
+	}
+	if len(r.Edges()) != 5 {
+		t.Errorf("ring(5) edges = %d", len(r.Edges()))
+	}
+	br := BidirRing(6)
+	if br.Diameter() != 3 {
+		t.Errorf("bidir-ring(6) diameter = %d, want 3", br.Diameter())
+	}
+}
+
+func TestLineDisconnectedDirections(t *testing.T) {
+	l := Line(4)
+	if l.Diameter() != 3 {
+		t.Errorf("line(4) diameter = %d", l.Diameter())
+	}
+	// Unidirectional ring reversed is still strongly connected.
+	r := Ring(4).Reverse()
+	if r.Diameter() != 3 {
+		t.Errorf("reversed ring diameter = %d", r.Diameter())
+	}
+	if !r.HasEdge(1, 0) || r.HasEdge(0, 1) {
+		t.Error("reverse should flip edges")
+	}
+}
+
+func TestFullyConnectedDiameter(t *testing.T) {
+	f := FullyConnected(6)
+	if f.Diameter() != 1 {
+		t.Errorf("diameter = %d, want 1", f.Diameter())
+	}
+	if got := len(f.Edges()); got != 30 {
+		t.Errorf("edges = %d, want 30", got)
+	}
+}
+
+func TestStarAndHypercube(t *testing.T) {
+	s := Star(5)
+	if s.Diameter() != 2 {
+		t.Errorf("star diameter = %d, want 2", s.Diameter())
+	}
+	if got := s.InBandwidth(0); got != 4 {
+		t.Errorf("hub in-bandwidth = %d, want 4", got)
+	}
+	h := Hypercube(3)
+	if h.P != 8 || h.Diameter() != 3 {
+		t.Errorf("hypercube(3): P=%d diam=%d", h.P, h.Diameter())
+	}
+	for n := 0; n < 8; n++ {
+		if got := len(h.OutNeighbors(Node(n))); got != 3 {
+			t.Errorf("hypercube node %d degree %d", n, got)
+		}
+	}
+}
+
+func TestTorus2D(t *testing.T) {
+	tt := Torus2D(3, 3)
+	if tt.P != 9 {
+		t.Fatalf("P = %d", tt.P)
+	}
+	if got := tt.Diameter(); got != 2 {
+		t.Errorf("3x3 torus diameter = %d, want 2", got)
+	}
+	if err := tt.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Degenerate: 1xN torus equals a ring-ish line without dup links.
+	if err := Torus2D(1, 4).Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if err := Torus2D(2, 2).Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSharedBus(t *testing.T) {
+	b := SharedBus(4, 1)
+	if err := b.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if b.Diameter() != 1 {
+		t.Errorf("diameter = %d", b.Diameter())
+	}
+	// The whole bus is one relation: any cut capacity is 1.
+	if got := b.CutCapacity(func(n Node) bool { return n < 2 }); got != 1 {
+		t.Errorf("cut capacity = %d, want 1", got)
+	}
+	if got := b.InBandwidth(2); got != 1 {
+		t.Errorf("in-bandwidth = %d, want 1", got)
+	}
+}
+
+func TestWithEgressCap(t *testing.T) {
+	f := WithEgressCap(FullyConnected(4), 2)
+	if err := f.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// The greedy relation cover recognizes the egress cap even though it
+	// overlaps the point-to-point entries: node egress is 2, not 3.
+	if got := f.OutBandwidth(0); got != 2 {
+		t.Errorf("out-bandwidth = %d, want 2 (egress cap binds)", got)
+	}
+	if got := f.LinkBandwidth(0, 1); got != 1 {
+		t.Errorf("link bandwidth = %d, want 1", got)
+	}
+}
+
+func TestDGX2Structure(t *testing.T) {
+	d := DGX2()
+	if err := d.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if d.P != 16 || d.Diameter() != 1 {
+		t.Fatalf("P=%d diam=%d", d.P, d.Diameter())
+	}
+	for n := 0; n < 16; n++ {
+		if got := d.InBandwidth(Node(n)); got != 6 {
+			t.Errorf("node %d in-bandwidth = %d, want 6 (NVLink ports)", n, got)
+		}
+		if got := d.OutBandwidth(Node(n)); got != 6 {
+			t.Errorf("node %d out-bandwidth = %d, want 6", n, got)
+		}
+	}
+}
+
+func TestValidateRejectsBadTopologies(t *testing.T) {
+	bad := &Topology{Name: "bad", P: 0}
+	if bad.Validate() == nil {
+		t.Error("P=0 should fail")
+	}
+	bad2 := &Topology{Name: "bad2", P: 2, Relations: []Relation{{}}}
+	if bad2.Validate() == nil {
+		t.Error("empty relation should fail")
+	}
+	bad3 := &Topology{Name: "bad3", P: 2, Relations: []Relation{
+		{Links: []Link{{0, 5}}, Bandwidth: 1},
+	}}
+	if bad3.Validate() == nil {
+		t.Error("out-of-range node should fail")
+	}
+	bad4 := &Topology{Name: "bad4", P: 2, Relations: []Relation{
+		{Links: []Link{{0, 0}}, Bandwidth: 1},
+	}}
+	if bad4.Validate() == nil {
+		t.Error("self-loop should fail")
+	}
+	bad5 := &Topology{Name: "bad5", P: 2, Relations: []Relation{
+		{Links: []Link{{0, 1}}, Bandwidth: -1},
+	}}
+	if bad5.Validate() == nil {
+		t.Error("negative bandwidth should fail")
+	}
+}
+
+func TestZeroBandwidthBansLink(t *testing.T) {
+	tp := &Topology{Name: "t", P: 3, Relations: []Relation{
+		{Links: []Link{{0, 1}}, Bandwidth: 1},
+		{Links: []Link{{0, 1}}, Bandwidth: 0}, // ban
+		{Links: []Link{{1, 2}}, Bandwidth: 1},
+	}}
+	if tp.HasEdge(0, 1) {
+		t.Error("0->1 should be banned by the zero-bandwidth relation")
+	}
+	if !tp.HasEdge(1, 2) {
+		t.Error("1->2 should exist")
+	}
+}
+
+func TestDistanceSymmetryOnSymmetricTopologies(t *testing.T) {
+	check := func(tp *Topology) bool {
+		for i := 0; i < tp.P; i++ {
+			for j := 0; j < tp.P; j++ {
+				if tp.Distance(Node(i), Node(j)) != tp.Distance(Node(j), Node(i)) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	for _, tp := range []*Topology{DGX1(), AMDZ52(), BidirRing(7), Hypercube(3), Line(5)} {
+		if !check(tp) {
+			t.Errorf("%s: asymmetric distances on symmetric topology", tp.Name)
+		}
+	}
+}
+
+func TestReverseInvolution(t *testing.T) {
+	f := func(n uint8) bool {
+		size := int(n%6) + 2
+		tp := BidirRing(size)
+		rr := tp.Reverse().Reverse()
+		e1, e2 := tp.Edges(), rr.Edges()
+		if len(e1) != len(e2) {
+			return false
+		}
+		for i := range e1 {
+			if e1[i] != e2[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCutCapacityDGX1SingleNode(t *testing.T) {
+	// Each DGX-1 node has agglomerated incoming bandwidth 6 (paper §2.4).
+	d := DGX1()
+	for n := 0; n < 8; n++ {
+		got := d.CutCapacity(func(m Node) bool { return m != Node(n) })
+		if got != 6 {
+			t.Errorf("cut into node %d = %d, want 6", n, got)
+		}
+	}
+}

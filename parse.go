@@ -1,0 +1,116 @@
+package sccl
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"repro/internal/collective"
+)
+
+// ParseTopology resolves a topology spec string:
+//
+//	dgx1              NVIDIA DGX-1 (8 GPUs, NVLink)
+//	amd | z52         Gigabyte Z52 (8 MI50 GPUs)
+//	ring:N            unidirectional ring
+//	bidir-ring:N      bidirectional ring
+//	line:N            path
+//	fc:N              fully connected
+//	star:N            hub and spokes
+//	hypercube:D       2^D nodes
+//	torus:RxC         2-D wraparound mesh
+//	bus:N:BW          shared bus, BW chunks/round
+func ParseTopology(spec string) (*Topology, error) {
+	parts := strings.Split(spec, ":")
+	name := strings.ToLower(parts[0])
+	argInt := func(i int) (int, error) {
+		if len(parts) <= i {
+			return 0, fmt.Errorf("sccl: topology %q needs an argument", spec)
+		}
+		return strconv.Atoi(parts[i])
+	}
+	switch name {
+	case "dgx1", "dgx-1":
+		return DGX1(), nil
+	case "amd", "z52", "amd-z52":
+		return AMDZ52(), nil
+	case "ring":
+		n, err := argInt(1)
+		if err != nil {
+			return nil, err
+		}
+		return Ring(n), nil
+	case "bidir-ring", "bring":
+		n, err := argInt(1)
+		if err != nil {
+			return nil, err
+		}
+		return BidirRing(n), nil
+	case "line", "path":
+		n, err := argInt(1)
+		if err != nil {
+			return nil, err
+		}
+		return Line(n), nil
+	case "fc", "fully-connected", "complete":
+		n, err := argInt(1)
+		if err != nil {
+			return nil, err
+		}
+		return FullyConnected(n), nil
+	case "star":
+		n, err := argInt(1)
+		if err != nil {
+			return nil, err
+		}
+		return Star(n), nil
+	case "hypercube", "cube":
+		d, err := argInt(1)
+		if err != nil {
+			return nil, err
+		}
+		return Hypercube(d), nil
+	case "torus":
+		if len(parts) < 2 {
+			return nil, fmt.Errorf("sccl: torus needs RxC")
+		}
+		dims := strings.Split(parts[1], "x")
+		if len(dims) != 2 {
+			return nil, fmt.Errorf("sccl: torus needs RxC, got %q", parts[1])
+		}
+		r, err := strconv.Atoi(dims[0])
+		if err != nil {
+			return nil, err
+		}
+		c, err := strconv.Atoi(dims[1])
+		if err != nil {
+			return nil, err
+		}
+		return Torus2D(r, c), nil
+	case "bus":
+		n, err := argInt(1)
+		if err != nil {
+			return nil, err
+		}
+		bw, err := argInt(2)
+		if err != nil {
+			return nil, err
+		}
+		return SharedBus(n, bw), nil
+	}
+	return nil, fmt.Errorf("sccl: unknown topology %q", spec)
+}
+
+// ParseKind resolves a collective name ("Allgather", "Allreduce", ...).
+func ParseKind(name string) (Kind, error) { return collective.ParseKind(name) }
+
+// ParseLowering resolves a lowering name ("fused-push", "multi-kernel",
+// "cudamemcpy", "baseline", "fused-pull").
+func ParseLowering(name string) (Lowering, error) {
+	for l := LowerBaseline; l <= LowerCudaMemcpy; l++ {
+		if l.String() == name {
+			return l, nil
+		}
+	}
+	return 0, fmt.Errorf("sccl: unknown lowering %q", name)
+}

@@ -1,0 +1,184 @@
+package sccl_test
+
+import (
+	"strings"
+	"testing"
+
+	sccl "repro"
+)
+
+func TestParseTopology(t *testing.T) {
+	cases := []struct {
+		spec string
+		p    int
+	}{
+		{"dgx1", 8}, {"amd", 8}, {"z52", 8},
+		{"ring:5", 5}, {"bidir-ring:6", 6}, {"line:3", 3},
+		{"fc:4", 4}, {"star:7", 7}, {"hypercube:3", 8},
+		{"torus:2x3", 6}, {"bus:4:2", 4},
+	}
+	for _, tc := range cases {
+		topo, err := sccl.ParseTopology(tc.spec)
+		if err != nil {
+			t.Errorf("%s: %v", tc.spec, err)
+			continue
+		}
+		if topo.P != tc.p {
+			t.Errorf("%s: P = %d, want %d", tc.spec, topo.P, tc.p)
+		}
+		if err := topo.Validate(); err != nil {
+			t.Errorf("%s: %v", tc.spec, err)
+		}
+	}
+	for _, bad := range []string{"", "nope", "ring", "ring:x", "torus:5", "bus:3"} {
+		if _, err := sccl.ParseTopology(bad); err == nil {
+			t.Errorf("%q should fail", bad)
+		}
+	}
+}
+
+func TestParseKindAndLowering(t *testing.T) {
+	k, err := sccl.ParseKind("Allreduce")
+	if err != nil || k != sccl.Allreduce {
+		t.Fatalf("ParseKind: %v %v", k, err)
+	}
+	if _, err := sccl.ParseKind("Foo"); err == nil {
+		t.Error("bad kind should fail")
+	}
+	l, err := sccl.ParseLowering("cudamemcpy")
+	if err != nil || l != sccl.LowerCudaMemcpy {
+		t.Fatalf("ParseLowering: %v %v", l, err)
+	}
+	if _, err := sccl.ParseLowering("warp-drive"); err == nil {
+		t.Error("bad lowering should fail")
+	}
+}
+
+func TestFacadeSynthesisRoundTrip(t *testing.T) {
+	topo := sccl.BidirRing(4)
+	alg, status, err := sccl.Synthesize(sccl.Allgather, topo, 0, 1, 2, 3, sccl.SynthOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if status != sccl.Sat || alg == nil {
+		t.Fatalf("status %v", status)
+	}
+	if err := sccl.Execute(alg, 32); err != nil {
+		t.Fatal(err)
+	}
+	src, err := sccl.GenerateCUDA(alg, sccl.LowerFusedPush)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(src, "__global__") {
+		t.Error("missing kernel in generated source")
+	}
+}
+
+func TestFacadeLowerBounds(t *testing.T) {
+	steps, bw, err := sccl.LowerBounds(sccl.Allgather, sccl.DGX1(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if steps != 2 || bw.RatString() != "7/6" {
+		t.Fatalf("bounds: %d, %s", steps, bw.RatString())
+	}
+}
+
+func TestFacadeInvertAndCompose(t *testing.T) {
+	topo := sccl.Ring(4)
+	ag, status, err := sccl.Synthesize(sccl.Allgather, topo, 0, 1, 3, 3, sccl.SynthOptions{})
+	if err != nil || status != sccl.Sat {
+		t.Fatal(status, err)
+	}
+	rs, err := sccl.Invert(ag)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// rs runs on the reversed ring; compose needs an Allgather on the
+	// same (reversed) topology.
+	ag2, status, err := sccl.Synthesize(sccl.Allgather, rs.Topo, 0, 1, 3, 3, sccl.SynthOptions{})
+	if err != nil || status != sccl.Sat {
+		t.Fatal(status, err)
+	}
+	ar, err := sccl.ComposeAllreduce(rs, ag2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ar.Steps() != 6 {
+		t.Fatalf("composed steps = %d", ar.Steps())
+	}
+	if err := sccl.Execute(ar, 16); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFacadeBaselines(t *testing.T) {
+	for name, f := range map[string]func() (*sccl.Algorithm, error){
+		"nccl-ag": sccl.NCCLAllgather,
+		"nccl-ar": sccl.NCCLAllreduce,
+		"rccl-ag": sccl.RCCLAllgather,
+		"rccl-ar": sccl.RCCLAllreduce,
+	} {
+		alg, err := f()
+		if err != nil {
+			t.Errorf("%s: %v", name, err)
+			continue
+		}
+		if alg.P != 8 {
+			t.Errorf("%s: P = %d", name, alg.P)
+		}
+	}
+	bc, err := sccl.NCCLBroadcast(3, 2)
+	if err != nil || bc.C != 12 {
+		t.Errorf("broadcast: %v %v", bc, err)
+	}
+}
+
+func TestFacadeEmitSMTLIB(t *testing.T) {
+	topo := sccl.Ring(3)
+	coll, err := sccl.NewCollective(sccl.Allgather, 3, 1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	script, err := sccl.EmitSMTLIB(sccl.Instance{Coll: coll, Topo: topo, Steps: 2, Round: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(script.String(), "QF_LIA") {
+		t.Error("script missing logic")
+	}
+}
+
+// TestExternalSolverCrossCheck discharges a small instance to a real SMT
+// solver when one is installed; skipped otherwise (offline environments).
+func TestExternalSolverCrossCheck(t *testing.T) {
+	solver := sccl.FindExternalSolver()
+	if solver == "" {
+		t.Skip("no external SMT solver on PATH")
+	}
+	topo := sccl.Ring(4)
+	coll, err := sccl.NewCollective(sccl.Allgather, 4, 1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tc := range []struct {
+		steps, rounds int
+		wantSat       bool
+	}{
+		{3, 3, true},
+		{2, 2, false},
+	} {
+		script, err := sccl.EmitSMTLIB(sccl.Instance{Coll: coll, Topo: topo, Steps: tc.steps, Round: tc.rounds})
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := runExternal(t, solver, script)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res != tc.wantSat {
+			t.Errorf("external solver S=%d R=%d: sat=%v, want %v", tc.steps, tc.rounds, res, tc.wantSat)
+		}
+	}
+}
