@@ -6,7 +6,7 @@
 // Usage:
 //
 //	sccl synthesize -topology dgx1 -collective Allgather -c 6 -s 3 -r 7
-//	sccl pareto     -topology dgx1 -collective Allgather -k 2
+//	sccl pareto     -topology dgx1 -collective Allgather -k 2 -workers 4
 //	sccl bounds     -topology amd  -collective Allreduce
 //	sccl simulate   -topology dgx1 -collective Allgather -c 6 -s 3 -r 7 -bytes 1048576
 //	sccl cuda       -topology dgx1 -collective Allgather -c 1 -s 2 -r 2 -lowering fused-push
@@ -79,7 +79,9 @@ commands:
 
 common flags: -topology dgx1|amd|ring:N|bidir-ring:N|line:N|fc:N|star:N|
               hypercube:D|torus:RxC|bus:N:BW
-              -collective Allgather|Allreduce|Broadcast|...  -root N`)
+              -collective Allgather|Allreduce|Broadcast|...  -root N
+              -backend cdcl|smtlib[:binary]   (synthesize, pareto)
+              -workers N                      (pareto: concurrent probes)`)
 }
 
 type common struct {
@@ -112,14 +114,19 @@ func cmdSynthesize(args []string) error {
 	s := fs.Int("s", 2, "steps")
 	r := fs.Int("r", 2, "rounds")
 	timeout := fs.Duration("timeout", 5*time.Minute, "solver timeout")
+	backendSpec := fs.String("backend", "cdcl", "solver backend: cdcl|smtlib[:binary]")
 	format := fs.String("format", "text", "output: text|json")
 	cm, _, err := parseCommon(fs, args)
 	if err != nil {
 		return err
 	}
+	backend, err := sccl.ParseBackend(*backendSpec)
+	if err != nil {
+		return err
+	}
 	t0 := time.Now()
 	alg, status, err := sccl.Synthesize(cm.kind, cm.topo, sccl.Node(cm.root), *c, *s, *r,
-		sccl.SynthOptions{Timeout: *timeout})
+		sccl.SynthOptions{Timeout: *timeout, Backend: backend})
 	if err != nil {
 		return err
 	}
@@ -146,14 +153,26 @@ func cmdPareto(args []string) error {
 	maxSteps := fs.Int("max-steps", 0, "step cap (0 = auto)")
 	maxChunks := fs.Int("max-chunks", 0, "chunk cap (0 = auto)")
 	timeout := fs.Duration("timeout", 5*time.Minute, "per-instance solver timeout")
+	workers := fs.Int("workers", 1, "concurrent synthesis probes")
+	backendSpec := fs.String("backend", "cdcl", "solver backend: cdcl|smtlib[:binary]")
 	verbose := fs.Bool("v", false, "print probe progress")
 	cm, _, err := parseCommon(fs, args)
 	if err != nil {
 		return err
 	}
+	backend, err := sccl.ParseBackend(*backendSpec)
+	if err != nil {
+		return err
+	}
+	if *workers < 1 {
+		*workers = 1
+	}
+	var stats sccl.ParetoStats
 	opts := sccl.ParetoOptions{
 		K: *k, MaxSteps: *maxSteps, MaxChunks: *maxChunks,
-		Instance: sccl.SynthOptions{Timeout: *timeout},
+		Instance: sccl.SynthOptions{Timeout: *timeout, Backend: backend},
+		Workers:  *workers,
+		Stats:    &stats,
 	}
 	if *verbose {
 		opts.Progress = func(format string, a ...any) {
@@ -168,6 +187,8 @@ func cmdPareto(args []string) error {
 	for _, p := range pts {
 		fmt.Printf("%-8d %-6d %-6d %-12s %.1fs\n", p.C, p.S, p.R, p.Optimality(), p.SynthesisTime.Seconds())
 	}
+	fmt.Printf("%d probes (%d pruned) on backend %s: %.1fs solver time in %.1fs wall, %.2fx speedup with %d workers\n",
+		stats.Probes, stats.Pruned, backend.Name(), stats.ProbeTime.Seconds(), stats.Wall.Seconds(), stats.Speedup(), *workers)
 	return nil
 }
 

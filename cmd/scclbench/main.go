@@ -11,6 +11,8 @@
 //	scclbench -figure 4|5|6     # speedup series
 //	scclbench -all              # everything
 //	scclbench -table 4 -slow    # include the minutes-long Alltoall row
+//	scclbench -table 4 -workers 4          # synthesize rows concurrently
+//	scclbench -table 5 -backend smtlib:z3  # discharge to an external solver
 package main
 
 import (
@@ -20,6 +22,7 @@ import (
 	"time"
 
 	"repro/internal/eval"
+	"repro/internal/synth"
 )
 
 func main() {
@@ -28,11 +31,20 @@ func main() {
 	all := flag.Bool("all", false, "regenerate everything")
 	slow := flag.Bool("slow", false, "include slow synthesis instances")
 	timeout := flag.Duration("timeout", 15*time.Minute, "per-instance synthesis timeout")
+	workers := flag.Int("workers", 1, "concurrent row synthesis workers")
+	backendSpec := flag.String("backend", "cdcl", "solver backend: cdcl|smtlib[:binary]")
 	flag.Parse()
 
+	backend, err := synth.ParseBackend(*backendSpec)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "scclbench:", err)
+		os.Exit(1)
+	}
 	opts := eval.Options{
 		Timeout:     *timeout,
 		IncludeSlow: *slow,
+		Workers:     *workers,
+		Backend:     backend,
 		Progress: func(format string, args ...any) {
 			fmt.Fprintf(os.Stderr, format+"\n", args...)
 		},

@@ -6,9 +6,11 @@
 package eval
 
 import (
+	"context"
 	"fmt"
 	"math/big"
 	"strings"
+	"sync"
 	"time"
 
 	"repro/internal/collective"
@@ -26,8 +28,15 @@ type Options struct {
 	// IncludeSlow enables the instances the paper itself reports as
 	// minutes-long (the 24-chunk 8-step Alltoall).
 	IncludeSlow bool
-	// Progress, if non-nil, receives one line per synthesized row.
+	// Progress, if non-nil, receives one line per synthesized row. Calls
+	// are serialized under a mutex when Workers > 1.
 	Progress func(format string, args ...any)
+	// Workers synthesizes table rows concurrently; the printed row order
+	// is unchanged. Values <= 1 keep the sequential sweep.
+	Workers int
+	// Backend selects the solver backend for every synthesis call; nil
+	// uses the built-in CDCL solver.
+	Backend synth.Backend
 }
 
 func (o *Options) defaults() {
@@ -124,48 +133,116 @@ var paperTable5 = []rowSpec{
 
 // synthesisTable regenerates Table 4 (topo = DGX1) or Table 5 (topo =
 // AMDZ52): every row is synthesized, verified, and labeled with computed
-// (not hard-coded) optimality against the lower bounds.
+// (not hard-coded) optimality against the lower bounds. With Workers > 1
+// the independent rows are synthesized concurrently; the returned order is
+// the table order regardless.
 func synthesisTable(topo *topology.Topology, rows []rowSpec, opts Options) ([]TableRow, error) {
 	opts.defaults()
-	var out []TableRow
-	for _, spec := range rows {
-		row := TableRow{Collective: spec.kind.String()}
-		row.C, row.S, row.R = spec.c, spec.s, spec.r
-		opt, err := optimalityLabel(spec, topo)
-		if err != nil {
-			return out, err
-		}
-		row.Optimality = opt
-		if spec.slow && !opts.IncludeSlow {
-			row.Skipped = true
+	workers := opts.Workers
+	if workers > len(rows) {
+		workers = len(rows)
+	}
+	if workers <= 1 {
+		// Sequential sweep: rows synthesized in table order, failing fast
+		// on the first error.
+		var out []TableRow
+		for _, spec := range rows {
+			row, err := synthesizeRow(context.Background(), topo, spec, opts, opts.Progress)
+			if err != nil {
+				return out, err
+			}
 			out = append(out, row)
-			opts.Progress("%s", row.Format())
-			continue
 		}
-		c, s, r := spec.c, spec.s, spec.r
-		if spec.kind == collective.Allreduce {
-			// Convert the printed composed triple to the Allgather phase.
-			c, s, r = spec.c/topo.P, spec.s/2, spec.r/2
+		return out, nil
+	}
+	progress := synth.SerializedProgress(opts.Progress)
+	type slot struct {
+		row TableRow
+		err error
+	}
+	slots := make([]slot, len(rows))
+	// The first error cancels the context so in-flight and queued rows
+	// abort promptly instead of synthesizing to completion; firstErr
+	// preserves the chronologically first cause rather than a knock-on
+	// cancellation error from an earlier table index.
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var once sync.Once
+	var firstErr error
+	idx := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				if ctx.Err() != nil {
+					// A prior row already failed; don't pay for the
+					// remaining rows' encodes against a dead context.
+					slots[i].err = ctx.Err()
+					continue
+				}
+				slots[i].row, slots[i].err = synthesizeRow(ctx, topo, rows[i], opts, progress)
+				if slots[i].err != nil {
+					once.Do(func() {
+						firstErr = slots[i].err
+						cancel()
+					})
+				}
+			}
+		}()
+	}
+	for i := range rows {
+		idx <- i
+	}
+	close(idx)
+	wg.Wait()
+	var out []TableRow
+	for _, s := range slots {
+		if s.err != nil {
+			return out, firstErr
 		}
-		t0 := time.Now()
-		alg, status, err := synth.SynthesizeCollective(spec.kind, topo, 0, c, s, r,
-			synth.Options{Timeout: opts.Timeout})
-		row.Time = time.Since(t0)
-		row.Status = status.String()
-		if err != nil {
-			return out, fmt.Errorf("eval: %v (%d,%d,%d): %w", spec.kind, spec.c, spec.s, spec.r, err)
-		}
-		if status != sat.Sat {
-			return out, fmt.Errorf("eval: %v (%d,%d,%d) unexpectedly %v", spec.kind, spec.c, spec.s, spec.r, status)
-		}
-		if alg.C != row.C || alg.Steps() != row.S || alg.TotalRounds() != row.R {
-			return out, fmt.Errorf("eval: %v synthesized %s, want (%d,%d,%d)",
-				spec.kind, alg.CSR(), row.C, row.S, row.R)
-		}
-		out = append(out, row)
-		opts.Progress("%s", row.Format())
+		out = append(out, s.row)
 	}
 	return out, nil
+}
+
+// synthesizeRow produces one verified table row.
+func synthesizeRow(ctx context.Context, topo *topology.Topology, spec rowSpec, opts Options, progress func(format string, args ...any)) (TableRow, error) {
+	row := TableRow{Collective: spec.kind.String()}
+	row.C, row.S, row.R = spec.c, spec.s, spec.r
+	opt, err := optimalityLabel(spec, topo)
+	if err != nil {
+		return row, err
+	}
+	row.Optimality = opt
+	if spec.slow && !opts.IncludeSlow {
+		row.Skipped = true
+		progress("%s", row.Format())
+		return row, nil
+	}
+	c, s, r := spec.c, spec.s, spec.r
+	if spec.kind == collective.Allreduce {
+		// Convert the printed composed triple to the Allgather phase.
+		c, s, r = spec.c/topo.P, spec.s/2, spec.r/2
+	}
+	t0 := time.Now()
+	alg, status, err := synth.SynthesizeCollectiveContext(ctx, spec.kind, topo, 0, c, s, r,
+		synth.Options{Timeout: opts.Timeout, Backend: opts.Backend})
+	row.Time = time.Since(t0)
+	row.Status = status.String()
+	if err != nil {
+		return row, fmt.Errorf("eval: %v (%d,%d,%d): %w", spec.kind, spec.c, spec.s, spec.r, err)
+	}
+	if status != sat.Sat {
+		return row, fmt.Errorf("eval: %v (%d,%d,%d) unexpectedly %v", spec.kind, spec.c, spec.s, spec.r, status)
+	}
+	if alg.C != row.C || alg.Steps() != row.S || alg.TotalRounds() != row.R {
+		return row, fmt.Errorf("eval: %v synthesized %s, want (%d,%d,%d)",
+			spec.kind, alg.CSR(), row.C, row.S, row.R)
+	}
+	progress("%s", row.Format())
+	return row, nil
 }
 
 // Table4 regenerates the paper's Table 4 on the DGX-1 model.

@@ -236,3 +236,35 @@ func TestFormatTable(t *testing.T) {
 		}
 	}
 }
+
+// TestParallelRowsMatchSequential checks that Workers > 1 synthesizes the
+// same rows in the same order as the sequential sweep.
+func TestParallelRowsMatchSequential(t *testing.T) {
+	if testing.Short() {
+		t.Skip("synthesis skipped in -short")
+	}
+	subset := []rowSpec{
+		{collective.Allgather, 1, 2, 2, false},
+		{collective.Broadcast, 2, 2, 2, false},
+		{collective.Gather, 1, 2, 2, false},
+		{collective.Allgather, 2, 2, 3, false},
+	}
+	seq, err := synthesisTable(topology.DGX1(), subset, Options{Timeout: 2 * time.Minute})
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := synthesisTable(topology.DGX1(), subset, Options{Timeout: 2 * time.Minute, Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(par) != len(seq) {
+		t.Fatalf("rows: %d vs %d", len(par), len(seq))
+	}
+	for i := range seq {
+		a, b := seq[i], par[i]
+		a.Time, b.Time = 0, 0
+		if a != b {
+			t.Errorf("row %d: %+v != %+v", i, b, a)
+		}
+	}
+}

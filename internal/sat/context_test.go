@@ -1,0 +1,59 @@
+package sat
+
+import (
+	"context"
+	"testing"
+	"time"
+)
+
+func TestSolveContextPreCancelled(t *testing.T) {
+	s := NewSolver()
+	v := s.NewVar()
+	s.AddClause(PosLit(v))
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if got := s.SolveContext(ctx); got != Unknown {
+		t.Fatalf("pre-cancelled SolveContext = %v, want Unknown", got)
+	}
+	// The solver must remain usable after a cancelled call.
+	if got := s.Solve(); got != Sat {
+		t.Fatalf("Solve after cancellation = %v, want Sat", got)
+	}
+}
+
+func TestSolveContextCancelDuringSolve(t *testing.T) {
+	// PHP(12,11) is exponentially hard for resolution-based solvers, so it
+	// reliably keeps the solver busy long enough to observe cancellation.
+	s := pigeonhole(11)
+	ctx, cancel := context.WithCancel(context.Background())
+	timer := time.AfterFunc(100*time.Millisecond, cancel)
+	defer timer.Stop()
+	t0 := time.Now()
+	got := s.SolveContext(ctx)
+	elapsed := time.Since(t0)
+	if got != Unknown {
+		t.Fatalf("cancelled SolveContext = %v, want Unknown", got)
+	}
+	// Cancellation is polled at conflict/restart boundaries; it must land
+	// promptly, not after the instance is exhausted.
+	if elapsed > 5*time.Second {
+		t.Fatalf("cancellation took %v, want prompt return", elapsed)
+	}
+}
+
+func TestSolveWithBudgetContext(t *testing.T) {
+	s := pigeonhole(8)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if got := s.SolveWithBudgetContext(ctx, 1_000_000); got != Unknown {
+		t.Fatalf("SolveWithBudgetContext = %v, want Unknown", got)
+	}
+}
+
+func TestSolveContextBackgroundUnaffected(t *testing.T) {
+	// A background context must not change results on a solvable formula.
+	s := pigeonhole(4) // small enough to finish
+	if got := s.SolveContext(context.Background()); got != Unsat {
+		t.Fatalf("PHP(5,4) = %v, want Unsat", got)
+	}
+}

@@ -1,6 +1,7 @@
 package sat
 
 import (
+	"context"
 	"errors"
 	"math"
 	"time"
@@ -560,8 +561,25 @@ func luby(i int64) int64 {
 // Solve determines satisfiability of the accumulated formula under the
 // given assumption literals. On Sat, the model is queryable via Value.
 func (s *Solver) Solve(assumptions ...Lit) Status {
+	return s.SolveContext(context.Background(), assumptions...)
+}
+
+// pollInterval is how many main-loop iterations (decisions or conflicts)
+// pass between checks of the context and wall-clock deadline. Polling is
+// cheap relative to propagation but not free; 512 keeps cancellation
+// latency in the microsecond-to-millisecond range on hard instances.
+const pollInterval = 512
+
+// SolveContext is Solve with cooperative cancellation: the context is
+// polled at conflict, decision and restart boundaries — alongside the
+// configured conflict and wall-clock budgets — and a cancelled solve
+// returns Unknown. The solver state remains valid for further Solve calls.
+func (s *Solver) SolveContext(ctx context.Context, assumptions ...Lit) Status {
 	if !s.okay {
 		return Unsat
+	}
+	if ctx.Err() != nil {
+		return Unknown
 	}
 	s.model = nil
 	s.conflictC = nil
@@ -578,8 +596,23 @@ func (s *Solver) Solve(assumptions ...Lit) Status {
 	conflictBudget := s.opts.LubyUnit * luby(restartIdx)
 	conflictsThisRestart := int64(0)
 	learntCap := float64(len(s.clauses))/3 + 1000
+	sincePoll := 0
+
+	interrupted := func() bool {
+		if ctx.Err() != nil {
+			return true
+		}
+		return !s.deadline.IsZero() && time.Now().After(s.deadline)
+	}
 
 	for {
+		sincePoll++
+		if sincePoll >= pollInterval {
+			sincePoll = 0
+			if interrupted() {
+				return Unknown
+			}
+		}
 		confl := s.propagate()
 		if confl != nilClause {
 			s.stats.Conflicts++
@@ -614,9 +647,6 @@ func (s *Solver) Solve(assumptions ...Lit) Status {
 		if s.opts.MaxConflicts > 0 && s.stats.Conflicts-conflictsAtStart >= s.opts.MaxConflicts {
 			return Unknown
 		}
-		if !s.deadline.IsZero() && s.stats.Conflicts%1024 == 0 && time.Now().After(s.deadline) {
-			return Unknown
-		}
 		// Restart.
 		if conflictsThisRestart >= conflictBudget {
 			s.stats.Restarts++
@@ -624,6 +654,10 @@ func (s *Solver) Solve(assumptions ...Lit) Status {
 			conflictBudget = s.opts.LubyUnit * luby(restartIdx)
 			conflictsThisRestart = 0
 			s.backtrack(0)
+			sincePoll = 0
+			if interrupted() {
+				return Unknown
+			}
 			continue
 		}
 		// Learnt DB reduction.
@@ -721,10 +755,16 @@ func (s *Solver) SetBudget(maxConflicts int64, timeout time.Duration) {
 // SolveWithBudget is Solve with an explicit conflict budget overriding the
 // configured MaxConflicts for this call only.
 func (s *Solver) SolveWithBudget(maxConflicts int64, assumptions ...Lit) Status {
+	return s.SolveWithBudgetContext(context.Background(), maxConflicts, assumptions...)
+}
+
+// SolveWithBudgetContext is SolveContext with an explicit conflict budget
+// overriding the configured MaxConflicts for this call only.
+func (s *Solver) SolveWithBudgetContext(ctx context.Context, maxConflicts int64, assumptions ...Lit) Status {
 	old := s.opts.MaxConflicts
 	s.opts.MaxConflicts = maxConflicts
 	defer func() { s.opts.MaxConflicts = old }()
-	return s.Solve(assumptions...)
+	return s.SolveContext(ctx, assumptions...)
 }
 
 // Simplify removes clauses satisfied at the top level. Safe to call between

@@ -13,6 +13,7 @@
 package smt
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/pb"
@@ -283,4 +284,10 @@ func (c *Context) ValueLit(l sat.Lit) bool { return c.Solver.ValueLit(l) }
 // Solve runs the SAT backend.
 func (c *Context) Solve(assumptions ...sat.Lit) sat.Status {
 	return c.Solver.Solve(assumptions...)
+}
+
+// SolveContext runs the SAT backend under a cancellable context; a
+// cancelled solve returns Unknown.
+func (c *Context) SolveContext(ctx context.Context, assumptions ...sat.Lit) sat.Status {
+	return c.Solver.SolveContext(ctx, assumptions...)
 }

@@ -145,14 +145,21 @@ func RunExternal(ctx context.Context, solver string, script *Script, extraArgs .
 	}
 	args := append(append([]string{}, extraArgs...), f.Name())
 	cmd := exec.CommandContext(ctx, solver, args...)
+	// After the context kills the solver, don't wait forever for its I/O
+	// pipes: a solver that forked children can hold them open past the
+	// parent's death.
+	cmd.WaitDelay = 2 * time.Second
 	var out bytes.Buffer
 	cmd.Stdout = &out
 	cmd.Stderr = &out
 	// Solvers exit non-zero on unsat in some configurations; rely on output
-	// parsing rather than the exit code.
-	_ = cmd.Run()
+	// parsing rather than the exit code when there is output to parse.
+	runErr := cmd.Run()
 	if ctx.Err() != nil {
 		return nil, fmt.Errorf("smt: external solver: %w", ctx.Err())
+	}
+	if runErr != nil && out.Len() == 0 {
+		return nil, fmt.Errorf("smt: external solver %s: %w", solver, runErr)
 	}
 	return ParseSolverOutput(out.String())
 }

@@ -1,6 +1,7 @@
 package synth
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -16,10 +17,10 @@ import (
 // one Boolean has(c,n,s) per reachability fact. It is semantically
 // equivalent to the paper encoding but scales much worse — kept as the
 // baseline for the encoding ablation benchmark.
-func synthesizeDirect(in Instance, opts Options) (Result, error) {
+func synthesizeDirect(ctx context.Context, in Instance, opts Options) (Result, error) {
 	var res Result
 	t0 := time.Now()
-	ctx := smt.NewContext()
+	enc := smt.NewContext()
 	coll, topo := in.Coll, in.Topo
 	S, G, P := in.Steps, coll.G, coll.P
 	edges := topo.Edges()
@@ -32,17 +33,17 @@ func synthesizeDirect(in Instance, opts Options) (Result, error) {
 		for n := 0; n < P; n++ {
 			has[c][n] = make([]sat.Lit, S+1)
 			for s := 0; s <= S; s++ {
-				has[c][n][s] = ctx.BoolVar()
+				has[c][n][s] = enc.BoolVar()
 			}
 			// Initial state.
 			if coll.Pre[c][n] {
-				ctx.AddClause(has[c][n][0])
+				enc.AddClause(has[c][n][0])
 			} else {
-				ctx.AddClause(has[c][n][0].Neg())
+				enc.AddClause(has[c][n][0].Neg())
 			}
 			// Postcondition.
 			if coll.Post[c][n] {
-				ctx.AddClause(has[c][n][S])
+				enc.AddClause(has[c][n][S])
 			}
 		}
 	}
@@ -53,7 +54,7 @@ func synthesizeDirect(in Instance, opts Options) (Result, error) {
 		for ei := range edges {
 			x[c][ei] = make([]sat.Lit, S)
 			for s := 0; s < S; s++ {
-				x[c][ei][s] = ctx.BoolVar()
+				x[c][ei][s] = enc.BoolVar()
 			}
 		}
 	}
@@ -61,7 +62,7 @@ func synthesizeDirect(in Instance, opts Options) (Result, error) {
 	for c := 0; c < G; c++ {
 		for ei, l := range edges {
 			for s := 0; s < S; s++ {
-				ctx.AddClause(x[c][ei][s].Neg(), has[c][int(l.Src)][s])
+				enc.AddClause(x[c][ei][s].Neg(), has[c][int(l.Src)][s])
 			}
 		}
 	}
@@ -77,17 +78,17 @@ func synthesizeDirect(in Instance, opts Options) (Result, error) {
 			for s := 0; s < S; s++ {
 				next, cur := has[c][n][s+1], has[c][n][s]
 				// cur -> next
-				ctx.AddClause(cur.Neg(), next)
+				enc.AddClause(cur.Neg(), next)
 				// incoming -> next
 				for _, ei := range inEdges {
-					ctx.AddClause(x[c][ei][s].Neg(), next)
+					enc.AddClause(x[c][ei][s].Neg(), next)
 				}
 				// next -> cur ∨ ⋁ incoming
 				cl := []sat.Lit{next.Neg(), cur}
 				for _, ei := range inEdges {
 					cl = append(cl, x[c][ei][s])
 				}
-				ctx.AddClause(cl...)
+				enc.AddClause(cl...)
 			}
 		}
 	}
@@ -104,10 +105,10 @@ func synthesizeDirect(in Instance, opts Options) (Result, error) {
 			}
 			if coll.Pre[c][n] {
 				for _, l := range incoming {
-					ctx.AddClause(l.Neg())
+					enc.AddClause(l.Neg())
 				}
 			} else if len(incoming) > 1 {
-				pb.AtMostOne(ctx.Solver, incoming)
+				pb.AtMostOne(enc.Solver, incoming)
 			}
 		}
 	}
@@ -115,9 +116,9 @@ func synthesizeDirect(in Instance, opts Options) (Result, error) {
 	rs := make([]*smt.IntVar, S)
 	maxRounds := in.Round - S + 1
 	for s := 0; s < S; s++ {
-		rs[s] = ctx.NewIntVar(fmt.Sprintf("r_%d", s), 1, maxRounds)
+		rs[s] = enc.NewIntVar(fmt.Sprintf("r_%d", s), 1, maxRounds)
 	}
-	ctx.AssertSumEquals(rs, in.Round)
+	enc.AssertSumEquals(rs, in.Round)
 	edgeIndex := map[topology.Link]int{}
 	for ei, l := range edges {
 		edgeIndex[l] = ei
@@ -135,30 +136,30 @@ func synthesizeDirect(in Instance, opts Options) (Result, error) {
 				}
 			}
 			if len(lits) > 0 {
-				ctx.CountLeScaled(lits, rel.Bandwidth, rs[s])
+				enc.CountLeScaled(lits, rel.Bandwidth, rs[s])
 			}
 		}
 	}
 	res.Encode = time.Since(t0)
-	applySolverOpts(ctx.Solver, opts)
-	res.Vars = ctx.Solver.NumVars()
-	res.Clauses = ctx.Solver.NumClauses()
+	applySolverOpts(enc.Solver, opts)
+	res.Vars = enc.Solver.NumVars()
+	res.Clauses = enc.Solver.NumClauses()
 	t1 := time.Now()
-	res.Status = ctx.Solve()
+	res.Status = enc.SolveContext(ctx)
 	res.Solve = time.Since(t1)
-	res.Stats = ctx.Solver.Stats()
+	res.Stats = enc.Solver.Stats()
 	if res.Status != sat.Sat {
 		return res, nil
 	}
 	rounds := make([]int, S)
 	for s := range rounds {
-		rounds[s] = ctx.Value(rs[s])
+		rounds[s] = enc.Value(rs[s])
 	}
 	var sends []algorithm.Send
 	for c := 0; c < G; c++ {
 		for ei, l := range edges {
 			for s := 0; s < S; s++ {
-				if ctx.ValueLit(x[c][ei][s]) {
+				if enc.ValueLit(x[c][ei][s]) {
 					sends = append(sends, algorithm.Send{Chunk: c, From: l.Src, To: l.Dst, Step: s})
 				}
 			}

@@ -7,6 +7,7 @@
 package synth
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -53,6 +54,9 @@ type Options struct {
 	// satisfiability-preserving (any solution can be permuted into the
 	// canonical form) and prunes factorially many symmetric assignments.
 	NoSymmetryBreak bool
+	// Backend selects the solver backend discharging the instance; nil
+	// selects the built-in CDCL encoder (see Backend, NewSMTLIBBackend).
+	Backend Backend
 }
 
 // Result carries a synthesis outcome: the algorithm if Status == sat.Sat,
@@ -548,12 +552,35 @@ func (e *encoded) extract(in Instance, name string) *algorithm.Algorithm {
 // algorithm on Sat. The returned algorithm is always Validate()d before
 // being returned; an invalid extraction is reported as an error.
 func Synthesize(in Instance, opts Options) (Result, error) {
+	return SynthesizeContext(context.Background(), in, opts)
+}
+
+// SynthesizeContext is Synthesize with cooperative cancellation: the
+// context is threaded down to the solver's restart/conflict boundaries
+// (or the external solver subprocess) and a cancelled solve reports
+// Unknown. When opts.Backend is non-nil the instance is discharged to that
+// backend instead of the built-in CDCL pipeline.
+func SynthesizeContext(ctx context.Context, in Instance, opts Options) (Result, error) {
+	if ctx.Err() != nil {
+		// Bail before paying the encode cost: a cancelled probe should
+		// release its worker promptly, not build the formula first.
+		return Result{Status: sat.Unknown}, nil
+	}
+	if opts.Backend != nil {
+		return opts.Backend.Solve(ctx, in, opts)
+	}
+	return synthesizeCDCL(ctx, in, opts)
+}
+
+// synthesizeCDCL is the built-in pipeline: encode (paper or direct
+// encoding) into the internal CDCL solver and extract the model.
+func synthesizeCDCL(ctx context.Context, in Instance, opts Options) (Result, error) {
 	var res Result
 	if err := in.Validate(); err != nil {
 		return res, err
 	}
 	if opts.Encoding == EncodingDirect {
-		return synthesizeDirect(in, opts)
+		return synthesizeDirect(ctx, in, opts)
 	}
 	t0 := time.Now()
 	e := encodePaper(in, opts)
@@ -566,7 +593,7 @@ func Synthesize(in Instance, opts Options) (Result, error) {
 	res.Vars = e.ctx.Solver.NumVars()
 	res.Clauses = e.ctx.Solver.NumClauses()
 	t1 := time.Now()
-	res.Status = e.ctx.Solve()
+	res.Status = e.ctx.SolveContext(ctx)
 	res.Solve = time.Since(t1)
 	res.Stats = e.ctx.Solver.Stats()
 	if res.Status != sat.Sat {

@@ -1,9 +1,11 @@
 package synth
 
 import (
+	"context"
 	"fmt"
 	"math/big"
 	"sort"
+	"sync"
 	"time"
 
 	"repro/internal/algorithm"
@@ -21,10 +23,48 @@ type ParetoOptions struct {
 	MaxSteps int
 	// MaxChunks caps the per-node chunk count C considered.
 	MaxChunks int
-	// Per-instance solving options.
+	// Per-instance solving options (including the solver Backend).
 	Instance Options
-	// Progress, if non-nil, receives a line per probe.
+	// Progress, if non-nil, receives a line per probe. Calls are routed
+	// through a mutex-guarded sink, so the callback never runs
+	// concurrently with itself even when Workers > 1.
 	Progress func(format string, args ...any)
+	// Workers is the number of concurrent synthesis probes; values <= 1
+	// select a single worker. The per-S candidate probes are speculated
+	// out of order across the pool and merged deterministically in
+	// (S, bandwidth-cost) rank, so the returned frontier is identical for
+	// every worker count.
+	Workers int
+	// Context, if non-nil, cancels the whole sweep early; in-flight
+	// probes are aborted at the solver's next restart/conflict boundary.
+	Context context.Context
+	// Stats, if non-nil, receives scheduler counters for speedup
+	// reporting once the sweep finishes.
+	Stats *ParetoStats
+}
+
+// ParetoStats reports what the probe scheduler did during one sweep.
+type ParetoStats struct {
+	// Probes counts candidate probes that ran to completion.
+	Probes int
+	// Pruned counts speculative probes cancelled after a cheaper
+	// candidate for the same step count returned Sat, or after the sweep
+	// finished.
+	Pruned int
+	// ProbeTime is the summed per-probe wall clock — the sequential cost
+	// of the work performed.
+	ProbeTime time.Duration
+	// Wall is the end-to-end sweep wall clock.
+	Wall time.Duration
+}
+
+// Speedup returns the aggregate parallel speedup: summed probe time over
+// sweep wall clock (0 when the sweep did not run).
+func (s ParetoStats) Speedup() float64 {
+	if s.Wall <= 0 {
+		return 0
+	}
+	return s.ProbeTime.Seconds() / s.Wall.Seconds()
 }
 
 // ParetoPoint is one synthesized Pareto-frontier member.
@@ -91,12 +131,83 @@ func enumerateCandidates(S, k, maxChunks int, bl *big.Rat) []candidate {
 	return out
 }
 
+// SerializedProgress wraps a progress callback so concurrent workers'
+// calls are serialized under a mutex and interleaved output cannot
+// corrupt the caller's sink; nil yields a no-op. Shared by the Pareto
+// scheduler and the eval table driver.
+func SerializedProgress(fn func(format string, args ...any)) func(format string, args ...any) {
+	if fn == nil {
+		return func(string, ...any) {}
+	}
+	var mu sync.Mutex
+	return func(format string, args ...any) {
+		mu.Lock()
+		defer mu.Unlock()
+		fn(format, args...)
+	}
+}
+
+// probeOutcome is one finished candidate probe.
+type probeOutcome struct {
+	res    Result
+	err    error
+	pruned bool // cancelled by the scheduler; the result is discarded
+	dur    time.Duration
+}
+
+// stepSchedule tracks probe state for one step count S. All fields are
+// owned by the coordinator goroutine; workers only see immutable candidate
+// data through probeTask.
+type stepSchedule struct {
+	S       int
+	cands   []candidate
+	next    int // next candidate index to dispatch
+	satCut  int // lowest index that returned Sat (len(cands) if none yet)
+	scan    int // lowest index whose outcome the deterministic merge still needs
+	done    []*probeOutcome
+	prunedF []bool
+	cancels []context.CancelFunc
+}
+
+type probeTask struct {
+	si, ci int
+	ctx    context.Context
+}
+
+type probeDone struct {
+	si, ci int
+	out    *probeOutcome
+}
+
+// paretoSweep is the concurrent Pareto scheduler: it speculatively
+// launches per-S candidate probes in cost order across a worker pool,
+// cancels losers as soon as a cheaper candidate for the same S returns
+// Sat, and merges results deterministically so the frontier is identical
+// to the sequential sweep.
+type paretoSweep struct {
+	kind     collective.Kind
+	topo     *topology.Topology
+	root     topology.Node
+	opts     ParetoOptions
+	bounds   collective.Bounds
+	bl       *big.Rat
+	progress func(format string, args ...any)
+	workers  int
+	steps    []*stepSchedule
+	stats    ParetoStats
+}
+
 // ParetoSynthesize runs Algorithm 1 for a non-combining collective kind on
 // a topology: starting from the latency lower bound a_l it enumerates step
 // counts, for each S probing (R, C) candidates in ascending bandwidth cost
 // until one is satisfiable — that algorithm is Pareto-optimal for its S.
 // The procedure stops when the bandwidth lower bound b_l is met, or when
 // MaxSteps is exceeded.
+//
+// With Workers > 1 the independent probes run concurrently (the paper's
+// authors likewise parallelized the per-budget queries); the frontier is
+// merged in deterministic (S, cost) rank and matches the sequential sweep
+// exactly.
 func ParetoSynthesize(kind collective.Kind, topo *topology.Topology, root topology.Node, opts ParetoOptions) ([]ParetoPoint, error) {
 	if kind.IsCombining() {
 		return nil, fmt.Errorf("synth: ParetoSynthesize needs a non-combining collective; got %v (use SynthesizeCollective)", kind)
@@ -107,9 +218,13 @@ func ParetoSynthesize(kind collective.Kind, topo *topology.Topology, root topolo
 	if opts.MaxChunks == 0 {
 		opts.MaxChunks = 2 * topo.P
 	}
-	progress := opts.Progress
-	if progress == nil {
-		progress = func(string, ...any) {}
+	workers := opts.Workers
+	if workers < 1 {
+		workers = 1
+	}
+	ctx := opts.Context
+	if ctx == nil {
+		ctx = context.Background()
 	}
 	bounds, err := collective.EffectiveLowerBounds(kind, topo.P, 1, root, topo)
 	if err != nil {
@@ -122,45 +237,221 @@ func ParetoSynthesize(kind collective.Kind, topo *topology.Topology, root topolo
 	if al == 0 {
 		al = 1 // degenerate specs (e.g. P=1) still need one step encoding-wise
 	}
-	var points []ParetoPoint
+	w := &paretoSweep{
+		kind:     kind,
+		topo:     topo,
+		root:     root,
+		opts:     opts,
+		bounds:   bounds,
+		bl:       bl,
+		progress: SerializedProgress(opts.Progress),
+		workers:  workers,
+	}
 	for S := al; S <= opts.MaxSteps; S++ {
 		cands := enumerateCandidates(S, opts.K, opts.MaxChunks, bl)
-		for _, cand := range cands {
-			coll, err := collective.New(kind, topo.P, cand.C, root)
-			if err != nil {
-				return points, err
+		w.steps = append(w.steps, &stepSchedule{
+			S:       S,
+			cands:   cands,
+			satCut:  len(cands),
+			done:    make([]*probeOutcome, len(cands)),
+			prunedF: make([]bool, len(cands)),
+			cancels: make([]context.CancelFunc, len(cands)),
+		})
+	}
+	t0 := time.Now()
+	points, err := w.run(ctx)
+	if opts.Stats != nil {
+		w.stats.Wall = time.Since(t0)
+		*opts.Stats = w.stats
+	}
+	return points, err
+}
+
+// run drives the worker pool until the frontier is complete, an error
+// surfaces at the deterministic merge frontier, or the context cancels.
+func (w *paretoSweep) run(ctx context.Context) ([]ParetoPoint, error) {
+	tasks := make(chan probeTask, w.workers)
+	results := make(chan probeDone, w.workers)
+	for i := 0; i < w.workers; i++ {
+		go func() {
+			for t := range tasks {
+				results <- probeDone{t.si, t.ci, w.probe(t)}
 			}
-			inst := Instance{Coll: coll, Topo: topo, Steps: S, Round: cand.R}
-			t0 := time.Now()
-			res, err := Synthesize(inst, opts.Instance)
-			dt := time.Since(t0)
-			progress("probe %v C=%d S=%d R=%d: %v (%.2fs)", kind, cand.C, S, cand.R, res.Status, dt.Seconds())
-			if err != nil {
-				return points, err
+		}()
+	}
+	inflight := 0
+	defer func() {
+		// Cancel anything still running, stop the workers, and drain so
+		// no goroutine or context leaks past the sweep.
+		for _, st := range w.steps {
+			for ci, cancel := range st.cancels {
+				if cancel != nil {
+					st.prunedF[ci] = true
+					cancel()
+				}
 			}
-			if res.Status == sat.Unknown {
-				return points, fmt.Errorf("synth: solver budget exhausted at C=%d S=%d R=%d", cand.C, S, cand.R)
+		}
+		close(tasks)
+		for ; inflight > 0; inflight-- {
+			d := <-results
+			if d.out.pruned || w.steps[d.si].prunedF[d.ci] {
+				w.stats.Pruned++
+			} else {
+				w.stats.Probes++
+				w.stats.ProbeTime += d.out.dur
 			}
-			if res.Status != sat.Sat {
-				continue
+		}
+	}()
+
+	resolved := 0 // index of the first step whose winner is still unknown
+	var points []ParetoPoint
+	for {
+		// Fill the pool with probes in global (S, cost-rank) order; later
+		// steps are speculated while earlier ones are still in flight.
+		for inflight < w.workers {
+			si, ci, ok := w.nextTask(resolved)
+			if !ok {
+				break
 			}
-			pt := ParetoPoint{
-				Algorithm:        res.Algorithm,
-				C:                cand.C,
-				S:                S,
-				R:                cand.R,
-				LatencyOptimal:   S == bounds.Steps,
-				BandwidthOptimal: bl.Sign() > 0 && cand.cost.Cmp(bl) == 0,
-				SynthesisTime:    res.Encode + res.Solve,
-			}
-			points = append(points, pt)
-			if pt.BandwidthOptimal {
-				return points, nil
-			}
-			break // Pareto-optimal for this S found; increase S
+			st := w.steps[si]
+			pctx, cancel := context.WithCancel(ctx)
+			st.cancels[ci] = cancel
+			st.next = ci + 1
+			tasks <- probeTask{si: si, ci: ci, ctx: pctx}
+			inflight++
+		}
+		if inflight == 0 {
+			return points, nil // frontier exhausted below MaxSteps
+		}
+		d := <-results
+		inflight--
+		st := w.steps[d.si]
+		if st.prunedF[d.ci] {
+			d.out.pruned = true
+		}
+		st.done[d.ci] = d.out
+		if cancel := st.cancels[d.ci]; cancel != nil {
+			cancel()
+			st.cancels[d.ci] = nil
+		}
+		if d.out.pruned {
+			w.stats.Pruned++
+		} else {
+			w.stats.Probes++
+			w.stats.ProbeTime += d.out.dur
+		}
+		if ctx.Err() != nil {
+			return points, fmt.Errorf("synth: pareto sweep cancelled: %w", ctx.Err())
+		}
+		if !d.out.pruned && d.out.err == nil && d.out.res.Status == sat.Sat && d.ci < st.satCut {
+			// A cheaper Sat for this S makes every costlier candidate a
+			// loser: cancel them immediately.
+			st.satCut = d.ci
+			w.pruneAbove(st, d.ci)
+		}
+		stop, err := w.advance(&resolved, &points)
+		if err != nil {
+			return points, err
+		}
+		if stop {
+			return points, nil
 		}
 	}
-	return points, nil
+}
+
+// nextTask picks the globally first undispatched candidate: steps in
+// ascending S, candidates in ascending cost rank, skipping candidates
+// above a step's known Sat cut.
+func (w *paretoSweep) nextTask(resolved int) (int, int, bool) {
+	for si := resolved; si < len(w.steps); si++ {
+		st := w.steps[si]
+		if st.next < len(st.cands) && st.next < st.satCut {
+			return si, st.next, true
+		}
+	}
+	return 0, 0, false
+}
+
+// pruneAbove cancels every in-flight probe of st costlier than index ci.
+func (w *paretoSweep) pruneAbove(st *stepSchedule, ci int) {
+	for j := ci + 1; j < len(st.cands); j++ {
+		if cancel := st.cancels[j]; cancel != nil && st.done[j] == nil {
+			st.prunedF[j] = true
+			cancel()
+		}
+	}
+}
+
+// advance replays completed probes in the deterministic sequential order,
+// extending the frontier. It mirrors the sequential sweep exactly:
+// candidates are consumed in cost rank, the first Sat wins its step, a
+// real Unknown aborts with the budget error, and a bandwidth-optimal
+// winner ends the whole sweep.
+func (w *paretoSweep) advance(resolved *int, points *[]ParetoPoint) (stop bool, err error) {
+steps:
+	for *resolved < len(w.steps) {
+		st := w.steps[*resolved]
+		for st.scan < len(st.cands) {
+			out := st.done[st.scan]
+			if out == nil {
+				return false, nil // outcome still in flight (or queued)
+			}
+			if out.pruned {
+				// Pruning only ever targets candidates above a Sat cut,
+				// and the scan stops at that Sat first.
+				return false, fmt.Errorf("synth: internal: pruned probe at merge frontier (S=%d, rank %d)", st.S, st.scan)
+			}
+			if out.err != nil {
+				return false, out.err
+			}
+			cand := st.cands[st.scan]
+			switch out.res.Status {
+			case sat.Unknown:
+				return false, fmt.Errorf("synth: solver budget exhausted at C=%d S=%d R=%d", cand.C, st.S, cand.R)
+			case sat.Sat:
+				pt := ParetoPoint{
+					Algorithm:        out.res.Algorithm,
+					C:                cand.C,
+					S:                st.S,
+					R:                cand.R,
+					LatencyOptimal:   st.S == w.bounds.Steps,
+					BandwidthOptimal: w.bl.Sign() > 0 && cand.cost.Cmp(w.bl) == 0,
+					SynthesisTime:    out.res.Encode + out.res.Solve,
+				}
+				*points = append(*points, pt)
+				if pt.BandwidthOptimal {
+					return true, nil
+				}
+				*resolved++
+				continue steps // Pareto-optimal for this S found; next S
+			default: // Unsat: try the next-cheapest candidate
+				st.scan++
+			}
+		}
+		// Every candidate Unsat: no frontier point for this S.
+		*resolved++
+	}
+	return true, nil // MaxSteps exhausted with all steps resolved
+}
+
+// probe synthesizes one (S, R, C) candidate. It runs on a worker
+// goroutine and touches only immutable sweep state.
+func (w *paretoSweep) probe(t probeTask) *probeOutcome {
+	st := w.steps[t.si]
+	cand := st.cands[t.ci]
+	out := &probeOutcome{}
+	t0 := time.Now()
+	coll, err := collective.New(w.kind, w.topo.P, cand.C, w.root)
+	if err != nil {
+		out.err = err
+		out.dur = time.Since(t0)
+		return out
+	}
+	inst := Instance{Coll: coll, Topo: w.topo, Steps: st.S, Round: cand.R}
+	out.res, out.err = SynthesizeContext(t.ctx, inst, w.opts.Instance)
+	out.dur = time.Since(t0)
+	w.progress("probe %v C=%d S=%d R=%d: %v (%.2fs)", w.kind, cand.C, st.S, cand.R, out.res.Status, out.dur.Seconds())
+	return out
 }
 
 // SynthesizeCollective synthesizes any collective kind — including
@@ -169,6 +460,12 @@ func ParetoSynthesize(kind collective.Kind, topo *topology.Topology, root topolo
 // algorithm's step/round counts are those of the derived algorithm
 // (doubled for Allreduce).
 func SynthesizeCollective(kind collective.Kind, topo *topology.Topology, root topology.Node, c, s, r int, opts Options) (*algorithm.Algorithm, sat.Status, error) {
+	return SynthesizeCollectiveContext(context.Background(), kind, topo, root, c, s, r, opts)
+}
+
+// SynthesizeCollectiveContext is SynthesizeCollective with cooperative
+// cancellation threaded through every phase's solver call.
+func SynthesizeCollectiveContext(ctx context.Context, kind collective.Kind, topo *topology.Topology, root topology.Node, c, s, r int, opts Options) (*algorithm.Algorithm, sat.Status, error) {
 	switch kind {
 	case collective.Reduce, collective.Reducescatter:
 		dualKind := collective.Broadcast
@@ -179,7 +476,7 @@ func SynthesizeCollective(kind collective.Kind, topo *topology.Topology, root to
 		if err != nil {
 			return nil, sat.Unknown, err
 		}
-		res, err := Synthesize(Instance{Coll: coll, Topo: topo.Reverse(), Steps: s, Round: r}, opts)
+		res, err := SynthesizeContext(ctx, Instance{Coll: coll, Topo: topo.Reverse(), Steps: s, Round: r}, opts)
 		if err != nil || res.Status != sat.Sat {
 			return nil, res.Status, err
 		}
@@ -203,7 +500,7 @@ func SynthesizeCollective(kind collective.Kind, topo *topology.Topology, root to
 		if err != nil {
 			return nil, sat.Unknown, err
 		}
-		res1, err := Synthesize(Instance{Coll: coll1, Topo: topo.Reverse(), Steps: s, Round: r}, opts)
+		res1, err := SynthesizeContext(ctx, Instance{Coll: coll1, Topo: topo.Reverse(), Steps: s, Round: r}, opts)
 		if err != nil || res1.Status != sat.Sat {
 			return nil, res1.Status, err
 		}
@@ -216,7 +513,7 @@ func SynthesizeCollective(kind collective.Kind, topo *topology.Topology, root to
 		if err != nil {
 			return nil, sat.Unknown, err
 		}
-		res2, err := Synthesize(Instance{Coll: coll2, Topo: topo, Steps: s, Round: r}, opts)
+		res2, err := SynthesizeContext(ctx, Instance{Coll: coll2, Topo: topo, Steps: s, Round: r}, opts)
 		if err != nil || res2.Status != sat.Sat {
 			return nil, res2.Status, err
 		}
@@ -234,7 +531,7 @@ func SynthesizeCollective(kind collective.Kind, topo *topology.Topology, root to
 		if err != nil {
 			return nil, sat.Unknown, err
 		}
-		res, err := Synthesize(Instance{Coll: coll, Topo: topo, Steps: s, Round: r}, opts)
+		res, err := SynthesizeContext(ctx, Instance{Coll: coll, Topo: topo, Steps: s, Round: r}, opts)
 		if err != nil {
 			return nil, res.Status, err
 		}

@@ -29,6 +29,7 @@
 package sccl
 
 import (
+	"context"
 	"math/big"
 
 	"repro/internal/algorithm"
@@ -63,10 +64,16 @@ type (
 	Send = algorithm.Send
 	// SynthOptions tunes a synthesis call.
 	SynthOptions = synth.Options
-	// ParetoOptions tunes the Pareto-Synthesize procedure.
+	// ParetoOptions tunes the Pareto-Synthesize procedure, including the
+	// Workers count and cancellation Context of the parallel scheduler.
 	ParetoOptions = synth.ParetoOptions
 	// ParetoPoint is one frontier member.
 	ParetoPoint = synth.ParetoPoint
+	// ParetoStats reports probe counts and aggregate speedup of a sweep.
+	ParetoStats = synth.ParetoStats
+	// Backend is a pluggable synthesis solver backend (built-in CDCL or
+	// an external SMT solver subprocess).
+	Backend = synth.Backend
 	// Instance is a raw SynColl instance for direct control.
 	Instance = synth.Instance
 	// Status is the solver verdict (Sat / Unsat / Unknown).
@@ -202,14 +209,49 @@ func Synthesize(kind Kind, topo *Topology, root Node, c, s, r int, opts SynthOpt
 	return synth.SynthesizeCollective(kind, topo, root, c, s, r, opts)
 }
 
+// SynthesizeContext is Synthesize with cooperative cancellation threaded
+// down to the solver's restart/conflict boundaries (or the external
+// solver subprocess); a cancelled solve reports Unknown.
+func SynthesizeContext(ctx context.Context, kind Kind, topo *Topology, root Node, c, s, r int, opts SynthOptions) (*Algorithm, Status, error) {
+	return synth.SynthesizeCollectiveContext(ctx, kind, topo, root, c, s, r, opts)
+}
+
 // SynthesizeInstance solves a raw SynColl instance (non-combining only).
 func SynthesizeInstance(in Instance, opts SynthOptions) (*Algorithm, Status, error) {
 	res, err := synth.Synthesize(in, opts)
 	return res.Algorithm, res.Status, err
 }
 
+// SynthesizeInstanceContext is SynthesizeInstance with cooperative
+// cancellation.
+func SynthesizeInstanceContext(ctx context.Context, in Instance, opts SynthOptions) (*Algorithm, Status, error) {
+	res, err := synth.SynthesizeContext(ctx, in, opts)
+	return res.Algorithm, res.Status, err
+}
+
+// ParseBackend resolves a solver backend spec: "cdcl" (or "") selects the
+// built-in CDCL solver, "smtlib" auto-detects an external SMT solver on
+// PATH, and "smtlib:BIN" runs the given solver binary.
+func ParseBackend(spec string) (Backend, error) { return synth.ParseBackend(spec) }
+
+// NewCDCLBackend returns the built-in CDCL solver backend.
+func NewCDCLBackend() Backend { return synth.NewCDCLBackend() }
+
+// NewSMTLIBBackend builds an external SMT solver backend; an empty binary
+// auto-detects one on PATH.
+func NewSMTLIBBackend(binary string) (Backend, error) {
+	b, err := synth.NewSMTLIBBackend(binary)
+	if err != nil {
+		return nil, err
+	}
+	return b, nil
+}
+
 // Pareto runs the paper's Algorithm 1, synthesizing the Pareto frontier of
-// k-synchronous algorithms for a non-combining collective.
+// k-synchronous algorithms for a non-combining collective. With
+// ParetoOptions.Workers > 1 the per-budget probes run concurrently and are
+// merged deterministically: the frontier is identical for every worker
+// count. ParetoOptions.Context cancels the sweep early.
 func Pareto(kind Kind, topo *Topology, root Node, opts ParetoOptions) ([]ParetoPoint, error) {
 	return synth.ParetoSynthesize(kind, topo, root, opts)
 }
