@@ -1,0 +1,108 @@
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	sccl "repro"
+)
+
+// cmdLibrary manages persisted algorithm libraries:
+//
+//	sccl library save -out lib.json -topology ring:4 -collective Allgather -c 1 -s 3 -r 3
+//	sccl library save -out lib.json -topology dgx1 -collective Allgather -pareto -k 2
+//	sccl library show -in lib.json
+//
+// save synthesizes into a fresh engine (optionally seeded with -in) and
+// writes the cache out; show lists a library's entries, re-validating
+// every stored algorithm while decoding.
+func cmdLibrary(args []string) error {
+	if len(args) < 1 {
+		return fmt.Errorf("library needs a subcommand: save | show")
+	}
+	switch args[0] {
+	case "save":
+		return cmdLibrarySave(args[1:])
+	case "show":
+		return cmdLibraryShow(args[1:])
+	}
+	return fmt.Errorf("unknown library subcommand %q (want save | show)", args[0])
+}
+
+func cmdLibrarySave(args []string) error {
+	fs := flag.NewFlagSet("library save", flag.ContinueOnError)
+	out := fs.String("out", "", "output library file (required)")
+	in := fs.String("in", "", "existing library to extend")
+	c := fs.Int("c", 1, "chunks per node")
+	s := fs.Int("s", 2, "steps")
+	r := fs.Int("r", 2, "rounds")
+	pareto := fs.Bool("pareto", false, "sweep the whole Pareto frontier instead of one budget")
+	k := fs.Int("k", 0, "k-synchronous bound for -pareto")
+	maxSteps := fs.Int("max-steps", 0, "step cap for -pareto (0 = auto)")
+	maxChunks := fs.Int("max-chunks", 0, "chunk cap for -pareto (0 = auto)")
+	timeout := fs.Duration("timeout", 5*time.Minute, "solver timeout")
+	cm, err := parseCommon(fs, args)
+	if err != nil {
+		return err
+	}
+	if *out == "" {
+		return fmt.Errorf("library save needs -out FILE")
+	}
+	if *in != "" {
+		if err := loadLibraryIfExists(cm.eng, *in); err != nil {
+			return err
+		}
+	}
+	if *pareto {
+		res, err := cm.eng.Pareto(context.Background(), sccl.ParetoRequest{
+			Kind: cm.kind, Topo: cm.topo, Root: sccl.Node(cm.root),
+			K: *k, MaxSteps: *maxSteps, MaxChunks: *maxChunks,
+			Timeout: *timeout,
+		})
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "swept %d frontier points in %.1fs\n", len(res.Points), res.Wall.Seconds())
+	} else {
+		res, err := cm.synthOne(*c, *s, *r, *timeout)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "synthesized %v %s: %v in %.1fs\n", cm.kind, res.Fingerprint, res.Status, res.Wall.Seconds())
+	}
+	if err := saveLibrary(cm.eng, *out); err != nil {
+		return err
+	}
+	stats := cm.eng.CacheStats()
+	fmt.Printf("saved %d entries to %s\n", stats.Algorithms, *out)
+	return nil
+}
+
+func cmdLibraryShow(args []string) error {
+	fs := flag.NewFlagSet("library show", flag.ContinueOnError)
+	in := fs.String("in", "", "library file (required)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *in == "" {
+		return fmt.Errorf("library show needs -in FILE")
+	}
+	data, err := os.ReadFile(*in)
+	if err != nil {
+		return err
+	}
+	entries, err := sccl.DecodeLibrary(data)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%-34s %-14s %-14s %-14s %-8s\n", "Fingerprint", "Kind", "Topology", "Budget", "Status")
+	for _, e := range entries {
+		fmt.Printf("%-34s %-14s %-14s %-14s %-8s\n",
+			e.Fingerprint, e.Kind, e.Topology, e.Budget, e.Status)
+	}
+	fmt.Printf("%d entries (all algorithms re-validated)\n", len(entries))
+	return nil
+}

@@ -1,7 +1,13 @@
 // Command sccl is the command-line front end to the SCCL synthesis
 // engine: it synthesizes collective algorithms for a topology, explores
 // Pareto frontiers, prints lower bounds, simulates performance, executes
-// algorithms on in-memory buffers, and emits CUDA or SMT-LIB2 artifacts.
+// algorithms on in-memory buffers, emits CUDA or SMT-LIB2 artifacts, and
+// manages persisted algorithm libraries.
+//
+// Every command drives a sccl.Engine; -library FILE warms the engine's
+// algorithm cache from a saved library before solving and writes the
+// updated cache back afterwards, so repeated invocations are served
+// without re-solving.
 //
 // Usage:
 //
@@ -12,10 +18,12 @@
 //	sccl cuda       -topology dgx1 -collective Allgather -c 1 -s 2 -r 2 -lowering fused-push
 //	sccl smtlib     -topology dgx1 -collective Allgather -c 1 -s 2 -r 2
 //	sccl execute    -topology dgx1 -collective Allreduce -c 8 -s 2 -r 2
+//	sccl library save -out lib.json -topology ring:4 -collective Allgather -c 1 -s 3 -r 3
+//	sccl library show -in lib.json
 package main
 
 import (
-	"encoding/json"
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -50,6 +58,8 @@ func main() {
 		err = cmdXML(args)
 	case "trace":
 		err = cmdTrace(args)
+	case "library":
+		err = cmdLibrary(args)
 	case "help", "-h", "--help":
 		usage()
 	default:
@@ -76,36 +86,115 @@ commands:
   execute     run a synthesized algorithm on in-memory buffers and verify
   xml         emit the MSCCL-runtime XML for a synthesized algorithm
   trace       emit a chrome://tracing timeline of the simulated schedule
+  library     save/show persisted algorithm libraries (save | show)
 
-common flags: -topology dgx1|amd|ring:N|bidir-ring:N|line:N|fc:N|star:N|
-              hypercube:D|torus:RxC|bus:N:BW
+common flags: -topology dgx1|dgx2|amd|ring:N|bidir-ring:N|line:N|fc:N|
+              star:N|hypercube:D|torus:RxC|bus:N:BW|
+              multinode:BASE:COUNT:NICS:BW
               -collective Allgather|Allreduce|Broadcast|...  -root N
-              -backend cdcl|smtlib[:binary]   (synthesize, pareto)
-              -workers N                      (pareto: concurrent probes)`)
+              -backend cdcl|smtlib[:binary]
+              -workers N    engine worker pool (0 = all cores)
+              -library FILE warm the cache from FILE, save updates back
+              -v            print engine and probe progress`)
 }
 
+// common holds the parsed shared flags and the engine they configure.
 type common struct {
-	topo *sccl.Topology
-	kind sccl.Kind
-	root int
+	topo    *sccl.Topology
+	kind    sccl.Kind
+	root    int
+	eng     *sccl.Engine
+	libPath string
 }
 
-func parseCommon(fs *flag.FlagSet, args []string) (common, *flag.FlagSet, error) {
+func parseCommon(fs *flag.FlagSet, args []string) (*common, error) {
 	topoSpec := fs.String("topology", "dgx1", "topology spec")
 	collName := fs.String("collective", "Allgather", "collective kind")
 	root := fs.Int("root", 0, "root node for rooted collectives")
+	backendSpec := fs.String("backend", "cdcl", "solver backend: cdcl|smtlib[:binary]")
+	workers := fs.Int("workers", 0, "engine worker pool (0 = all cores)")
+	library := fs.String("library", "", "algorithm library JSON to load and save back")
+	verbose := fs.Bool("v", false, "print engine and probe progress")
 	if err := fs.Parse(args); err != nil {
-		return common{}, fs, err
+		return nil, err
 	}
 	topo, err := sccl.ParseTopology(*topoSpec)
 	if err != nil {
-		return common{}, fs, err
+		return nil, err
 	}
 	kind, err := sccl.ParseKind(*collName)
 	if err != nil {
-		return common{}, fs, err
+		return nil, err
 	}
-	return common{topo: topo, kind: kind, root: *root}, fs, nil
+	backend, err := sccl.ParseBackend(*backendSpec)
+	if err != nil {
+		return nil, err
+	}
+	var progress func(format string, args ...any)
+	if *verbose {
+		progress = func(format string, a ...any) {
+			fmt.Fprintf(os.Stderr, format+"\n", a...)
+		}
+	}
+	cm := &common{
+		topo: topo, kind: kind, root: *root, libPath: *library,
+		eng: sccl.NewEngine(sccl.EngineOptions{
+			Backend: backend, Workers: *workers, Progress: progress,
+		}),
+	}
+	if cm.libPath != "" {
+		if err := loadLibraryIfExists(cm.eng, cm.libPath); err != nil {
+			return nil, err
+		}
+	}
+	return cm, nil
+}
+
+func loadLibraryIfExists(eng *sccl.Engine, path string) error {
+	f, err := os.Open(path)
+	if os.IsNotExist(err) {
+		return nil
+	}
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	n, err := eng.LoadLibrary(f)
+	if err != nil {
+		return fmt.Errorf("library %s: %w", path, err)
+	}
+	fmt.Fprintf(os.Stderr, "loaded %d library entries from %s\n", n, path)
+	return nil
+}
+
+func saveLibrary(eng *sccl.Engine, path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := eng.SaveLibrary(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// finish writes the engine cache back to the library file, if one was
+// given.
+func (cm *common) finish() error {
+	if cm.libPath == "" {
+		return nil
+	}
+	return saveLibrary(cm.eng, cm.libPath)
+}
+
+// synthOne answers one exact-budget request on the command's engine.
+func (cm *common) synthOne(c, s, r int, timeout time.Duration) (*sccl.Result, error) {
+	return cm.eng.Synthesize(context.Background(), sccl.Request{
+		Kind: cm.kind, Topo: cm.topo, Root: sccl.Node(cm.root),
+		Budget:  sccl.Budget{C: c, S: s, R: r},
+		Timeout: timeout,
+	})
 }
 
 func cmdSynthesize(args []string) error {
@@ -114,37 +203,33 @@ func cmdSynthesize(args []string) error {
 	s := fs.Int("s", 2, "steps")
 	r := fs.Int("r", 2, "rounds")
 	timeout := fs.Duration("timeout", 5*time.Minute, "solver timeout")
-	backendSpec := fs.String("backend", "cdcl", "solver backend: cdcl|smtlib[:binary]")
 	format := fs.String("format", "text", "output: text|json")
-	cm, _, err := parseCommon(fs, args)
+	cm, err := parseCommon(fs, args)
 	if err != nil {
 		return err
 	}
-	backend, err := sccl.ParseBackend(*backendSpec)
+	res, err := cm.synthOne(*c, *s, *r, *timeout)
 	if err != nil {
 		return err
 	}
-	t0 := time.Now()
-	alg, status, err := sccl.Synthesize(cm.kind, cm.topo, sccl.Node(cm.root), *c, *s, *r,
-		sccl.SynthOptions{Timeout: *timeout, Backend: backend})
-	if err != nil {
-		return err
+	hit := ""
+	if res.CacheHit {
+		hit = ", cache hit"
 	}
-	fmt.Printf("status: %v  (%.2fs)\n", status, time.Since(t0).Seconds())
-	if alg == nil {
-		return nil
-	}
-	switch *format {
-	case "json":
-		data, err := json.MarshalIndent(alg, "", "  ")
-		if err != nil {
-			return err
+	fmt.Printf("status: %v  (%.2fs%s)\n", res.Status, res.Wall.Seconds(), hit)
+	if res.Algorithm != nil {
+		switch *format {
+		case "json":
+			data, err := sccl.EncodeAlgorithm(res.Algorithm)
+			if err != nil {
+				return err
+			}
+			fmt.Println(string(data))
+		default:
+			fmt.Print(res.Algorithm.Format())
 		}
-		fmt.Println(string(data))
-	default:
-		fmt.Print(alg.Format())
 	}
-	return nil
+	return cm.finish()
 }
 
 func cmdPareto(args []string) error {
@@ -153,48 +238,34 @@ func cmdPareto(args []string) error {
 	maxSteps := fs.Int("max-steps", 0, "step cap (0 = auto)")
 	maxChunks := fs.Int("max-chunks", 0, "chunk cap (0 = auto)")
 	timeout := fs.Duration("timeout", 5*time.Minute, "per-instance solver timeout")
-	workers := fs.Int("workers", 1, "concurrent synthesis probes")
-	backendSpec := fs.String("backend", "cdcl", "solver backend: cdcl|smtlib[:binary]")
-	verbose := fs.Bool("v", false, "print probe progress")
-	cm, _, err := parseCommon(fs, args)
+	cm, err := parseCommon(fs, args)
 	if err != nil {
 		return err
 	}
-	backend, err := sccl.ParseBackend(*backendSpec)
-	if err != nil {
-		return err
-	}
-	if *workers < 1 {
-		*workers = 1
-	}
-	var stats sccl.ParetoStats
-	opts := sccl.ParetoOptions{
+	res, err := cm.eng.Pareto(context.Background(), sccl.ParetoRequest{
+		Kind: cm.kind, Topo: cm.topo, Root: sccl.Node(cm.root),
 		K: *k, MaxSteps: *maxSteps, MaxChunks: *maxChunks,
-		Instance: sccl.SynthOptions{Timeout: *timeout, Backend: backend},
-		Workers:  *workers,
-		Stats:    &stats,
-	}
-	if *verbose {
-		opts.Progress = func(format string, a ...any) {
-			fmt.Fprintf(os.Stderr, format+"\n", a...)
-		}
-	}
-	pts, err := sccl.Pareto(cm.kind, cm.topo, sccl.Node(cm.root), opts)
+		Timeout: *timeout,
+	})
 	if err != nil {
 		return err
 	}
 	fmt.Printf("%-8s %-6s %-6s %-12s %-10s\n", "C", "S", "R", "Optimality", "Time")
-	for _, p := range pts {
+	for _, p := range res.Points {
 		fmt.Printf("%-8d %-6d %-6d %-12s %.1fs\n", p.C, p.S, p.R, p.Optimality(), p.SynthesisTime.Seconds())
 	}
-	fmt.Printf("%d probes (%d pruned) on backend %s: %.1fs solver time in %.1fs wall, %.2fx speedup with %d workers\n",
-		stats.Probes, stats.Pruned, backend.Name(), stats.ProbeTime.Seconds(), stats.Wall.Seconds(), stats.Speedup(), *workers)
-	return nil
+	if res.CacheHit {
+		fmt.Printf("frontier served from cache in %.2fs\n", res.Wall.Seconds())
+	} else {
+		fmt.Printf("%d probes (%d pruned): %.1fs solver time in %.1fs wall, %.2fx speedup\n",
+			res.Stats.Probes, res.Stats.Pruned, res.Stats.ProbeTime.Seconds(), res.Stats.Wall.Seconds(), res.Stats.Speedup())
+	}
+	return cm.finish()
 }
 
 func cmdBounds(args []string) error {
 	fs := flag.NewFlagSet("bounds", flag.ContinueOnError)
-	cm, _, err := parseCommon(fs, args)
+	cm, err := parseCommon(fs, args)
 	if err != nil {
 		return err
 	}
@@ -207,6 +278,19 @@ func cmdBounds(args []string) error {
 	return nil
 }
 
+// synthOrFail synthesizes and errors out unless the result is Sat —
+// shared by the commands that need an algorithm to work on.
+func (cm *common) synthOrFail(c, s, r int) (*sccl.Algorithm, error) {
+	res, err := cm.synthOne(c, s, r, 0)
+	if err != nil {
+		return nil, err
+	}
+	if res.Algorithm == nil {
+		return nil, fmt.Errorf("synthesis returned %v", res.Status)
+	}
+	return res.Algorithm, nil
+}
+
 func cmdSimulate(args []string) error {
 	fs := flag.NewFlagSet("simulate", flag.ContinueOnError)
 	c := fs.Int("c", 1, "chunks per node")
@@ -214,7 +298,7 @@ func cmdSimulate(args []string) error {
 	r := fs.Int("r", 2, "rounds")
 	bytes := fs.Float64("bytes", 1<<20, "input size in bytes")
 	lowering := fs.String("lowering", "fused-push", "lowering variant")
-	cm, _, err := parseCommon(fs, args)
+	cm, err := parseCommon(fs, args)
 	if err != nil {
 		return err
 	}
@@ -222,12 +306,9 @@ func cmdSimulate(args []string) error {
 	if err != nil {
 		return err
 	}
-	alg, status, err := sccl.Synthesize(cm.kind, cm.topo, sccl.Node(cm.root), *c, *s, *r, sccl.SynthOptions{})
+	alg, err := cm.synthOrFail(*c, *s, *r)
 	if err != nil {
 		return err
-	}
-	if alg == nil {
-		return fmt.Errorf("synthesis returned %v", status)
 	}
 	profile := sccl.DGX1Profile()
 	if cm.topo.Name == "amd-z52" {
@@ -239,7 +320,7 @@ func cmdSimulate(args []string) error {
 	}
 	fmt.Printf("%s %s %s at %.0f bytes (%s): %.2f us, %d transfers\n",
 		alg.Name, alg.CSR(), cm.topo.Name, *bytes, low, res.Time*1e6, res.Transfers)
-	return nil
+	return cm.finish()
 }
 
 func cmdCUDA(args []string) error {
@@ -248,7 +329,7 @@ func cmdCUDA(args []string) error {
 	s := fs.Int("s", 2, "steps")
 	r := fs.Int("r", 2, "rounds")
 	lowering := fs.String("lowering", "fused-push", "lowering variant")
-	cm, _, err := parseCommon(fs, args)
+	cm, err := parseCommon(fs, args)
 	if err != nil {
 		return err
 	}
@@ -256,19 +337,16 @@ func cmdCUDA(args []string) error {
 	if err != nil {
 		return err
 	}
-	alg, status, err := sccl.Synthesize(cm.kind, cm.topo, sccl.Node(cm.root), *c, *s, *r, sccl.SynthOptions{})
+	alg, err := cm.synthOrFail(*c, *s, *r)
 	if err != nil {
 		return err
-	}
-	if alg == nil {
-		return fmt.Errorf("synthesis returned %v", status)
 	}
 	src, err := sccl.GenerateCUDA(alg, low)
 	if err != nil {
 		return err
 	}
 	fmt.Print(src)
-	return nil
+	return cm.finish()
 }
 
 func cmdSMTLIB(args []string) error {
@@ -276,7 +354,7 @@ func cmdSMTLIB(args []string) error {
 	c := fs.Int("c", 1, "chunks per node")
 	s := fs.Int("s", 2, "steps")
 	r := fs.Int("r", 2, "rounds")
-	cm, _, err := parseCommon(fs, args)
+	cm, err := parseCommon(fs, args)
 	if err != nil {
 		return err
 	}
@@ -297,23 +375,20 @@ func cmdXML(args []string) error {
 	c := fs.Int("c", 1, "chunks per node")
 	s := fs.Int("s", 2, "steps")
 	r := fs.Int("r", 2, "rounds")
-	cm, _, err := parseCommon(fs, args)
+	cm, err := parseCommon(fs, args)
 	if err != nil {
 		return err
 	}
-	alg, status, err := sccl.Synthesize(cm.kind, cm.topo, sccl.Node(cm.root), *c, *s, *r, sccl.SynthOptions{})
+	alg, err := cm.synthOrFail(*c, *s, *r)
 	if err != nil {
 		return err
-	}
-	if alg == nil {
-		return fmt.Errorf("synthesis returned %v", status)
 	}
 	out, err := sccl.GenerateMSCCLXML(alg)
 	if err != nil {
 		return err
 	}
 	fmt.Print(out)
-	return nil
+	return cm.finish()
 }
 
 func cmdTrace(args []string) error {
@@ -322,16 +397,13 @@ func cmdTrace(args []string) error {
 	s := fs.Int("s", 2, "steps")
 	r := fs.Int("r", 2, "rounds")
 	bytes := fs.Float64("bytes", 1<<20, "input size in bytes")
-	cm, _, err := parseCommon(fs, args)
+	cm, err := parseCommon(fs, args)
 	if err != nil {
 		return err
 	}
-	alg, status, err := sccl.Synthesize(cm.kind, cm.topo, sccl.Node(cm.root), *c, *s, *r, sccl.SynthOptions{})
+	alg, err := cm.synthOrFail(*c, *s, *r)
 	if err != nil {
 		return err
-	}
-	if alg == nil {
-		return fmt.Errorf("synthesis returned %v", status)
 	}
 	profile := sccl.DGX1Profile()
 	if cm.topo.Name == "amd-z52" {
@@ -350,7 +422,7 @@ func cmdTrace(args []string) error {
 	fmt.Println(string(data))
 	fmt.Fprintf(os.Stderr, "total %.2f us over %d transfers; critical path %d hops\n",
 		tr.Total*1e6, len(tr.Events), len(tr.CriticalPath()))
-	return nil
+	return cm.finish()
 }
 
 func cmdExecute(args []string) error {
@@ -359,21 +431,18 @@ func cmdExecute(args []string) error {
 	s := fs.Int("s", 2, "steps")
 	r := fs.Int("r", 2, "rounds")
 	elems := fs.Int("elems", 64, "elements per chunk")
-	cm, _, err := parseCommon(fs, args)
+	cm, err := parseCommon(fs, args)
 	if err != nil {
 		return err
 	}
-	alg, status, err := sccl.Synthesize(cm.kind, cm.topo, sccl.Node(cm.root), *c, *s, *r, sccl.SynthOptions{})
+	alg, err := cm.synthOrFail(*c, *s, *r)
 	if err != nil {
 		return err
-	}
-	if alg == nil {
-		return fmt.Errorf("synthesis returned %v", status)
 	}
 	if err := sccl.Execute(alg, *elems); err != nil {
 		return err
 	}
 	fmt.Printf("%s %s executed on %d goroutine-GPUs and verified bit-exactly\n",
 		alg.Name, alg.CSR(), alg.P)
-	return nil
+	return cm.finish()
 }

@@ -16,13 +16,19 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
 	"time"
 
+	sccl "repro"
+	"repro/internal/algorithm"
+	"repro/internal/collective"
 	"repro/internal/eval"
+	"repro/internal/sat"
 	"repro/internal/synth"
+	"repro/internal/topology"
 )
 
 func main() {
@@ -40,6 +46,9 @@ func main() {
 		fmt.Fprintln(os.Stderr, "scclbench:", err)
 		os.Exit(1)
 	}
+	// Rows go through a facade engine so identical budgets across tables
+	// and repeated runs within one process hit the algorithm cache.
+	eng := sccl.NewEngine(sccl.EngineOptions{Backend: backend, Workers: *workers})
 	opts := eval.Options{
 		Timeout:     *timeout,
 		IncludeSlow: *slow,
@@ -47,6 +56,17 @@ func main() {
 		Backend:     backend,
 		Progress: func(format string, args ...any) {
 			fmt.Fprintf(os.Stderr, format+"\n", args...)
+		},
+		Synthesize: func(ctx context.Context, kind collective.Kind, topo *topology.Topology, root topology.Node, c, s, r int, o synth.Options) (*algorithm.Algorithm, sat.Status, error) {
+			res, err := eng.Synthesize(ctx, sccl.Request{
+				Kind: kind, Topo: topo, Root: root,
+				Budget:  sccl.Budget{C: c, S: s, R: r},
+				Options: &o,
+			})
+			if err != nil {
+				return nil, sat.Unknown, err
+			}
+			return res.Algorithm, res.Status, nil
 		},
 	}
 	ran := false
@@ -104,5 +124,9 @@ func main() {
 	if !ran {
 		flag.Usage()
 		os.Exit(2)
+	}
+	if cs := eng.CacheStats(); cs.Hits+cs.Misses > 0 {
+		fmt.Fprintf(os.Stderr, "engine cache: %d algorithms, %d hits, %d misses\n",
+			cs.Algorithms, cs.Hits, cs.Misses)
 	}
 }

@@ -1,0 +1,486 @@
+package sccl
+
+import (
+	"context"
+	"crypto/sha256"
+	"encoding/hex"
+	"errors"
+	"fmt"
+	"runtime"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/synth"
+)
+
+// EngineOptions configures a synthesis Engine.
+type EngineOptions struct {
+	// Backend is the solver backend shared by every request; nil selects
+	// the built-in CDCL solver. Per-request overrides go through
+	// Request.Options.
+	Backend Backend
+	// Workers sizes the worker pool used by SynthesizeAll and as the
+	// default Pareto probe concurrency; values < 1 select the number of
+	// CPUs.
+	Workers int
+	// Progress, if non-nil, receives engine and probe progress lines.
+	// Calls are serialized, so the sink never runs concurrently with
+	// itself.
+	Progress func(format string, args ...any)
+	// Timeout is the default per-request solver timeout (0 = none).
+	Timeout time.Duration
+	// CacheSize caps the number of cached algorithm entries: 0 selects
+	// the default (4096), negative is unbounded. Oldest entries are
+	// evicted first.
+	CacheSize int
+	// DisableCache turns the algorithm and frontier caches off entirely.
+	DisableCache bool
+}
+
+const defaultCacheSize = 4096
+
+// maxFrontierEntries bounds the frontier cache; sweeps are few and large
+// compared to single algorithms.
+const maxFrontierEntries = 256
+
+// cacheEntry is one cached synthesis outcome (Sat or Unsat; Unknown —
+// budget exhaustion or cancellation — is never cached).
+type cacheEntry struct {
+	status   Status
+	alg      *Algorithm // nil for Unsat
+	kind     string
+	topoName string
+	root     int
+	budget   Budget
+}
+
+// Engine is the sessionful entry point to the synthesizer: it owns a
+// solver Backend, a worker pool, a progress sink, and an in-memory
+// algorithm cache keyed by canonical fingerprints of (topology,
+// collective, budget, lowering-relevant options). Engines are safe for
+// concurrent use; cached algorithms are shared and must be treated as
+// immutable.
+//
+// Engine.Synthesize, Engine.Pareto and Engine.SynthesizeAll are the
+// primary entry points; the package-level free functions are deprecated
+// wrappers over DefaultEngine.
+type Engine struct {
+	backend  Backend
+	workers  int
+	timeout  time.Duration
+	progress func(format string, args ...any)
+	cacheCap int
+	cacheOff bool
+
+	mu            sync.Mutex
+	algs          map[string]*cacheEntry
+	algOrder      []string
+	frontiers     map[string][]ParetoPoint
+	frontierOrder []string
+	hits, misses  uint64
+}
+
+// NewEngine builds an Engine from options; the zero EngineOptions value
+// selects the built-in CDCL backend, one worker per CPU, and a bounded
+// cache.
+func NewEngine(opts EngineOptions) *Engine {
+	workers := opts.Workers
+	if workers < 1 {
+		workers = runtime.NumCPU()
+	}
+	cacheCap := opts.CacheSize
+	if cacheCap == 0 {
+		cacheCap = defaultCacheSize
+	}
+	return &Engine{
+		backend:   opts.Backend,
+		workers:   workers,
+		timeout:   opts.Timeout,
+		progress:  synth.SerializedProgress(opts.Progress),
+		cacheCap:  cacheCap,
+		cacheOff:  opts.DisableCache,
+		algs:      map[string]*cacheEntry{},
+		frontiers: map[string][]ParetoPoint{},
+	}
+}
+
+var (
+	defaultEngineOnce sync.Once
+	defaultEngine     *Engine
+)
+
+// DefaultEngine returns the shared process-wide engine that the
+// deprecated package-level free functions delegate to.
+func DefaultEngine() *Engine {
+	defaultEngineOnce.Do(func() { defaultEngine = NewEngine(EngineOptions{}) })
+	return defaultEngine
+}
+
+// solveOptions merges the engine defaults with a per-request override
+// and timeout (request timeout wins over the override's, which wins over
+// the engine default).
+func (e *Engine) solveOptions(timeout time.Duration, override *SynthOptions) SynthOptions {
+	var o SynthOptions
+	if override != nil {
+		o = *override
+	}
+	if o.Backend == nil {
+		o.Backend = e.backend
+	}
+	if timeout > 0 {
+		o.Timeout = timeout
+	} else if o.Timeout == 0 {
+		o.Timeout = e.timeout
+	}
+	return o
+}
+
+func backendName(o SynthOptions) string {
+	if o.Backend == nil {
+		return "cdcl"
+	}
+	return o.Backend.Name()
+}
+
+func fingerprintKey(parts ...string) string {
+	sum := sha256.Sum256([]byte(strings.Join(parts, "|")))
+	return hex.EncodeToString(sum[:16])
+}
+
+// optionParts renders the lowering-relevant solver options that change
+// which algorithm a solve produces. Timeout and conflict budgets are
+// excluded: they can only turn an answer into Unknown, and Unknown is
+// never cached.
+func optionParts(o SynthOptions) []string {
+	return []string{
+		"enc=" + strconv.Itoa(int(o.Encoding)),
+		"sym=" + strconv.FormatBool(!o.NoSymmetryBreak),
+		"backend=" + backendName(o),
+	}
+}
+
+// requestFingerprint is the canonical algorithm-cache key of a request
+// under resolved solver options.
+func (e *Engine) requestFingerprint(req Request, o SynthOptions) string {
+	parts := append([]string{
+		"request/v1",
+		req.Kind.String(),
+		req.Topo.Fingerprint(),
+		strconv.Itoa(int(req.Root)),
+		req.Budget.String(),
+	}, optionParts(o)...)
+	return fingerprintKey(parts...)
+}
+
+func (e *Engine) lookupAlg(key string) *cacheEntry {
+	if e.cacheOff {
+		return nil
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	ent, ok := e.algs[key]
+	if ok {
+		e.hits++
+	} else {
+		e.misses++
+	}
+	return ent
+}
+
+func (e *Engine) storeAlg(key string, ent *cacheEntry) {
+	if e.cacheOff {
+		return
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if _, exists := e.algs[key]; !exists {
+		for e.cacheCap > 0 && len(e.algs) >= e.cacheCap && len(e.algOrder) > 0 {
+			oldest := e.algOrder[0]
+			e.algOrder = e.algOrder[1:]
+			delete(e.algs, oldest)
+		}
+		e.algOrder = append(e.algOrder, key)
+	}
+	e.algs[key] = ent
+}
+
+func (e *Engine) lookupFrontier(key string) ([]ParetoPoint, bool) {
+	if e.cacheOff {
+		return nil, false
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	pts, ok := e.frontiers[key]
+	if ok {
+		e.hits++
+	} else {
+		e.misses++
+	}
+	return pts, ok
+}
+
+func (e *Engine) storeFrontier(key string, pts []ParetoPoint) {
+	if e.cacheOff {
+		return
+	}
+	// Keep a private copy: the caller owns the slice it was handed.
+	pts = append([]ParetoPoint(nil), pts...)
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if _, exists := e.frontiers[key]; !exists {
+		for len(e.frontiers) >= maxFrontierEntries && len(e.frontierOrder) > 0 {
+			oldest := e.frontierOrder[0]
+			e.frontierOrder = e.frontierOrder[1:]
+			delete(e.frontiers, oldest)
+		}
+		e.frontierOrder = append(e.frontierOrder, key)
+	}
+	e.frontiers[key] = pts
+}
+
+// CacheStats reports the engine cache state and hit counters.
+type CacheStats struct {
+	// Algorithms is the number of cached synthesis outcomes.
+	Algorithms int
+	// Frontiers is the number of cached Pareto frontiers.
+	Frontiers int
+	Hits      uint64
+	Misses    uint64
+}
+
+// CacheStats returns a snapshot of the cache counters.
+func (e *Engine) CacheStats() CacheStats {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return CacheStats{
+		Algorithms: len(e.algs),
+		Frontiers:  len(e.frontiers),
+		Hits:       e.hits,
+		Misses:     e.misses,
+	}
+}
+
+// Synthesize answers one request: on a cache hit the stored algorithm is
+// returned with Result.CacheHit set and no solver work; otherwise the
+// instance is discharged to the backend and the outcome (Sat or Unsat,
+// never Unknown) is cached under the request's canonical fingerprint.
+func (e *Engine) Synthesize(ctx context.Context, req Request) (*Result, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	t0 := time.Now()
+	if err := req.Validate(); err != nil {
+		return nil, err
+	}
+	o := e.solveOptions(req.Timeout, req.Options)
+	fp := e.requestFingerprint(req, o)
+	if ent := e.lookupAlg(fp); ent != nil {
+		e.progress("engine: cache hit %v %s on %s [%s]", req.Kind, req.Budget, req.Topo.Name, fp)
+		return &Result{Algorithm: ent.alg, Status: ent.status, CacheHit: true, Wall: time.Since(t0), Fingerprint: fp}, nil
+	}
+	alg, status, err := synth.SynthesizeCollectiveContext(ctx, req.Kind, req.Topo, req.Root, req.Budget.C, req.Budget.S, req.Budget.R, o)
+	if err != nil {
+		return nil, err
+	}
+	if status != Unknown {
+		e.storeAlg(fp, &cacheEntry{
+			status: status, alg: alg,
+			kind: req.Kind.String(), topoName: req.Topo.Name, root: int(req.Root), budget: req.Budget,
+		})
+	}
+	return &Result{Algorithm: alg, Status: status, Wall: time.Since(t0), Fingerprint: fp}, nil
+}
+
+// SynthesizeInstance answers one raw SynColl instance (non-combining
+// only; custom collectives go through here). opts overrides the engine
+// solver options; nil uses the engine defaults. Instances are cached by
+// the structural fingerprint of their collective and topology.
+func (e *Engine) SynthesizeInstance(ctx context.Context, in Instance, opts *SynthOptions) (*Result, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	t0 := time.Now()
+	if err := in.Validate(); err != nil {
+		return nil, err
+	}
+	o := e.solveOptions(0, opts)
+	parts := append([]string{
+		"instance/v1",
+		in.Coll.Fingerprint(),
+		in.Topo.Fingerprint(),
+		strconv.Itoa(in.Steps),
+		strconv.Itoa(in.Round),
+	}, optionParts(o)...)
+	fp := fingerprintKey(parts...)
+	budget := Budget{C: in.Coll.C, S: in.Steps, R: in.Round}
+	if ent := e.lookupAlg(fp); ent != nil {
+		e.progress("engine: cache hit %v %s on %s [%s]", in.Coll.Kind, budget, in.Topo.Name, fp)
+		return &Result{Algorithm: ent.alg, Status: ent.status, CacheHit: true, Wall: time.Since(t0), Fingerprint: fp}, nil
+	}
+	res, err := synth.SynthesizeContext(ctx, in, o)
+	if err != nil {
+		return nil, err
+	}
+	if res.Status != Unknown {
+		e.storeAlg(fp, &cacheEntry{
+			status: res.Status, alg: res.Algorithm,
+			kind: in.Coll.Kind.String(), topoName: in.Topo.Name, root: int(in.Coll.Root), budget: budget,
+		})
+	}
+	return &Result{Algorithm: res.Algorithm, Status: res.Status, Wall: time.Since(t0), Fingerprint: fp}, nil
+}
+
+// Pareto runs the paper's Algorithm 1 sweep for a non-combining
+// collective. Frontiers cache whole; a successful sweep additionally
+// seeds the algorithm cache with every frontier point, so later exact
+// (C, S, R) requests for those budgets are served without re-solving.
+// The frontier is identical for every worker count. On a sweep error the
+// returned result carries the points merged so far alongside the error.
+func (e *Engine) Pareto(ctx context.Context, req ParetoRequest) (*ParetoResult, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	t0 := time.Now()
+	if err := req.Validate(); err != nil {
+		return nil, err
+	}
+	maxSteps := req.MaxSteps
+	if maxSteps == 0 {
+		maxSteps = req.Topo.P + 2
+	}
+	maxChunks := req.MaxChunks
+	if maxChunks == 0 {
+		maxChunks = 2 * req.Topo.P
+	}
+	o := e.solveOptions(req.Timeout, req.Options)
+	parts := append([]string{
+		"pareto/v1",
+		req.Kind.String(),
+		req.Topo.Fingerprint(),
+		strconv.Itoa(int(req.Root)),
+		strconv.Itoa(req.K),
+		strconv.Itoa(maxSteps),
+		strconv.Itoa(maxChunks),
+	}, optionParts(o)...)
+	fp := fingerprintKey(parts...)
+	if pts, ok := e.lookupFrontier(fp); ok {
+		e.progress("engine: frontier cache hit %v on %s [%s]", req.Kind, req.Topo.Name, fp)
+		// Return a copied slice so callers cannot corrupt the cached
+		// frontier; the algorithms themselves are shared and immutable.
+		return &ParetoResult{
+			Points:   append([]ParetoPoint(nil), pts...),
+			CacheHit: true, Wall: time.Since(t0), Fingerprint: fp,
+		}, nil
+	}
+	workers := req.Workers
+	if workers < 1 {
+		workers = e.workers
+	}
+	progress := req.Progress
+	if progress == nil {
+		progress = e.progress
+	}
+	var stats ParetoStats
+	pts, err := synth.ParetoSynthesize(req.Kind, req.Topo, req.Root, ParetoOptions{
+		K: req.K, MaxSteps: maxSteps, MaxChunks: maxChunks,
+		Instance: o, Progress: progress, Workers: workers,
+		Context: ctx, Stats: &stats,
+	})
+	res := &ParetoResult{Points: pts, Stats: stats, Wall: time.Since(t0), Fingerprint: fp}
+	if err != nil {
+		return res, err
+	}
+	e.storeFrontier(fp, pts)
+	for _, p := range pts {
+		preq := Request{Kind: req.Kind, Topo: req.Topo, Root: req.Root, Budget: Budget{C: p.C, S: p.S, R: p.R}}
+		e.storeAlg(e.requestFingerprint(preq, o), &cacheEntry{
+			status: Sat, alg: p.Algorithm,
+			kind: req.Kind.String(), topoName: req.Topo.Name, root: int(req.Root), budget: preq.Budget,
+		})
+	}
+	return res, nil
+}
+
+// SynthesizeAll answers a batch of requests concurrently over the
+// engine's worker pool. Results come back in request order regardless of
+// completion order; duplicate requests (same canonical fingerprint) are
+// solved once and fanned out as cache hits. Failed requests leave a nil
+// slot; the returned error joins every per-request failure.
+func (e *Engine) SynthesizeAll(ctx context.Context, reqs []Request) ([]*Result, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	results := make([]*Result, len(reqs))
+	errs := make([]error, len(reqs))
+	type group struct {
+		first int
+		rest  []int
+	}
+	groups := map[string]*group{}
+	var order []string
+	for i := range reqs {
+		if err := reqs[i].Validate(); err != nil {
+			errs[i] = fmt.Errorf("request %d: %w", i, err)
+			continue
+		}
+		o := e.solveOptions(reqs[i].Timeout, reqs[i].Options)
+		key := e.requestFingerprint(reqs[i], o)
+		if g, ok := groups[key]; ok {
+			g.rest = append(g.rest, i)
+		} else {
+			groups[key] = &group{first: i}
+			order = append(order, key)
+		}
+	}
+	workers := e.workers
+	if workers > len(order) {
+		workers = len(order)
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	keyCh := make(chan string)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for key := range keyCh {
+				g := groups[key]
+				res, err := e.Synthesize(ctx, reqs[g.first])
+				if err != nil {
+					errs[g.first] = fmt.Errorf("request %d: %w", g.first, err)
+					for _, j := range g.rest {
+						errs[j] = fmt.Errorf("request %d: %w", j, err)
+					}
+					continue
+				}
+				results[g.first] = res
+				for _, j := range g.rest {
+					if res.Status == Unknown {
+						// An Unknown outcome reflects the first request's
+						// solver budget, not the group's; duplicates may
+						// carry different timeouts, so solve them
+						// individually rather than fanning Unknown out.
+						results[j], errs[j] = e.Synthesize(ctx, reqs[j])
+						if errs[j] != nil {
+							errs[j] = fmt.Errorf("request %d: %w", j, errs[j])
+						}
+						continue
+					}
+					dup := *res
+					dup.CacheHit = true
+					results[j] = &dup
+				}
+			}
+		}()
+	}
+	for _, key := range order {
+		keyCh <- key
+	}
+	close(keyCh)
+	wg.Wait()
+	return results, errors.Join(errs...)
+}

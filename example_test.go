@@ -1,10 +1,28 @@
 package sccl_test
 
 import (
+	"context"
 	"fmt"
 
 	sccl "repro"
 )
+
+// The sessionful API: an Engine answers Requests, caching algorithms by
+// canonical request fingerprint — the second identical request is served
+// without running the solver.
+func ExampleEngine_Synthesize() {
+	eng := sccl.NewEngine(sccl.EngineOptions{})
+	req := sccl.Request{
+		Kind:   sccl.Allgather,
+		Topo:   sccl.DGX1(),
+		Budget: sccl.Budget{C: 1, S: 2, R: 2},
+	}
+	res, _ := eng.Synthesize(context.Background(), req)
+	again, _ := eng.Synthesize(context.Background(), req)
+	fmt.Println(res.Status, res.Algorithm.CSR(), res.CacheHit, again.CacheHit)
+	// Output:
+	// SAT (1,2,2) false true
+}
 
 // Synthesize the paper's 2-step latency-optimal DGX-1 Allgather and prove
 // that nothing with a lower bandwidth cost exists at that step count.

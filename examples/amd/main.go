@@ -1,10 +1,12 @@
 // AMD Z52 walkthrough (§5.2.2): model the Gigabyte Z52's PCIe-bridged
-// xGMI ring, synthesize the Table 5 algorithms, and compare with RCCL —
-// demonstrating how SCCL adapts to brand-new hardware, the paper's
-// co-design argument.
+// xGMI ring, batch-synthesize the Table 5 algorithms with
+// Engine.SynthesizeAll (concurrent probes, deterministic result order),
+// and compare with RCCL — demonstrating how SCCL adapts to brand-new
+// hardware, the paper's co-design argument.
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -12,6 +14,7 @@ import (
 )
 
 func main() {
+	ctx := context.Background()
 	topo := sccl.AMDZ52()
 	fmt.Println("topology:", topo)
 	fmt.Println("diameter:", topo.Diameter())
@@ -20,47 +23,50 @@ func main() {
 	must(err)
 	fmt.Printf("Allgather bounds: S >= %d, R/C >= %s\n\n", steps, bw.RatString())
 
-	type row struct {
-		kind    sccl.Kind
-		c, s, r int
+	eng := sccl.NewEngine(sccl.EngineOptions{})
+
+	// The Table 5 rows as a batch: SynthesizeAll fans the requests out
+	// over the engine's worker pool and returns results in request order.
+	reqs := []sccl.Request{
+		{Kind: sccl.Allgather, Topo: topo, Budget: sccl.Budget{C: 1, S: 4, R: 4}}, // latency-optimal
+		{Kind: sccl.Allgather, Topo: topo, Budget: sccl.Budget{C: 2, S: 7, R: 7}}, // bandwidth-optimal
+		{Kind: sccl.Allgather, Topo: topo, Budget: sccl.Budget{C: 2, S: 4, R: 7}}, // both
+		{Kind: sccl.Allreduce, Topo: topo, Budget: sccl.Budget{C: 1, S: 4, R: 4}}, // composes to (8,8,8)
+		{Kind: sccl.Allreduce, Topo: topo, Budget: sccl.Budget{C: 2, S: 4, R: 7}}, // composes to (16,8,14)
+		{Kind: sccl.Broadcast, Topo: topo, Budget: sccl.Budget{C: 2, S: 4, R: 4}}, // latency-optimal
+		{Kind: sccl.Gather, Topo: topo, Budget: sccl.Budget{C: 2, S: 4, R: 7}},    // both
+		{Kind: sccl.Alltoall, Topo: topo, Budget: sccl.Budget{C: 8, S: 4, R: 8}},  // both
 	}
-	rows := []row{
-		{sccl.Allgather, 1, 4, 4}, // latency-optimal
-		{sccl.Allgather, 2, 7, 7}, // bandwidth-optimal
-		{sccl.Allgather, 2, 4, 7}, // both
-		{sccl.Allreduce, 1, 4, 4}, // composes to (8,8,8): latency-optimal
-		{sccl.Allreduce, 2, 4, 7}, // composes to (16,8,14): both
-		{sccl.Broadcast, 2, 4, 4}, // latency-optimal
-		{sccl.Gather, 2, 4, 7},    // both
-		{sccl.Alltoall, 8, 4, 8},  // both
-	}
-	fmt.Println("Table 5 rows, resynthesized:")
-	for _, r := range rows {
-		alg, status, err := sccl.Synthesize(r.kind, topo, 0, r.c, r.s, r.r, sccl.SynthOptions{})
-		must(err)
-		if alg == nil {
-			log.Fatalf("%v (%d,%d,%d): %v", r.kind, r.c, r.s, r.r, status)
+	results, err := eng.SynthesizeAll(ctx, reqs)
+	must(err)
+	fmt.Println("Table 5 rows, resynthesized as one batch:")
+	for i, res := range results {
+		if res.Algorithm == nil {
+			log.Fatalf("%v %v: %v", reqs[i].Kind, reqs[i].Budget, res.Status)
 		}
-		must(sccl.Execute(alg, 64))
-		fmt.Printf("  %-14v %-10s k=%d  executed+verified\n", r.kind, alg.CSR(), alg.KSync())
+		must(sccl.Execute(res.Algorithm, 64))
+		fmt.Printf("  %-14v %-10s k=%d  executed+verified\n", reqs[i].Kind, res.Algorithm.CSR(), res.Algorithm.KSync())
 	}
 
 	// RCCL baseline comparison (Figure 6's story): RCCL wins small sizes,
-	// SCCL's bandwidth-optimal schedule wins large ones.
+	// SCCL's bandwidth-optimal schedule wins large ones. The two Allgather
+	// schedules were already synthesized above, so these requests are
+	// cache hits.
 	rccl, err := sccl.RCCLAllgather()
 	must(err)
-	latOpt, _, err := sccl.Synthesize(sccl.Allgather, topo, 0, 1, 4, 4, sccl.SynthOptions{})
+	latOpt, err := eng.Synthesize(ctx, reqs[0])
 	must(err)
-	bwOpt, _, err := sccl.Synthesize(sccl.Allgather, topo, 0, 2, 7, 7, sccl.SynthOptions{})
+	bwOpt, err := eng.Synthesize(ctx, reqs[1])
 	must(err)
+	fmt.Printf("\nfrontier schedules served from cache: %v, %v\n", latOpt.CacheHit, bwOpt.CacheHit)
 	profile := sccl.AMDProfile()
-	fmt.Println("\npredicted speedup over RCCL (2,7,7):")
+	fmt.Println("predicted speedup over RCCL (2,7,7):")
 	for _, bytes := range []float64{4096, 1 << 20, 1 << 27, 1 << 30} {
 		tR, err := sccl.Simulate(rccl, sccl.SimConfig{Profile: profile, Lowering: sccl.LowerBaseline, Bytes: bytes})
 		must(err)
-		tL, err := sccl.Simulate(latOpt, sccl.SimConfig{Profile: profile, Lowering: sccl.LowerMultiKernel, Bytes: bytes})
+		tL, err := sccl.Simulate(latOpt.Algorithm, sccl.SimConfig{Profile: profile, Lowering: sccl.LowerMultiKernel, Bytes: bytes})
 		must(err)
-		tB, err := sccl.Simulate(bwOpt, sccl.SimConfig{Profile: profile, Lowering: sccl.LowerMultiKernel, Bytes: bytes})
+		tB, err := sccl.Simulate(bwOpt.Algorithm, sccl.SimConfig{Profile: profile, Lowering: sccl.LowerMultiKernel, Bytes: bytes})
 		must(err)
 		fmt.Printf("  %10.0f B: (1,4,4) %.2fx, (2,7,7) %.2fx\n", bytes, tR.Time/tL.Time, tR.Time/tB.Time)
 	}

@@ -1,10 +1,11 @@
 // Codegen example (§4): synthesize the latency-optimal DGX-1 Allgather
-// and lower it three ways — a fused CUDA kernel with flag
-// synchronization, one kernel per step, and DMA-engine cudaMemcpy calls —
-// printing the generated source.
+// through an Engine and lower it three ways — a fused CUDA kernel with
+// flag synchronization, one kernel per step, and DMA-engine cudaMemcpy
+// calls — printing the generated source.
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"strings"
@@ -14,12 +15,16 @@ import (
 
 func main() {
 	topo := sccl.DGX1()
-	alg, status, err := sccl.Synthesize(sccl.Allgather, topo, 0, 1, 2, 2, sccl.SynthOptions{})
+	eng := sccl.NewEngine(sccl.EngineOptions{})
+	res, err := eng.Synthesize(context.Background(), sccl.Request{
+		Kind: sccl.Allgather, Topo: topo,
+		Budget: sccl.Budget{C: 1, S: 2, R: 2},
+	})
 	if err != nil {
 		log.Fatal(err)
 	}
-	if alg == nil {
-		log.Fatalf("synthesis: %v", status)
+	if res.Algorithm == nil {
+		log.Fatalf("synthesis: %v", res.Status)
 	}
 
 	for _, low := range []sccl.Lowering{
@@ -27,7 +32,7 @@ func main() {
 		sccl.LowerMultiKernel,
 		sccl.LowerCudaMemcpy,
 	} {
-		src, err := sccl.GenerateCUDA(alg, low)
+		src, err := sccl.GenerateCUDA(res.Algorithm, low)
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -56,11 +61,4 @@ func main() {
 	} else {
 		fmt.Println("no external SMT solver on PATH; built-in CDCL solver was used")
 	}
-}
-
-func min(a, b int) int {
-	if a < b {
-		return a
-	}
-	return b
 }

@@ -2,11 +2,13 @@
 // more than point-to-point links. Here we model a 4-GPU workstation where
 // GPUs 0-1 and 2-3 have direct links but the pairs talk over one shared
 // PCIe bus that carries a single chunk per round — the relation form
-// ({(a,b) | a,b ∈ N}, 1) from the paper — and synthesize collectives that
-// respect the shared medium.
+// ({(a,b) | a,b ∈ N}, 1) from the paper — and probe budgets against an
+// Engine, whose cache remembers the UNSAT verdicts alongside the
+// algorithms.
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -14,6 +16,8 @@ import (
 )
 
 func main() {
+	ctx := context.Background()
+
 	// Point-to-point intra-pair links plus one shared inter-pair bus.
 	var busLinks []sccl.Link
 	for _, a := range []sccl.Node{0, 1} {
@@ -47,21 +51,24 @@ func main() {
 	// The bus forces 2 chunks across per direction: R/C >= 2 from the
 	// bisection, even though each node has 2-3 incident links.
 
+	eng := sccl.NewEngine(sccl.EngineOptions{})
+
 	// The cut bound (R/C >= 2) undersells the shared medium: the bus
 	// carries all four inter-pair crossings in BOTH directions, and the
 	// last crossing still needs an intra-pair relay step. The solver
 	// proves budgets up to (1,4,4) impossible and finds (1,4,5) — 4 steps,
 	// one 2-round step — the cheapest of the probed schedules.
-	for _, budget := range []struct{ c, s, r int }{
-		{1, 2, 2}, {1, 3, 3}, {1, 2, 4}, {1, 4, 4}, {1, 4, 5}, {1, 5, 5},
+	for _, budget := range []sccl.Budget{
+		{C: 1, S: 2, R: 2}, {C: 1, S: 3, R: 3}, {C: 1, S: 2, R: 4},
+		{C: 1, S: 4, R: 4}, {C: 1, S: 4, R: 5}, {C: 1, S: 5, R: 5},
 	} {
-		alg, status, err := sccl.Synthesize(sccl.Allgather, topo, 0, budget.c, budget.s, budget.r, sccl.SynthOptions{})
+		res, err := eng.Synthesize(ctx, sccl.Request{Kind: sccl.Allgather, Topo: topo, Budget: budget})
 		if err != nil {
 			log.Fatal(err)
 		}
-		fmt.Printf("  (C=%d,S=%d,R=%d): %v\n", budget.c, budget.s, budget.r, status)
-		if alg != nil {
-			if err := sccl.Execute(alg, 128); err != nil {
+		fmt.Printf("  %s: %v\n", budget, res.Status)
+		if res.Algorithm != nil {
+			if err := sccl.Execute(res.Algorithm, 128); err != nil {
 				log.Fatal(err)
 			}
 		}
@@ -69,16 +76,19 @@ func main() {
 
 	// Shared-bus Broadcast: the root's pair-mate gets the data over the
 	// direct link while the bus carries one copy to the other island.
-	bc, status, err := sccl.Synthesize(sccl.Broadcast, topo, 0, 1, 3, 3, sccl.SynthOptions{})
+	bc, err := eng.Synthesize(ctx, sccl.Request{
+		Kind: sccl.Broadcast, Topo: topo,
+		Budget: sccl.Budget{C: 1, S: 3, R: 3},
+	})
 	if err != nil {
 		log.Fatal(err)
 	}
-	if bc == nil {
-		log.Fatalf("broadcast: %v", status)
+	if bc.Algorithm == nil {
+		log.Fatalf("broadcast: %v", bc.Status)
 	}
 	fmt.Println("\nBroadcast (1,3,3):")
-	fmt.Print(bc.Format())
-	if err := sccl.Execute(bc, 128); err != nil {
+	fmt.Print(bc.Algorithm.Format())
+	if err := sccl.Execute(bc.Algorithm, 128); err != nil {
 		log.Fatal(err)
 	}
 	fmt.Println("executed and verified")

@@ -1,11 +1,13 @@
 // DGX-1 walkthrough: reproduce the paper's headline results on the
-// NVIDIA DGX-1 topology (Figure 1) — the novel 2-step latency-optimal
-// Allgather (§2.5), the 3-step bandwidth-optimal Allgather (§2.4), the
-// Pareto frontier, and the size-dependent comparison against NCCL's
+// NVIDIA DGX-1 topology (Figure 1) through the Engine API — the novel
+// 2-step latency-optimal Allgather (§2.5), the 3-step bandwidth-optimal
+// Allgather (§2.4), the Pareto frontier (which seeds the engine's
+// algorithm cache), and the size-dependent comparison against NCCL's
 // hand-written 6-ring algorithm.
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"time"
@@ -14,20 +16,29 @@ import (
 )
 
 func main() {
+	ctx := context.Background()
 	topo := sccl.DGX1()
 	fmt.Println("topology:", topo)
 	fmt.Println("diameter:", topo.Diameter(), "— so 2 steps is the latency floor")
 
+	eng := sccl.NewEngine(sccl.EngineOptions{})
+	synth := func(c, s, r int) *sccl.Result {
+		res, err := eng.Synthesize(ctx, sccl.Request{
+			Kind: sccl.Allgather, Topo: topo,
+			Budget: sccl.Budget{C: c, S: s, R: r},
+		})
+		must(err)
+		return res
+	}
+
 	// The two headline algorithms from the paper's §2.
 	fmt.Println("\n--- latency-optimal Allgather: cost 2α + 2·L·β ---")
-	lat, status, err := sccl.Synthesize(sccl.Allgather, topo, 0, 1, 2, 2, sccl.SynthOptions{})
-	must(err)
-	fmt.Printf("(C=1,S=2,R=2): %v, k=%d\n", status, lat.KSync())
+	lat := synth(1, 2, 2)
+	fmt.Printf("(C=1,S=2,R=2): %v, k=%d\n", lat.Status, lat.Algorithm.KSync())
 
 	fmt.Println("\n--- bandwidth-optimal 3-step Allgather: cost 3α + 7/6·L·β ---")
-	bw3, status, err := sccl.Synthesize(sccl.Allgather, topo, 0, 6, 3, 7, sccl.SynthOptions{})
-	must(err)
-	fmt.Printf("(C=6,S=3,R=7): %v — no counterpart in the literature\n", status)
+	bw3 := synth(6, 3, 7)
+	fmt.Printf("(C=6,S=3,R=7): %v — no counterpart in the literature\n", bw3.Status)
 
 	// NCCL's own Allgather needs 7 steps for the same bandwidth cost.
 	nccl, err := sccl.NCCLAllgather()
@@ -36,19 +47,26 @@ func main() {
 
 	// Prove the combination (S=2, R/C < 3/2) is impossible: probing the
 	// algorithmic properties of the topology (§1's co-design use case).
-	_, status, err = sccl.Synthesize(sccl.Allgather, topo, 0, 2, 2, 2, sccl.SynthOptions{})
-	must(err)
-	fmt.Printf("\n(C=2,S=2,R=2) i.e. R/C=1 in 2 steps: %v (impossible: bound is 7/6)\n", status)
+	imp := synth(2, 2, 2)
+	fmt.Printf("\n(C=2,S=2,R=2) i.e. R/C=1 in 2 steps: %v (impossible: bound is 7/6)\n", imp.Status)
 
-	// Pareto frontier for k=1.
+	// Pareto frontier for k=1. A successful sweep seeds the engine's
+	// algorithm cache, so the exact-budget requests below come back as
+	// cache hits.
 	fmt.Println("\n--- Pareto frontier (k=1) ---")
-	pts, err := sccl.Pareto(sccl.Allgather, topo, 0, sccl.ParetoOptions{
+	front, err := eng.Pareto(ctx, sccl.ParetoRequest{
+		Kind: sccl.Allgather, Topo: topo,
 		K: 1, MaxSteps: 7,
-		Instance: sccl.SynthOptions{Timeout: 2 * time.Minute},
+		Timeout: 2 * time.Minute,
 	})
 	must(err)
-	for _, p := range pts {
+	for _, p := range front.Points {
 		fmt.Printf("  C=%d S=%d R=%d %s (%.1fs)\n", p.C, p.S, p.R, p.Optimality(), p.SynthesisTime.Seconds())
+	}
+	if len(front.Points) > 0 {
+		p := front.Points[0]
+		res := synth(p.C, p.S, p.R)
+		fmt.Printf("re-requesting (C=%d,S=%d,R=%d): cache hit = %v\n", p.C, p.S, p.R, res.CacheHit)
 	}
 
 	// Size-dependent winner against NCCL, from the calibrated cost model.
@@ -57,17 +75,17 @@ func main() {
 	for _, bytes := range []float64{1 << 10, 1 << 17, 1 << 24, 1 << 28} {
 		tN, err := sccl.Simulate(nccl, sccl.SimConfig{Profile: profile, Lowering: sccl.LowerBaseline, Bytes: bytes})
 		must(err)
-		tL, err := sccl.Simulate(lat, sccl.SimConfig{Profile: profile, Lowering: sccl.LowerFusedPush, Bytes: bytes})
+		tL, err := sccl.Simulate(lat.Algorithm, sccl.SimConfig{Profile: profile, Lowering: sccl.LowerFusedPush, Bytes: bytes})
 		must(err)
-		tB, err := sccl.Simulate(bw3, sccl.SimConfig{Profile: profile, Lowering: sccl.LowerFusedPush, Bytes: bytes})
+		tB, err := sccl.Simulate(bw3.Algorithm, sccl.SimConfig{Profile: profile, Lowering: sccl.LowerFusedPush, Bytes: bytes})
 		must(err)
 		fmt.Printf("  %10.0f B: latency-optimal %.2fx, bandwidth-optimal %.2fx\n",
 			bytes, tN.Time/tL.Time, tN.Time/tB.Time)
 	}
 
 	// Both synthesized algorithms move real data correctly.
-	must(sccl.Execute(lat, 256))
-	must(sccl.Execute(bw3, 256))
+	must(sccl.Execute(lat.Algorithm, 256))
+	must(sccl.Execute(bw3.Algorithm, 256))
 	fmt.Println("\nboth algorithms executed and verified on 8 goroutine-GPUs")
 }
 

@@ -1,9 +1,11 @@
-// Quickstart: synthesize an Allgather for a 4-node ring, inspect the
-// schedule, check its cost, and execute it on real buffers with one
-// goroutine per "GPU".
+// Quickstart: build a synthesis Engine, synthesize an Allgather for a
+// 4-node ring via a Request, inspect the schedule, see the algorithm
+// cache serve a repeated request, persist the result as JSON, and
+// execute it on real buffers with one goroutine per "GPU".
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -11,6 +13,8 @@ import (
 )
 
 func main() {
+	ctx := context.Background()
+
 	// A unidirectional ring of 4 nodes with unit link bandwidth.
 	topo := sccl.Ring(4)
 	fmt.Println("topology:", topo)
@@ -24,25 +28,57 @@ func main() {
 	}
 	fmt.Printf("lower bounds: S >= %d, R/C >= %s\n", steps, bw.RatString())
 
+	// The engine owns the solver backend, a worker pool, and an in-memory
+	// algorithm cache keyed by canonical request fingerprints.
+	eng := sccl.NewEngine(sccl.EngineOptions{})
+
 	// Synthesize the (C=1, S=3, R=3) algorithm — simultaneously latency-
 	// and bandwidth-optimal on this topology.
-	alg, status, err := sccl.Synthesize(sccl.Allgather, topo, 0, 1, 3, 3, sccl.SynthOptions{})
+	req := sccl.Request{
+		Kind: sccl.Allgather, Topo: topo,
+		Budget: sccl.Budget{C: 1, S: 3, R: 3},
+	}
+	res, err := eng.Synthesize(ctx, req)
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Println("synthesis:", status)
-	fmt.Print(alg.Format())
+	fmt.Println("synthesis:", res.Status)
+	fmt.Print(res.Algorithm.Format())
 
-	// Asking for fewer steps is provably impossible.
-	_, status, err = sccl.Synthesize(sccl.Allgather, topo, 0, 1, 2, 2, sccl.SynthOptions{})
+	// The same request again is served from the cache: no solver work.
+	again, err := eng.Synthesize(ctx, req)
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Println("2-step variant:", status, "(the solver proves no such algorithm exists)")
+	fmt.Printf("repeated request: cache hit = %v (%.4fs)\n", again.CacheHit, again.Wall.Seconds())
+
+	// Asking for fewer steps is provably impossible — and the UNSAT
+	// verdict is cached too, so re-asking is free.
+	unsat, err := eng.Synthesize(ctx, sccl.Request{
+		Kind: sccl.Allgather, Topo: topo,
+		Budget: sccl.Budget{C: 1, S: 2, R: 2},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("2-step variant:", unsat.Status, "(the solver proves no such algorithm exists)")
+
+	// Algorithms serialize to a stable, self-contained JSON document that
+	// re-validates on decode — the basis of persisted algorithm libraries
+	// (see Engine.SaveLibrary and `sccl library`).
+	data, err := sccl.EncodeAlgorithm(res.Algorithm)
+	if err != nil {
+		log.Fatal(err)
+	}
+	decoded, err := sccl.DecodeAlgorithm(data)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("JSON round-trip: %d bytes, decoded %s %s\n", len(data), decoded.Name, decoded.CSR())
 
 	// Execute the synthesized schedule on real buffers: 4 goroutines
 	// exchange chunks over channels and the result is verified bit-exactly.
-	if err := sccl.Execute(alg, 1024); err != nil {
+	if err := sccl.Execute(decoded, 1024); err != nil {
 		log.Fatal(err)
 	}
 	fmt.Println("executed on 4 goroutine-GPUs with 1024-element chunks: verified")

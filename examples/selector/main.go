@@ -1,12 +1,13 @@
 // Selector example: the paper notes SCCL "can automatically switch
 // between multiple implementations based on the input size. In which
 // case, SCCL will consistently outperform NCCL." This example builds that
-// dispatcher: synthesize the DGX-1 Allgather frontier, compute the
-// size-dispatch table, and verify the combined implementation never loses
-// to the NCCL baseline.
+// dispatcher: batch-synthesize three DGX-1 Allgather frontier points with
+// Engine.SynthesizeAll, compute the size-dispatch table, and verify the
+// combined implementation never loses to the NCCL baseline.
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -16,24 +17,26 @@ import (
 func main() {
 	topo := sccl.DGX1()
 	profile := sccl.DGX1Profile()
+	eng := sccl.NewEngine(sccl.EngineOptions{})
 
-	// Synthesize three frontier algorithms: latency-optimal, a middle
-	// point, and the 3-step bandwidth-optimal schedule.
-	budgets := []struct{ c, s, r int }{
-		{1, 2, 2}, // latency-optimal
-		{2, 2, 3}, // latency-optimal with better bandwidth
-		{6, 3, 7}, // bandwidth-optimal
+	// Synthesize three frontier algorithms as one concurrent batch:
+	// latency-optimal, a middle point, and the 3-step bandwidth-optimal
+	// schedule. Results come back in request order.
+	reqs := []sccl.Request{
+		{Kind: sccl.Allgather, Topo: topo, Budget: sccl.Budget{C: 1, S: 2, R: 2}},
+		{Kind: sccl.Allgather, Topo: topo, Budget: sccl.Budget{C: 2, S: 2, R: 3}},
+		{Kind: sccl.Allgather, Topo: topo, Budget: sccl.Budget{C: 6, S: 3, R: 7}},
+	}
+	results, err := eng.SynthesizeAll(context.Background(), reqs)
+	if err != nil {
+		log.Fatal(err)
 	}
 	var candidates []sccl.CostPoint
-	for _, b := range budgets {
-		alg, status, err := sccl.Synthesize(sccl.Allgather, topo, 0, b.c, b.s, b.r, sccl.SynthOptions{})
-		if err != nil {
-			log.Fatal(err)
+	for i, res := range results {
+		if res.Algorithm == nil {
+			log.Fatalf("%v: %v", reqs[i].Budget, res.Status)
 		}
-		if alg == nil {
-			log.Fatalf("(%d,%d,%d): %v", b.c, b.s, b.r, status)
-		}
-		candidates = append(candidates, sccl.PointOf(alg, sccl.LowerFusedPush))
+		candidates = append(candidates, sccl.PointOf(res.Algorithm, sccl.LowerFusedPush))
 	}
 
 	sel, err := sccl.NewSelector(profile, candidates, 512, 1<<30)

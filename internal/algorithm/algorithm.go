@@ -7,7 +7,6 @@
 package algorithm
 
 import (
-	"encoding/json"
 	"fmt"
 	"math/big"
 	"sort"
@@ -37,23 +36,24 @@ func (s Send) String() string {
 }
 
 // Algorithm is a complete k-synchronous schedule for a collective on a
-// topology.
+// topology. JSON serialization uses the stable self-contained format in
+// json.go rather than these fields directly.
 type Algorithm struct {
-	Name string `json:"name"`
+	Name string
 	// Coll is the collective this algorithm implements.
-	Coll *collective.Spec `json:"-"`
-	// CollKind/P/C/Root/G mirror Coll for serialization.
-	CollKind string `json:"collective"`
-	P        int    `json:"p"`
-	C        int    `json:"c"`
-	RootNode int    `json:"root"`
-	G        int    `json:"g"`
+	Coll *collective.Spec
+	// CollKind/P/C/Root/G mirror Coll for convenient access.
+	CollKind string
+	P        int
+	C        int
+	RootNode int
+	G        int
 
-	Topo *topology.Topology `json:"-"`
+	Topo *topology.Topology
 
 	// Rounds holds r_s per step; len(Rounds) is the step count S.
-	Rounds []int  `json:"rounds"`
-	Sends  []Send `json:"sends"`
+	Rounds []int
+	Sends  []Send
 }
 
 // New wraps the pieces into an Algorithm and fills serialization mirrors.
@@ -146,17 +146,6 @@ func (a *Algorithm) Format() string {
 		}
 	}
 	return b.String()
-}
-
-// MarshalJSON includes the topology name for context.
-func (a *Algorithm) MarshalJSON() ([]byte, error) {
-	type alias Algorithm
-	return json.Marshal(struct {
-		*alias
-		Topology string `json:"topology"`
-		Steps    int    `json:"steps"`
-		R        int    `json:"r"`
-	}{(*alias)(a), a.Topo.Name, a.Steps(), a.TotalRounds()})
 }
 
 // Run executes the non-combining run semantics (§3.3) and returns the

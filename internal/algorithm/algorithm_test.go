@@ -415,11 +415,39 @@ func TestJSONRoundTripStructure(t *testing.T) {
 	if err := json.Unmarshal(data, &m); err != nil {
 		t.Fatal(err)
 	}
-	if m["collective"] != "Allgather" || m["topology"] != "bidir-ring" {
-		t.Errorf("json metadata: %v", m)
+	if m["version"].(float64) != 1 {
+		t.Errorf("json version: %v", m["version"])
+	}
+	coll, ok := m["collective"].(map[string]any)
+	if !ok || coll["kind"] != "Allgather" {
+		t.Errorf("json collective: %v", m["collective"])
+	}
+	topo, ok := m["topology"].(map[string]any)
+	if !ok || topo["name"] != "bidir-ring" {
+		t.Errorf("json topology: %v", m["topology"])
 	}
 	if m["steps"].(float64) != 2 || m["r"].(float64) != 3 {
 		t.Errorf("json S/R: %v %v", m["steps"], m["r"])
+	}
+
+	// The self-contained document decodes back to a validated, equal
+	// algorithm, and re-encodes byte-identically.
+	var dec Algorithm
+	if err := json.Unmarshal(data, &dec); err != nil {
+		t.Fatal(err)
+	}
+	if dec.Name != a.Name || dec.CSR() != a.CSR() || len(dec.Sends) != len(a.Sends) {
+		t.Errorf("decoded algorithm differs: %s %s", dec.Name, dec.CSR())
+	}
+	data2, err := json.Marshal(&dec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(data) != string(data2) {
+		t.Error("re-encoded JSON is not byte-identical")
+	}
+	if a.Fingerprint() != dec.Fingerprint() {
+		t.Error("fingerprint changed across round-trip")
 	}
 }
 

@@ -1,0 +1,77 @@
+package algorithm
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+
+	"repro/internal/collective"
+	"repro/internal/topology"
+)
+
+// jsonVersion is the algorithm wire-format version.
+const jsonVersion = 1
+
+type algorithmJSON struct {
+	Version    int                `json:"version"`
+	Name       string             `json:"name"`
+	Collective *collective.Spec   `json:"collective"`
+	Topology   *topology.Topology `json:"topology"`
+	Rounds     []int              `json:"rounds"`
+	Sends      []Send             `json:"sends"`
+	Steps      int                `json:"steps"`
+	R          int                `json:"r"`
+}
+
+// MarshalJSON renders the algorithm in the stable, self-contained v1
+// wire format: the full collective specification and topology are
+// embedded, so a decoded algorithm can be re-validated, simulated and
+// executed without any out-of-band context. Steps and R are derived
+// fields included for readers; decoding recomputes them from Rounds.
+func (a *Algorithm) MarshalJSON() ([]byte, error) {
+	return json.Marshal(algorithmJSON{
+		Version:    jsonVersion,
+		Name:       a.Name,
+		Collective: a.Coll,
+		Topology:   a.Topo,
+		Rounds:     a.Rounds,
+		Sends:      a.Sends,
+		Steps:      a.Steps(),
+		R:          a.TotalRounds(),
+	})
+}
+
+// UnmarshalJSON decodes the v1 wire format, rebuilds the derived fields,
+// and re-validates the schedule against its embedded collective and
+// topology — a tampered or corrupted document fails to decode instead of
+// yielding an invalid schedule.
+func (a *Algorithm) UnmarshalJSON(data []byte) error {
+	var in algorithmJSON
+	if err := json.Unmarshal(data, &in); err != nil {
+		return err
+	}
+	if in.Version != jsonVersion {
+		return fmt.Errorf("algorithm: unsupported JSON version %d (want %d)", in.Version, jsonVersion)
+	}
+	if in.Collective == nil || in.Topology == nil {
+		return fmt.Errorf("algorithm %q: JSON missing collective or topology", in.Name)
+	}
+	dec := New(in.Name, in.Collective, in.Topology, in.Rounds, in.Sends)
+	if err := dec.Validate(); err != nil {
+		return fmt.Errorf("algorithm: decoded JSON invalid: %w", err)
+	}
+	*a = *dec
+	return nil
+}
+
+// Fingerprint returns a canonical digest identifying what the algorithm
+// is for: the collective, the topology structure, and the (C, S, R)
+// budget it satisfies. Schedules that differ only in name or send order
+// share a fingerprint.
+func (a *Algorithm) Fingerprint() string {
+	payload := fmt.Sprintf("algorithm/v1|%s|%s|c=%d|s=%d|r=%d",
+		a.Coll.Fingerprint(), a.Topo.Fingerprint(), a.C, a.Steps(), a.TotalRounds())
+	sum := sha256.Sum256([]byte(payload))
+	return hex.EncodeToString(sum[:16])
+}

@@ -1,0 +1,165 @@
+package collective
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"strings"
+
+	"repro/internal/topology"
+)
+
+// jsonVersion is the collective wire-format version.
+const jsonVersion = 1
+
+type specJSON struct {
+	Version int      `json:"version"`
+	Kind    string   `json:"kind"`
+	P       int      `json:"p"`
+	C       int      `json:"c"`
+	Root    int      `json:"root"`
+	G       int      `json:"g"`
+	Pre     []string `json:"pre"`
+	Post    []string `json:"post"`
+}
+
+// relToStrings renders a relation as one '0'/'1' string per chunk, node
+// n at byte offset n — compact, human-diffable, and order-canonical.
+func relToStrings(r Rel) []string {
+	out := make([]string, len(r))
+	for c, row := range r {
+		b := make([]byte, len(row))
+		for n, ok := range row {
+			if ok {
+				b[n] = '1'
+			} else {
+				b[n] = '0'
+			}
+		}
+		out[c] = string(b)
+	}
+	return out
+}
+
+func relFromStrings(rows []string, g, p int, which string) (Rel, error) {
+	if len(rows) != g {
+		return nil, fmt.Errorf("collective: %s relation has %d rows, want G=%d", which, len(rows), g)
+	}
+	r := NewRel(g, p)
+	for c, row := range rows {
+		if len(row) != p {
+			return nil, fmt.Errorf("collective: %s row %d has width %d, want P=%d", which, c, len(row), p)
+		}
+		for n := 0; n < p; n++ {
+			switch row[n] {
+			case '1':
+				r[c][n] = true
+			case '0':
+			default:
+				return nil, fmt.Errorf("collective: %s row %d has byte %q (want '0' or '1')", which, c, row[n])
+			}
+		}
+	}
+	return r, nil
+}
+
+func relEqual(a, b Rel) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for c := range a {
+		if len(a[c]) != len(b[c]) {
+			return false
+		}
+		for n := range a[c] {
+			if a[c][n] != b[c][n] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// MarshalJSON renders the spec in the stable v1 wire format. The pre and
+// post relations are always included, so custom collectives round-trip
+// and standard ones can be cross-checked on decode.
+func (s *Spec) MarshalJSON() ([]byte, error) {
+	return json.Marshal(specJSON{
+		Version: jsonVersion,
+		Kind:    s.Kind.String(),
+		P:       s.P,
+		C:       s.C,
+		Root:    int(s.Root),
+		G:       s.G,
+		Pre:     relToStrings(s.Pre),
+		Post:    relToStrings(s.Post),
+	})
+}
+
+// UnmarshalJSON decodes the v1 wire format and re-validates: standard
+// kinds are rebuilt through New and their serialized pre/post must match
+// the registry relations; custom specs are rebuilt through Custom.
+func (s *Spec) UnmarshalJSON(data []byte) error {
+	var in specJSON
+	if err := json.Unmarshal(data, &in); err != nil {
+		return err
+	}
+	if in.Version != jsonVersion {
+		return fmt.Errorf("collective: unsupported JSON version %d (want %d)", in.Version, jsonVersion)
+	}
+	pre, err := relFromStrings(in.Pre, in.G, in.P, "pre")
+	if err != nil {
+		return err
+	}
+	post, err := relFromStrings(in.Post, in.G, in.P, "post")
+	if err != nil {
+		return err
+	}
+	if in.Kind == CustomKind.String() {
+		// Custom specs are defined by their relations; Custom always
+		// assigns C=1, and the wire value must agree rather than being
+		// trusted (G consistency is enforced by relFromStrings above).
+		dec, err := Custom("custom", in.P, pre, post)
+		if err != nil {
+			return fmt.Errorf("collective: decoded JSON invalid: %w", err)
+		}
+		if in.C != dec.C {
+			return fmt.Errorf("collective: custom spec JSON has C=%d, want %d", in.C, dec.C)
+		}
+		if in.Root < 0 || in.Root >= in.P {
+			return fmt.Errorf("collective: root %d out of range [0,%d)", in.Root, in.P)
+		}
+		dec.Root = topology.Node(in.Root)
+		*s = *dec
+		return nil
+	}
+	kind, err := ParseKind(in.Kind)
+	if err != nil {
+		return err
+	}
+	dec, err := New(kind, in.P, in.C, topology.Node(in.Root))
+	if err != nil {
+		return fmt.Errorf("collective: decoded JSON invalid: %w", err)
+	}
+	if dec.G != in.G {
+		return fmt.Errorf("collective: JSON G=%d inconsistent with %v(P=%d, C=%d) which has G=%d",
+			in.G, kind, in.P, in.C, dec.G)
+	}
+	if !relEqual(dec.Pre, pre) || !relEqual(dec.Post, post) {
+		return fmt.Errorf("collective: JSON pre/post do not match the %v registry relations", kind)
+	}
+	*s = *dec
+	return nil
+}
+
+// Fingerprint returns a canonical digest of the fully instantiated
+// specification — kind, shape, and the pre/post relations — so custom
+// collectives fingerprint by structure, not by name.
+func (s *Spec) Fingerprint() string {
+	payload := fmt.Sprintf("collective/v1|%s|p=%d|c=%d|root=%d|g=%d|pre=%s|post=%s",
+		s.Kind, s.P, s.C, s.Root, s.G,
+		strings.Join(relToStrings(s.Pre), ","), strings.Join(relToStrings(s.Post), ","))
+	sum := sha256.Sum256([]byte(payload))
+	return hex.EncodeToString(sum[:16])
+}

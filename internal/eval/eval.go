@@ -13,6 +13,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/algorithm"
 	"repro/internal/collective"
 	"repro/internal/cost"
 	"repro/internal/nccl"
@@ -37,7 +38,16 @@ type Options struct {
 	// Backend selects the solver backend for every synthesis call; nil
 	// uses the built-in CDCL solver.
 	Backend synth.Backend
+	// Synthesize, if non-nil, replaces the direct call to
+	// synth.SynthesizeCollectiveContext for every row. cmd/scclbench
+	// injects the facade engine here so repeated budgets across tables
+	// are served from its algorithm cache.
+	Synthesize SynthesizeFunc
 }
+
+// SynthesizeFunc matches synth.SynthesizeCollectiveContext; Options
+// carries one so callers can route rows through a caching engine.
+type SynthesizeFunc func(ctx context.Context, kind collective.Kind, topo *topology.Topology, root topology.Node, c, s, r int, opts synth.Options) (*algorithm.Algorithm, sat.Status, error)
 
 func (o *Options) defaults() {
 	if o.Timeout == 0 {
@@ -226,8 +236,12 @@ func synthesizeRow(ctx context.Context, topo *topology.Topology, spec rowSpec, o
 		// Convert the printed composed triple to the Allgather phase.
 		c, s, r = spec.c/topo.P, spec.s/2, spec.r/2
 	}
+	synthesize := opts.Synthesize
+	if synthesize == nil {
+		synthesize = synth.SynthesizeCollectiveContext
+	}
 	t0 := time.Now()
-	alg, status, err := synth.SynthesizeCollectiveContext(ctx, spec.kind, topo, 0, c, s, r,
+	alg, status, err := synthesize(ctx, spec.kind, topo, 0, c, s, r,
 		synth.Options{Timeout: opts.Timeout, Backend: opts.Backend})
 	row.Time = time.Since(t0)
 	row.Status = status.String()

@@ -67,15 +67,21 @@ func (s ParetoStats) Speedup() float64 {
 	return s.ProbeTime.Seconds() / s.Wall.Seconds()
 }
 
-// ParetoPoint is one synthesized Pareto-frontier member.
+// ParetoPoint is one synthesized Pareto-frontier member. The JSON tags
+// define the stable v1 wire format used by the facade's frontier
+// serialization; the embedded algorithm re-validates on decode.
 type ParetoPoint struct {
-	Algorithm *algorithm.Algorithm
-	C, S, R   int
+	Algorithm *algorithm.Algorithm `json:"algorithm"`
+	C         int                  `json:"c"`
+	S         int                  `json:"s"`
+	R         int                  `json:"r"`
 	// LatencyOptimal: S equals the latency lower bound.
-	LatencyOptimal bool
+	LatencyOptimal bool `json:"latencyOptimal"`
 	// BandwidthOptimal: R/C equals the bandwidth lower bound.
-	BandwidthOptimal bool
-	SynthesisTime    time.Duration
+	BandwidthOptimal bool `json:"bandwidthOptimal"`
+	// SynthesisTime is wall clock and inherently nondeterministic; byte
+	// comparisons of serialized frontiers should zero it first.
+	SynthesisTime time.Duration `json:"synthesisTimeNs"`
 }
 
 // Optimality renders the paper's Optimality column.

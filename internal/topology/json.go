@@ -1,0 +1,86 @@
+package topology
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// jsonVersion is the topology wire-format version. Bump only with a
+// decoder that still accepts every older version.
+const jsonVersion = 1
+
+type relationJSON struct {
+	Links     [][2]int `json:"links"`
+	Bandwidth int      `json:"bandwidth"`
+}
+
+type topologyJSON struct {
+	Version   int            `json:"version"`
+	Name      string         `json:"name"`
+	P         int            `json:"p"`
+	Relations []relationJSON `json:"relations"`
+}
+
+// MarshalJSON renders the topology in the stable v1 wire format: a
+// version tag, the node count, and the bandwidth relation as explicit
+// [src, dst] link pairs.
+func (t *Topology) MarshalJSON() ([]byte, error) {
+	out := topologyJSON{Version: jsonVersion, Name: t.Name, P: t.P}
+	for _, r := range t.Relations {
+		rj := relationJSON{Bandwidth: r.Bandwidth, Links: make([][2]int, 0, len(r.Links))}
+		for _, l := range r.Links {
+			rj.Links = append(rj.Links, [2]int{int(l.Src), int(l.Dst)})
+		}
+		out.Relations = append(out.Relations, rj)
+	}
+	return json.Marshal(out)
+}
+
+// UnmarshalJSON decodes the v1 wire format and re-validates the result,
+// so a hand-edited or corrupted document cannot produce a structurally
+// invalid topology.
+func (t *Topology) UnmarshalJSON(data []byte) error {
+	var in topologyJSON
+	if err := json.Unmarshal(data, &in); err != nil {
+		return err
+	}
+	if in.Version != jsonVersion {
+		return fmt.Errorf("topology: unsupported JSON version %d (want %d)", in.Version, jsonVersion)
+	}
+	dec := Topology{Name: in.Name, P: in.P}
+	for _, rj := range in.Relations {
+		r := Relation{Bandwidth: rj.Bandwidth, Links: make([]Link, 0, len(rj.Links))}
+		for _, lp := range rj.Links {
+			r.Links = append(r.Links, Link{Src: Node(lp[0]), Dst: Node(lp[1])})
+		}
+		dec.Relations = append(dec.Relations, r)
+	}
+	if err := dec.Validate(); err != nil {
+		return fmt.Errorf("topology: decoded JSON invalid: %w", err)
+	}
+	*t = dec
+	return nil
+}
+
+// Fingerprint returns a canonical, name-independent digest of the
+// topology structure: two topologies with the same node count and the
+// same bandwidth relation share a fingerprint regardless of their names
+// or of relation/link ordering. Engines key their algorithm caches on it.
+func (t *Topology) Fingerprint() string {
+	rels := make([]string, len(t.Relations))
+	for i, r := range t.Relations {
+		links := make([]string, len(r.Links))
+		for j, l := range r.Links {
+			links[j] = fmt.Sprintf("%d>%d", l.Src, l.Dst)
+		}
+		sort.Strings(links)
+		rels[i] = fmt.Sprintf("%s@%d", strings.Join(links, ","), r.Bandwidth)
+	}
+	sort.Strings(rels)
+	sum := sha256.Sum256([]byte(fmt.Sprintf("topology/v1|p=%d|%s", t.P, strings.Join(rels, ";"))))
+	return hex.EncodeToString(sum[:16])
+}

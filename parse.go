@@ -8,18 +8,25 @@ import (
 	"repro/internal/collective"
 )
 
-// ParseTopology resolves a topology spec string:
+// ParseTopology resolves a topology spec string. Every topology
+// constructor the package exports has a spec:
 //
-//	dgx1              NVIDIA DGX-1 (8 GPUs, NVLink)
-//	amd | z52         Gigabyte Z52 (8 MI50 GPUs)
-//	ring:N            unidirectional ring
-//	bidir-ring:N      bidirectional ring
-//	line:N            path
-//	fc:N              fully connected
-//	star:N            hub and spokes
-//	hypercube:D       2^D nodes
-//	torus:RxC         2-D wraparound mesh
-//	bus:N:BW          shared bus, BW chunks/round
+//	dgx1                          NVIDIA DGX-1 (8 GPUs, NVLink)
+//	dgx2                          NVIDIA DGX-2 (16 GPUs, NVSwitch)
+//	amd | z52                     Gigabyte Z52 (8 MI50 GPUs)
+//	ring:N                        unidirectional ring
+//	bidir-ring:N                  bidirectional ring
+//	line:N                        path
+//	fc:N                          fully connected
+//	star:N                        hub and spokes
+//	hypercube:D                   2^D nodes
+//	torus:RxC                     2-D wraparound mesh
+//	bus:N:BW                      shared bus, BW chunks/round
+//	multinode:BASE:COUNT:NICS:BW  COUNT copies of BASE joined by NICS
+//	                              NIC links of BW chunks/round per
+//	                              machine pair; BASE is itself a spec
+//	                              (e.g. multinode:dgx1:2:1:1,
+//	                              multinode:ring:4:2:1:1)
 func ParseTopology(spec string) (*Topology, error) {
 	parts := strings.Split(spec, ":")
 	name := strings.ToLower(parts[0])
@@ -32,8 +39,33 @@ func ParseTopology(spec string) (*Topology, error) {
 	switch name {
 	case "dgx1", "dgx-1":
 		return DGX1(), nil
+	case "dgx2", "dgx-2":
+		return DGX2(), nil
 	case "amd", "z52", "amd-z52":
 		return AMDZ52(), nil
+	case "multinode", "multi-node", "mn":
+		// The base spec may itself contain ':' arguments, so the three
+		// trailing fields (COUNT, NICS, BW) are parsed from the right.
+		if len(parts) < 5 {
+			return nil, fmt.Errorf("sccl: multinode needs BASE:COUNT:NICS:BW, got %q", spec)
+		}
+		base, err := ParseTopology(strings.Join(parts[1:len(parts)-3], ":"))
+		if err != nil {
+			return nil, err
+		}
+		count, err := argInt(len(parts) - 3)
+		if err != nil {
+			return nil, err
+		}
+		nics, err := argInt(len(parts) - 2)
+		if err != nil {
+			return nil, err
+		}
+		nicBW, err := argInt(len(parts) - 1)
+		if err != nil {
+			return nil, err
+		}
+		return MultiNode(base, count, nics, nicBW)
 	case "ring":
 		n, err := argInt(1)
 		if err != nil {

@@ -18,11 +18,27 @@
 // simulator, a goroutine-per-GPU executor that runs schedules on real
 // buffers, and a CUDA-flavored code generator.
 //
+// The primary entry points are the three nouns of the sessionful API:
+// an Engine owns a solver backend, a worker pool and an algorithm cache;
+// a Request names a collective, a topology, a root and a (C, S, R)
+// Budget; a Result carries the algorithm, the solver verdict and a
+// cache-hit flag. Algorithms, topologies, collectives, requests and
+// frontiers all have stable versioned JSON forms (EncodeAlgorithm and
+// friends), and an engine's cache persists as a reloadable library
+// (Engine.SaveLibrary / Engine.LoadLibrary) so synthesized algorithms
+// can be served without re-solving.
+//
 // Quick start:
 //
-//	topo := sccl.DGX1()
-//	alg, status, err := sccl.Synthesize(sccl.Allgather, topo, 0, 6, 3, 7, sccl.SynthOptions{})
-//	// alg is the bandwidth-optimal 3-step DGX-1 Allgather from the paper.
+//	eng := sccl.NewEngine(sccl.EngineOptions{})
+//	res, err := eng.Synthesize(ctx, sccl.Request{
+//		Kind:   sccl.Allgather,
+//		Topo:   sccl.DGX1(),
+//		Budget: sccl.Budget{C: 6, S: 3, R: 7},
+//	})
+//	// res.Algorithm is the bandwidth-optimal 3-step DGX-1 Allgather from
+//	// the paper; repeating the request sets res.CacheHit instead of
+//	// running the solver again.
 //
 // See examples/ for runnable walkthroughs and cmd/scclbench for the
 // harness that regenerates every table and figure of the paper.
@@ -74,6 +90,10 @@ type (
 	// Backend is a pluggable synthesis solver backend (built-in CDCL or
 	// an external SMT solver subprocess).
 	Backend = synth.Backend
+	// SMTLIBBackend is the external SMT solver subprocess backend.
+	SMTLIBBackend = synth.SMTLIBBackend
+	// Encoding selects the constraint encoding strategy.
+	Encoding = synth.Encoding
 	// Instance is a raw SynColl instance for direct control.
 	Instance = synth.Instance
 	// Status is the solver verdict (Sat / Unsat / Unknown).
@@ -111,6 +131,14 @@ const (
 	Sat     = sat.Sat
 	Unsat   = sat.Unsat
 	Unknown = sat.Unknown
+)
+
+// Constraint encodings.
+const (
+	// EncodingPaper is the paper's scalable encoding (§3.4).
+	EncodingPaper = synth.EncodingPaper
+	// EncodingDirect is the naive ablation encoding (§5.4.3).
+	EncodingDirect = synth.EncodingDirect
 )
 
 // Lowering variants (paper §4).
@@ -205,28 +233,52 @@ func NewCollective(kind Kind, p, c int, root Node) (*Collective, error) {
 // duals) for the exact budget (C chunks per node, S steps, R rounds). On
 // success the returned algorithm is validated; status reports Sat/Unsat/
 // Unknown (budget exhausted).
+//
+// Deprecated: use Engine.Synthesize with a Request; it adds caching,
+// batching and cancellation. Synthesize delegates to DefaultEngine, so
+// the returned algorithm may be shared with its cache and must be
+// treated as immutable.
 func Synthesize(kind Kind, topo *Topology, root Node, c, s, r int, opts SynthOptions) (*Algorithm, Status, error) {
-	return synth.SynthesizeCollective(kind, topo, root, c, s, r, opts)
+	return SynthesizeContext(context.Background(), kind, topo, root, c, s, r, opts)
 }
 
 // SynthesizeContext is Synthesize with cooperative cancellation threaded
 // down to the solver's restart/conflict boundaries (or the external
 // solver subprocess); a cancelled solve reports Unknown.
+//
+// Deprecated: use Engine.Synthesize with a Request. SynthesizeContext
+// delegates to DefaultEngine.
 func SynthesizeContext(ctx context.Context, kind Kind, topo *Topology, root Node, c, s, r int, opts SynthOptions) (*Algorithm, Status, error) {
-	return synth.SynthesizeCollectiveContext(ctx, kind, topo, root, c, s, r, opts)
+	res, err := DefaultEngine().Synthesize(ctx, Request{
+		Kind: kind, Topo: topo, Root: root,
+		Budget:  Budget{C: c, S: s, R: r},
+		Options: &opts,
+	})
+	if err != nil {
+		return nil, Unknown, err
+	}
+	return res.Algorithm, res.Status, nil
 }
 
 // SynthesizeInstance solves a raw SynColl instance (non-combining only).
+//
+// Deprecated: use Engine.SynthesizeInstance; it adds caching and
+// cancellation. SynthesizeInstance delegates to DefaultEngine.
 func SynthesizeInstance(in Instance, opts SynthOptions) (*Algorithm, Status, error) {
-	res, err := synth.Synthesize(in, opts)
-	return res.Algorithm, res.Status, err
+	return SynthesizeInstanceContext(context.Background(), in, opts)
 }
 
 // SynthesizeInstanceContext is SynthesizeInstance with cooperative
 // cancellation.
+//
+// Deprecated: use Engine.SynthesizeInstance. SynthesizeInstanceContext
+// delegates to DefaultEngine.
 func SynthesizeInstanceContext(ctx context.Context, in Instance, opts SynthOptions) (*Algorithm, Status, error) {
-	res, err := synth.SynthesizeContext(ctx, in, opts)
-	return res.Algorithm, res.Status, err
+	res, err := DefaultEngine().SynthesizeInstance(ctx, in, &opts)
+	if err != nil {
+		return nil, Unknown, err
+	}
+	return res.Algorithm, res.Status, nil
 }
 
 // ParseBackend resolves a solver backend spec: "cdcl" (or "") selects the
@@ -238,13 +290,10 @@ func ParseBackend(spec string) (Backend, error) { return synth.ParseBackend(spec
 func NewCDCLBackend() Backend { return synth.NewCDCLBackend() }
 
 // NewSMTLIBBackend builds an external SMT solver backend; an empty binary
-// auto-detects one on PATH.
-func NewSMTLIBBackend(binary string) (Backend, error) {
-	b, err := synth.NewSMTLIBBackend(binary)
-	if err != nil {
-		return nil, err
-	}
-	return b, nil
+// auto-detects one on PATH. The concrete *SMTLIBBackend return type keeps
+// a failed construction from hiding inside a non-nil Backend interface.
+func NewSMTLIBBackend(binary string) (*SMTLIBBackend, error) {
+	return synth.NewSMTLIBBackend(binary)
 }
 
 // Pareto runs the paper's Algorithm 1, synthesizing the Pareto frontier of
@@ -252,8 +301,29 @@ func NewSMTLIBBackend(binary string) (Backend, error) {
 // ParetoOptions.Workers > 1 the per-budget probes run concurrently and are
 // merged deterministically: the frontier is identical for every worker
 // count. ParetoOptions.Context cancels the sweep early.
+//
+// Deprecated: use Engine.Pareto with a ParetoRequest; it adds frontier
+// caching and seeds the algorithm cache with every frontier point.
+// Pareto delegates to DefaultEngine, so the returned algorithms may be
+// shared with its cache and must be treated as immutable.
 func Pareto(kind Kind, topo *Topology, root Node, opts ParetoOptions) ([]ParetoPoint, error) {
-	return synth.ParetoSynthesize(kind, topo, root, opts)
+	workers := opts.Workers
+	if workers < 1 {
+		workers = 1
+	}
+	res, err := DefaultEngine().Pareto(opts.Context, ParetoRequest{
+		Kind: kind, Topo: topo, Root: root,
+		K: opts.K, MaxSteps: opts.MaxSteps, MaxChunks: opts.MaxChunks,
+		Workers: workers, Progress: opts.Progress,
+		Options: &opts.Instance,
+	})
+	if res == nil {
+		return nil, err
+	}
+	if opts.Stats != nil {
+		*opts.Stats = res.Stats
+	}
+	return res.Points, err
 }
 
 // LowerBounds returns the latency (steps) and bandwidth (R/C) lower

@@ -1,6 +1,7 @@
 package sccl_test
 
 import (
+	"reflect"
 	"strings"
 	"testing"
 
@@ -12,10 +13,11 @@ func TestParseTopology(t *testing.T) {
 		spec string
 		p    int
 	}{
-		{"dgx1", 8}, {"amd", 8}, {"z52", 8},
+		{"dgx1", 8}, {"dgx2", 16}, {"amd", 8}, {"z52", 8},
 		{"ring:5", 5}, {"bidir-ring:6", 6}, {"line:3", 3},
 		{"fc:4", 4}, {"star:7", 7}, {"hypercube:3", 8},
 		{"torus:2x3", 6}, {"bus:4:2", 4},
+		{"multinode:dgx1:2:1:1", 16}, {"multinode:ring:4:2:1:1", 8},
 	}
 	for _, tc := range cases {
 		topo, err := sccl.ParseTopology(tc.spec)
@@ -30,9 +32,61 @@ func TestParseTopology(t *testing.T) {
 			t.Errorf("%s: %v", tc.spec, err)
 		}
 	}
-	for _, bad := range []string{"", "nope", "ring", "ring:x", "torus:5", "bus:3"} {
+	for _, bad := range []string{
+		"", "nope", "ring", "ring:x", "torus:5", "bus:3",
+		"multinode:dgx1:2:1", "multinode:dgx1:1:1:1", "multinode:nope:2:1:1",
+	} {
 		if _, err := sccl.ParseTopology(bad); err == nil {
 			t.Errorf("%q should fail", bad)
+		}
+	}
+}
+
+// TestParseTopologyRoundTrip checks that every topology constructor the
+// package exports is reachable through ParseTopology and parses to the
+// exact structure the constructor builds.
+func TestParseTopologyRoundTrip(t *testing.T) {
+	multi := func(base *sccl.Topology, count, nics, bw int) *sccl.Topology {
+		t.Helper()
+		topo, err := sccl.MultiNode(base, count, nics, bw)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return topo
+	}
+	cases := []struct {
+		spec string
+		want *sccl.Topology
+	}{
+		{"dgx1", sccl.DGX1()},
+		{"dgx-1", sccl.DGX1()},
+		{"dgx2", sccl.DGX2()},
+		{"amd", sccl.AMDZ52()},
+		{"z52", sccl.AMDZ52()},
+		{"ring:5", sccl.Ring(5)},
+		{"bidir-ring:6", sccl.BidirRing(6)},
+		{"bring:6", sccl.BidirRing(6)},
+		{"line:3", sccl.Line(3)},
+		{"path:3", sccl.Line(3)},
+		{"fc:4", sccl.FullyConnected(4)},
+		{"fully-connected:4", sccl.FullyConnected(4)},
+		{"star:7", sccl.Star(7)},
+		{"hypercube:3", sccl.Hypercube(3)},
+		{"cube:3", sccl.Hypercube(3)},
+		{"torus:2x3", sccl.Torus2D(2, 3)},
+		{"bus:4:2", sccl.SharedBus(4, 2)},
+		{"multinode:dgx1:2:1:1", multi(sccl.DGX1(), 2, 1, 1)},
+		{"multinode:ring:4:2:2:3", multi(sccl.Ring(4), 2, 2, 3)},
+		{"mn:bus:4:2:3:1:2", multi(sccl.SharedBus(4, 2), 3, 1, 2)},
+	}
+	for _, tc := range cases {
+		got, err := sccl.ParseTopology(tc.spec)
+		if err != nil {
+			t.Errorf("%s: %v", tc.spec, err)
+			continue
+		}
+		if !reflect.DeepEqual(got, tc.want) {
+			t.Errorf("%s: parsed topology differs from constructor output", tc.spec)
 		}
 	}
 }
