@@ -226,6 +226,43 @@ func BenchmarkLoweringAblation(b *testing.B) {
 	}
 }
 
+// BenchmarkSessionSweeps runs the one-shot vs incremental-session Pareto
+// sweep suite (the synthesis hot path this repository optimizes) and
+// writes the rows to BENCH_sessions.json — the machine-readable artifact
+// CI uploads so the performance trajectory is tracked over time. The
+// headline metric is the summed solver wall: sessions carry learnt
+// clauses across the closely related (S, R) probes of one family, so the
+// bidir-ring Broadcast sweep's Unsat chains refute measurably faster.
+func BenchmarkSessionSweeps(b *testing.B) {
+	var rows []eval.SweepRow
+	for i := 0; i < b.N; i++ {
+		var err error
+		rows, err = eval.RunSessionSweeps(eval.SessionSweeps(), nil, 1, 10*time.Minute, nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	var oneShotSolve, sessionSolve, oneShotWall, sessionWall time.Duration
+	for _, r := range rows {
+		if r.Sessions {
+			sessionSolve += time.Duration(r.SolveWallNs)
+			sessionWall += time.Duration(r.WallNs)
+		} else {
+			oneShotSolve += time.Duration(r.SolveWallNs)
+			oneShotWall += time.Duration(r.WallNs)
+		}
+	}
+	b.ReportMetric(oneShotSolve.Seconds(), "oneshot-solve-s")
+	b.ReportMetric(sessionSolve.Seconds(), "session-solve-s")
+	if sessionWall > 0 {
+		b.ReportMetric(oneShotWall.Seconds()/sessionWall.Seconds(), "sweep-speedup")
+	}
+	if err := eval.WriteBenchJSON("BENCH_sessions.json", rows); err != nil {
+		b.Fatal(err)
+	}
+	b.Logf("wrote BENCH_sessions.json (%d rows)", len(rows))
+}
+
 // BenchmarkParetoAllgatherDGX1 runs the full Pareto-Synthesize procedure
 // (Algorithm 1) with k=1 on the DGX-1.
 func BenchmarkParetoAllgatherDGX1(b *testing.B) {

@@ -12,7 +12,7 @@
 // Usage:
 //
 //	sccl synthesize -topology dgx1 -collective Allgather -c 6 -s 3 -r 7
-//	sccl pareto     -topology dgx1 -collective Allgather -k 2 -workers 4
+//	sccl pareto     -topology dgx1 -collective Allgather -k 2 -workers 4 -stats
 //	sccl bounds     -topology amd  -collective Allreduce
 //	sccl simulate   -topology dgx1 -collective Allgather -c 6 -s 3 -r 7 -bytes 1048576
 //	sccl cuda       -topology dgx1 -collective Allgather -c 1 -s 2 -r 2 -lowering fused-push
@@ -78,7 +78,9 @@ func usage() {
 
 commands:
   synthesize  synthesize one algorithm for an exact (C,S,R) budget
-  pareto      run the Pareto-Synthesize procedure (paper Algorithm 1)
+  pareto      run the Pareto-Synthesize procedure (paper Algorithm 1);
+              -stats prints scheduler + session-reuse counters and
+              -no-sessions disables incremental solver sessions
   bounds      print latency/bandwidth lower bounds
   simulate    run the discrete-event simulator across sizes
   cuda        emit CUDA-flavored C++ for a synthesized algorithm
@@ -238,6 +240,8 @@ func cmdPareto(args []string) error {
 	maxSteps := fs.Int("max-steps", 0, "step cap (0 = auto)")
 	maxChunks := fs.Int("max-chunks", 0, "chunk cap (0 = auto)")
 	timeout := fs.Duration("timeout", 5*time.Minute, "per-instance solver timeout")
+	stats := fs.Bool("stats", false, "print scheduler and session-reuse statistics")
+	noSessions := fs.Bool("no-sessions", false, "disable incremental solver sessions")
 	cm, err := parseCommon(fs, args)
 	if err != nil {
 		return err
@@ -245,7 +249,7 @@ func cmdPareto(args []string) error {
 	res, err := cm.eng.Pareto(context.Background(), sccl.ParetoRequest{
 		Kind: cm.kind, Topo: cm.topo, Root: sccl.Node(cm.root),
 		K: *k, MaxSteps: *maxSteps, MaxChunks: *maxChunks,
-		Timeout: *timeout,
+		Timeout: *timeout, NoSessions: *noSessions,
 	})
 	if err != nil {
 		return err
@@ -259,6 +263,19 @@ func cmdPareto(args []string) error {
 	} else {
 		fmt.Printf("%d probes (%d pruned): %.1fs solver time in %.1fs wall, %.2fx speedup\n",
 			res.Stats.Probes, res.Stats.Pruned, res.Stats.ProbeTime.Seconds(), res.Stats.Wall.Seconds(), res.Stats.Speedup())
+	}
+	if *stats && !res.CacheHit {
+		s := res.Stats
+		fmt.Printf("probe wall: %.2fs encode + %.2fs solve\n", s.EncodeTime.Seconds(), s.SolveTime.Seconds())
+		probesPerSession := 0.0
+		if s.Families > 0 {
+			probesPerSession = float64(s.SessionProbes) / float64(s.Families)
+		}
+		fmt.Printf("sessions: %d families, %d incremental probes (%.1f per session), %d warm reuses, %d learnt clauses carried\n",
+			s.Families, s.SessionProbes, probesPerSession, s.SessionReuses, s.CarriedLearnts)
+		cs := cm.eng.CacheStats()
+		fmt.Printf("engine: %d pooled sessions (%d pool hits, %d misses), %d cached algorithms\n",
+			cs.Sessions, cs.SessionHits, cs.SessionMisses, cs.Algorithms)
 	}
 	return cm.finish()
 }

@@ -37,6 +37,17 @@ type EngineOptions struct {
 	CacheSize int
 	// DisableCache turns the algorithm and frontier caches off entirely.
 	DisableCache bool
+	// NoSessions disables the engine's pooled incremental solver
+	// sessions: every Pareto probe then solves one-shot. Frontiers are
+	// byte-identical either way; sessions only change how fast the sweep
+	// discharges closely related probes.
+	NoSessions bool
+	// SessionPoolSize caps how many per-family solver sessions the engine
+	// keeps live across sweeps; 0 selects the default (32), negative
+	// disables pooling like NoSessions. A sweep keeps one session per
+	// probed chunk count, so on topologies where 2*P exceeds this cap
+	// raise it (or sessions thrash the pool and never warm up).
+	SessionPoolSize int
 }
 
 const defaultCacheSize = 4096
@@ -67,12 +78,16 @@ type cacheEntry struct {
 // primary entry points; the package-level free functions are deprecated
 // wrappers over DefaultEngine.
 type Engine struct {
-	backend  Backend
-	workers  int
-	timeout  time.Duration
-	progress func(format string, args ...any)
-	cacheCap int
-	cacheOff bool
+	backend    Backend
+	workers    int
+	timeout    time.Duration
+	progress   func(format string, args ...any)
+	cacheCap   int
+	cacheOff   bool
+	noSessions bool
+	// sessions pools per-family incremental solver sessions across Pareto
+	// sweeps (nil when the backend cannot session or sessions are off).
+	sessions *synth.SessionPool
 
 	mu            sync.Mutex
 	algs          map[string]*cacheEntry
@@ -94,16 +109,37 @@ func NewEngine(opts EngineOptions) *Engine {
 	if cacheCap == 0 {
 		cacheCap = defaultCacheSize
 	}
-	return &Engine{
-		backend:   opts.Backend,
-		workers:   workers,
-		timeout:   opts.Timeout,
-		progress:  synth.SerializedProgress(opts.Progress),
-		cacheCap:  cacheCap,
-		cacheOff:  opts.DisableCache,
-		algs:      map[string]*cacheEntry{},
-		frontiers: map[string][]ParetoPoint{},
+	e := &Engine{
+		backend:    opts.Backend,
+		workers:    workers,
+		timeout:    opts.Timeout,
+		progress:   synth.SerializedProgress(opts.Progress),
+		cacheCap:   cacheCap,
+		cacheOff:   opts.DisableCache,
+		noSessions: opts.NoSessions || opts.SessionPoolSize < 0,
+		algs:       map[string]*cacheEntry{},
+		frontiers:  map[string][]ParetoPoint{},
 	}
+	if !opts.NoSessions && opts.SessionPoolSize >= 0 {
+		resolved := e.backend
+		if resolved == nil {
+			resolved = synth.NewCDCLBackend()
+		}
+		if sb, ok := resolved.(synth.SessionBackend); ok {
+			e.sessions = synth.NewSessionPool(sb, opts.SessionPoolSize)
+		}
+	}
+	return e
+}
+
+// Close releases the engine's pooled solver sessions (and their learned
+// state). The engine itself stays usable: later sweeps simply solve
+// without cross-sweep session reuse.
+func (e *Engine) Close() error {
+	if e.sessions == nil {
+		return nil
+	}
+	return e.sessions.Close()
 }
 
 var (
@@ -248,18 +284,28 @@ type CacheStats struct {
 	Frontiers int
 	Hits      uint64
 	Misses    uint64
+	// Sessions is the number of live pooled solver sessions; SessionHits
+	// and SessionMisses count pool lookups across sweeps.
+	Sessions      int
+	SessionHits   uint64
+	SessionMisses uint64
 }
 
 // CacheStats returns a snapshot of the cache counters.
 func (e *Engine) CacheStats() CacheStats {
 	e.mu.Lock()
-	defer e.mu.Unlock()
-	return CacheStats{
+	cs := CacheStats{
 		Algorithms: len(e.algs),
 		Frontiers:  len(e.frontiers),
 		Hits:       e.hits,
 		Misses:     e.misses,
 	}
+	e.mu.Unlock()
+	if e.sessions != nil {
+		cs.Sessions = e.sessions.Len()
+		cs.SessionHits, cs.SessionMisses = e.sessions.Stats()
+	}
+	return cs
 }
 
 // Synthesize answers one request: on a cache hit the stored algorithm is
@@ -382,11 +428,20 @@ func (e *Engine) Pareto(ctx context.Context, req ParetoRequest) (*ParetoResult, 
 	if progress == nil {
 		progress = e.progress
 	}
+	// Route the sweep through the engine's persistent session pool so
+	// per-family solver state survives across sweeps — unless the request
+	// overrode the backend (the pool's sessions belong to the engine's).
+	noSessions := req.NoSessions || e.noSessions
+	pool := e.sessions
+	if noSessions || (req.Options != nil && req.Options.Backend != nil) {
+		pool = nil
+	}
 	var stats ParetoStats
 	pts, err := synth.ParetoSynthesize(req.Kind, req.Topo, req.Root, ParetoOptions{
 		K: req.K, MaxSteps: maxSteps, MaxChunks: maxChunks,
 		Instance: o, Progress: progress, Workers: workers,
 		Context: ctx, Stats: &stats,
+		NoSessions: noSessions, Pool: pool,
 	})
 	res := &ParetoResult{Points: pts, Stats: stats, Wall: time.Since(t0), Fingerprint: fp}
 	if err != nil {

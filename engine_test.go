@@ -3,6 +3,7 @@ package sccl_test
 import (
 	"bytes"
 	"context"
+	"encoding/json"
 	"testing"
 
 	sccl "repro"
@@ -355,5 +356,67 @@ func TestEngineInstance(t *testing.T) {
 	}
 	if !again.CacheHit {
 		t.Error("repeated instance missed the cache")
+	}
+}
+
+// TestEngineSessionPool checks that Pareto sweeps route through the
+// engine's persistent session pool, that frontiers stay byte-identical
+// with sessions disabled, and that a closed engine degrades gracefully.
+func TestEngineSessionPool(t *testing.T) {
+	eng := sccl.NewEngine(sccl.EngineOptions{Workers: 1})
+	req := sccl.ParetoRequest{Kind: sccl.Broadcast, Topo: sccl.BidirRing(6), K: 2, MaxSteps: 6, MaxChunks: 6}
+	res, err := eng.Pareto(context.Background(), req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.Families == 0 {
+		t.Errorf("sweep recorded no session families: %+v", res.Stats)
+	}
+	cs := eng.CacheStats()
+	if cs.Sessions == 0 || cs.SessionMisses == 0 {
+		t.Errorf("engine pool unused: %+v", cs)
+	}
+	// The same sweep with sessions disabled must match point for point
+	// (fresh engine: the frontier cache would otherwise short-circuit).
+	plain := sccl.NewEngine(sccl.EngineOptions{Workers: 1, NoSessions: true})
+	reqOff := req
+	reqOff.NoSessions = true
+	want, err := plain.Pareto(context.Background(), reqOff)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Points) != len(want.Points) {
+		t.Fatalf("frontiers differ: %d vs %d points", len(res.Points), len(want.Points))
+	}
+	for i := range want.Points {
+		g, w := res.Points[i], want.Points[i]
+		g.SynthesisTime, w.SynthesisTime = 0, 0
+		gb, err1 := json.Marshal(g)
+		wb, err2 := json.Marshal(w)
+		if err1 != nil || err2 != nil {
+			t.Fatal(err1, err2)
+		}
+		if string(gb) != string(wb) {
+			t.Errorf("point %d differs:\n sessions: %s\n one-shot: %s", i, gb, wb)
+		}
+	}
+	// Engine-level NoSessions must disable sessions even when the request
+	// does not ask for it.
+	off := sccl.NewEngine(sccl.EngineOptions{Workers: 1, NoSessions: true})
+	offRes, err := off.Pareto(context.Background(), req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if offRes.Stats.SessionProbes != 0 || offRes.Stats.Families != 0 {
+		t.Errorf("EngineOptions.NoSessions ignored by sweep: %+v", offRes.Stats)
+	}
+	// Close releases the pool; later sweeps still answer (one-shot path).
+	if err := eng.Close(); err != nil {
+		t.Fatal(err)
+	}
+	req2 := req
+	req2.Topo = sccl.BidirRing(8)
+	if _, err := eng.Pareto(context.Background(), req2); err != nil {
+		t.Fatalf("sweep after Close: %v", err)
 	}
 }

@@ -1,0 +1,146 @@
+package eval
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/collective"
+	"repro/internal/synth"
+	"repro/internal/topology"
+)
+
+// SweepSpec names one Pareto sweep of the session benchmark: the
+// one-shot/session comparison that tracks the synthesizer's hot path over
+// time. Both cmd/scclbench -sweeps and the top-level BenchmarkSessionSweeps
+// run the same specs so the BENCH_*.json rows are comparable across
+// entry points.
+type SweepSpec struct {
+	Name      string
+	Kind      collective.Kind
+	Topo      *topology.Topology
+	Root      topology.Node
+	K         int
+	MaxSteps  int
+	MaxChunks int
+}
+
+// SessionSweeps returns the default benchmark sweep suite. The bidir-ring
+// Broadcast sweep is the headline case — its per-step Unsat chains revisit
+// the same (collective, chunking) family often enough that carried learnt
+// clauses cut the solve wall — while the unidirectional ring shows the
+// shared-base encode win and the DGX-1 sweep guards against regression on
+// sparse probe streams (most families probed once).
+func SessionSweeps() []SweepSpec {
+	return []SweepSpec{
+		{Name: "bidir-ring10-broadcast-k3", Kind: collective.Broadcast, Topo: topology.BidirRing(10), K: 3, MaxSteps: 7, MaxChunks: 12},
+		{Name: "ring10-broadcast-k2", Kind: collective.Broadcast, Topo: topology.Ring(10), K: 2, MaxSteps: 12, MaxChunks: 18},
+		{Name: "dgx1-allgather-k2", Kind: collective.Allgather, Topo: topology.DGX1(), K: 2, MaxSteps: 7, MaxChunks: 16},
+	}
+}
+
+// SweepPoint is one frontier budget in a benchmark row.
+type SweepPoint struct {
+	C int `json:"c"`
+	S int `json:"s"`
+	R int `json:"r"`
+}
+
+// SweepRow is one machine-readable BENCH_*.json row: a sweep identity,
+// its frontier, and the scheduler/session counters needed to track the
+// performance trajectory (probes, encode+solve wall, session hits).
+type SweepRow struct {
+	Topology       string       `json:"topology"`
+	Collective     string       `json:"collective"`
+	Backend        string       `json:"backend"`
+	K              int          `json:"k"`
+	MaxSteps       int          `json:"maxSteps"`
+	MaxChunks      int          `json:"maxChunks"`
+	Workers        int          `json:"workers"`
+	Sessions       bool         `json:"sessions"`
+	Points         []SweepPoint `json:"points"`
+	Probes         int          `json:"probes"`
+	Pruned         int          `json:"pruned"`
+	Families       int          `json:"families"`
+	SessionProbes  int          `json:"sessionProbes"`
+	SessionReuses  int          `json:"sessionReuses"`
+	CarriedLearnts int64        `json:"carriedLearnts"`
+	EncodeWallNs   int64        `json:"encodeWallNs"`
+	SolveWallNs    int64        `json:"solveWallNs"`
+	WallNs         int64        `json:"wallNs"`
+}
+
+// RunSweep executes one spec with sessions on or off and renders its
+// row. backend selects the solver backend for every probe; nil uses the
+// built-in CDCL solver.
+func RunSweep(spec SweepSpec, backend synth.Backend, sessions bool, workers int, timeout time.Duration) (SweepRow, error) {
+	var stats synth.ParetoStats
+	pts, err := synth.ParetoSynthesize(spec.Kind, spec.Topo, spec.Root, synth.ParetoOptions{
+		K: spec.K, MaxSteps: spec.MaxSteps, MaxChunks: spec.MaxChunks,
+		Workers: workers, Stats: &stats, NoSessions: !sessions,
+		Instance: synth.Options{Timeout: timeout, Backend: backend},
+	})
+	if err != nil {
+		return SweepRow{}, fmt.Errorf("eval: sweep %s (sessions=%v): %w", spec.Name, sessions, err)
+	}
+	backendName := "cdcl"
+	if backend != nil {
+		backendName = backend.Name()
+	}
+	row := SweepRow{
+		Topology:   spec.Topo.Name,
+		Collective: spec.Kind.String(),
+		Backend:    backendName,
+		K:          spec.K, MaxSteps: spec.MaxSteps, MaxChunks: spec.MaxChunks,
+		Workers:        workers,
+		Sessions:       sessions,
+		Probes:         stats.Probes,
+		Pruned:         stats.Pruned,
+		Families:       stats.Families,
+		SessionProbes:  stats.SessionProbes,
+		SessionReuses:  stats.SessionReuses,
+		CarriedLearnts: stats.CarriedLearnts,
+		EncodeWallNs:   int64(stats.EncodeTime),
+		SolveWallNs:    int64(stats.SolveTime),
+		WallNs:         int64(stats.Wall),
+	}
+	for _, p := range pts {
+		row.Points = append(row.Points, SweepPoint{C: p.C, S: p.S, R: p.R})
+	}
+	return row, nil
+}
+
+// RunSessionSweeps runs every spec twice — one-shot then sessions — and
+// returns the paired rows; progress (if non-nil) receives a line per run.
+func RunSessionSweeps(specs []SweepSpec, backend synth.Backend, workers int, timeout time.Duration, progress func(format string, args ...any)) ([]SweepRow, error) {
+	if progress == nil {
+		progress = func(string, ...any) {}
+	}
+	var rows []SweepRow
+	for _, spec := range specs {
+		for _, sessions := range []bool{false, true} {
+			row, err := RunSweep(spec, backend, sessions, workers, timeout)
+			if err != nil {
+				return rows, err
+			}
+			progress("sweep %-28s sessions=%-5v probes=%-3d families=%-2d reuses=%-3d encode=%.3fs solve=%.3fs wall=%.3fs",
+				spec.Name, sessions, row.Probes, row.Families, row.SessionReuses,
+				time.Duration(row.EncodeWallNs).Seconds(), time.Duration(row.SolveWallNs).Seconds(),
+				time.Duration(row.WallNs).Seconds())
+			rows = append(rows, row)
+		}
+	}
+	return rows, nil
+}
+
+// WriteBenchJSON writes rows (any JSON-marshalable slice) as an indented
+// array — the BENCH_*.json artifact format the CI benchmark smoke step
+// uploads. Shared by the sweep suite and scclbench's table rows.
+func WriteBenchJSON(path string, rows any) error {
+	data, err := json.MarshalIndent(rows, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}

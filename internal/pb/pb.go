@@ -84,6 +84,27 @@ func NewTotalizer(s Adder, lits []sat.Lit) *Totalizer {
 	return &Totalizer{Outputs: out}
 }
 
+// MergeTotalizers combines two unary output registers into one totalizer
+// counting the union of their inputs, encoding both counting directions
+// like NewTotalizer. Either side may be a Totalizer's Outputs or any other
+// valid unary register — in particular the order-encoding literals of a
+// bounded integer variable, which count its value above its lower bound.
+// This is the incremental building block the synthesis sessions use to
+// extend a per-step prefix-sum register one step at a time between solver
+// calls (constraint C6 discharged under assumptions instead of asserted).
+func MergeTotalizers(s Adder, left, right *Totalizer) *Totalizer {
+	switch {
+	case left == nil || len(left.Outputs) == 0:
+		if right == nil {
+			return &Totalizer{}
+		}
+		return &Totalizer{Outputs: append([]sat.Lit(nil), right.Outputs...)}
+	case right == nil || len(right.Outputs) == 0:
+		return &Totalizer{Outputs: append([]sat.Lit(nil), left.Outputs...)}
+	}
+	return &Totalizer{Outputs: mergeRegisters(s, left.Outputs, right.Outputs)}
+}
+
 func buildTotalizer(s Adder, lits []sat.Lit) []sat.Lit {
 	switch len(lits) {
 	case 0:
@@ -94,6 +115,11 @@ func buildTotalizer(s Adder, lits []sat.Lit) []sat.Lit {
 	mid := len(lits) / 2
 	left := buildTotalizer(s, lits[:mid])
 	right := buildTotalizer(s, lits[mid:])
+	return mergeRegisters(s, left, right)
+}
+
+// mergeRegisters emits the totalizer merge of two unary registers.
+func mergeRegisters(s Adder, left, right []sat.Lit) []sat.Lit {
 	n := len(left) + len(right)
 	out := make([]sat.Lit, n)
 	for i := range out {

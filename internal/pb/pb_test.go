@@ -251,3 +251,75 @@ func BenchmarkSequentialCounter64(b *testing.B) {
 		}
 	}
 }
+
+// TestMergeTotalizersAssumable checks the incremental building block the
+// synthesis sessions use for constraint C6: a chain of register merges
+// whose outputs are forced — in both directions — under assumptions only.
+func TestMergeTotalizersAssumable(t *testing.T) {
+	for n := 2; n <= 5; n++ {
+		s := sat.NewSolver()
+		_, lits := mkVars(s, n)
+		// Chain-merge one input at a time, mirroring the per-step prefix
+		// registers of a synthesis session.
+		reg := &Totalizer{Outputs: []sat.Lit{lits[0]}}
+		for i := 1; i < n; i++ {
+			reg = MergeTotalizers(s, reg, &Totalizer{Outputs: []sat.Lit{lits[i]}})
+		}
+		if len(reg.Outputs) != n {
+			t.Fatalf("n=%d: register has %d outputs", n, len(reg.Outputs))
+		}
+		for k := 0; k <= n; k++ {
+			// Assume count == k via the register, then count the models of
+			// the inputs: exactly C(n, k) assignments must remain.
+			var assumptions []sat.Lit
+			if l, ok := reg.AtLeast(k); ok {
+				assumptions = append(assumptions, l)
+			}
+			if l, ok := reg.AtLeast(k + 1); ok {
+				assumptions = append(assumptions, l.Neg())
+			}
+			models := 0
+			for s.Solve(assumptions...) == sat.Sat {
+				models++
+				block := make([]sat.Lit, n)
+				for i, l := range lits {
+					if s.ValueLit(l) {
+						block[i] = l.Neg()
+					} else {
+						block[i] = l
+					}
+				}
+				if !s.AddClause(block...) {
+					break
+				}
+			}
+			if want := choose(n, k); models != want {
+				t.Errorf("n=%d k=%d: %d models, want %d", n, k, models, want)
+			}
+			// Blocking clauses mention only input literals, so drop them by
+			// rebuilding for the next k (cheap at these sizes).
+			s = sat.NewSolver()
+			_, lits = mkVars(s, n)
+			reg = &Totalizer{Outputs: []sat.Lit{lits[0]}}
+			for i := 1; i < n; i++ {
+				reg = MergeTotalizers(s, reg, &Totalizer{Outputs: []sat.Lit{lits[i]}})
+			}
+		}
+	}
+}
+
+// TestMergeTotalizersEmptySides covers the degenerate merges.
+func TestMergeTotalizersEmptySides(t *testing.T) {
+	s := sat.NewSolver()
+	_, lits := mkVars(s, 2)
+	full := &Totalizer{Outputs: lits}
+	if got := MergeTotalizers(s, nil, full); len(got.Outputs) != 2 {
+		t.Errorf("nil-left merge lost outputs: %v", got.Outputs)
+	}
+	if got := MergeTotalizers(s, full, &Totalizer{}); len(got.Outputs) != 2 {
+		t.Errorf("empty-right merge lost outputs: %v", got.Outputs)
+	}
+	if got := MergeTotalizers(s, nil, nil); len(got.Outputs) != 0 {
+		t.Errorf("nil merge should be empty: %v", got.Outputs)
+	}
+}

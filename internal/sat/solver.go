@@ -132,6 +132,20 @@ func (s *Solver) NumClauses() int {
 // Stats returns a copy of the solver counters.
 func (s *Solver) Stats() Stats { return s.stats }
 
+// LearntClauses returns the number of learnt clauses currently live in the
+// clause database. Between incremental Solve calls this is the knowledge
+// carried from earlier solves into the next one; the synthesis sessions
+// report it as their clause-reuse counter.
+func (s *Solver) LearntClauses() int {
+	n := 0
+	for _, r := range s.learnts {
+		if !s.clauses[r].deleted {
+			n++
+		}
+	}
+	return n
+}
+
 // ErrBadLiteral is returned by AddClause when a literal references an
 // unallocated variable.
 var ErrBadLiteral = errors.New("sat: literal references unallocated variable")

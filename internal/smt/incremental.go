@@ -1,0 +1,175 @@
+package smt
+
+import (
+	"bufio"
+	"context"
+	"fmt"
+	"io"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"sync"
+	"time"
+)
+
+// ExternalSession drives one external SMT solver process interactively
+// over stdin/stdout, the incremental counterpart of RunExternal: the
+// caller feeds a base formula once, then repeatedly brackets per-budget
+// assertions between Push and Pop around CheckSat, so the solver keeps
+// its lemma database and heuristic state across closely related queries.
+//
+// Not every solver binary supports an interactive mode; StartExternalSession
+// fails for binaries it does not know how to run incrementally, and callers
+// are expected to fall back to one-shot RunExternal solving.
+type ExternalSession struct {
+	binary string
+	cmd    *exec.Cmd
+	stdin  io.WriteCloser
+	lines  chan string
+	errs   chan error
+	mu     sync.Mutex
+	closed bool
+}
+
+// interactiveArgs maps known solver binaries to the flags that make them
+// read SMT-LIB2 from stdin incrementally.
+func interactiveArgs(binary string) ([]string, bool) {
+	switch filepath.Base(binary) {
+	case "z3":
+		return []string{"-in", "-smt2"}, true
+	case "cvc5", "cvc4":
+		return []string{"--incremental", "--lang", "smt2"}, true
+	case "yices-smt2":
+		return []string{"--incremental"}, true
+	}
+	return nil, false
+}
+
+// StartExternalSession launches the solver in interactive SMT-LIB2 mode.
+// extraArgs are appended after the binary's interactive flags. The caller
+// must Close the session to reap the subprocess.
+func StartExternalSession(binary string, extraArgs ...string) (*ExternalSession, error) {
+	args, ok := interactiveArgs(binary)
+	if !ok {
+		return nil, fmt.Errorf("smt: no interactive mode known for solver %q", binary)
+	}
+	cmd := exec.Command(binary, append(args, extraArgs...)...)
+	stdin, err := cmd.StdinPipe()
+	if err != nil {
+		return nil, fmt.Errorf("smt: session stdin: %w", err)
+	}
+	stdout, err := cmd.StdoutPipe()
+	if err != nil {
+		return nil, fmt.Errorf("smt: session stdout: %w", err)
+	}
+	cmd.Stderr = cmd.Stdout // interleave diagnostics with answers
+	if err := cmd.Start(); err != nil {
+		return nil, fmt.Errorf("smt: start %s: %w", binary, err)
+	}
+	s := &ExternalSession{
+		binary: binary,
+		cmd:    cmd,
+		stdin:  stdin,
+		lines:  make(chan string, 16),
+		errs:   make(chan error, 1),
+	}
+	go func() {
+		sc := bufio.NewScanner(stdout)
+		for sc.Scan() {
+			s.lines <- strings.TrimSpace(sc.Text())
+		}
+		if err := sc.Err(); err != nil {
+			s.errs <- err
+		}
+		close(s.lines)
+	}()
+	return s, nil
+}
+
+// Send writes raw SMT-LIB2 text (declarations, assertions, push/pop) to
+// the solver without waiting for a reply.
+func (s *ExternalSession) Send(text string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return fmt.Errorf("smt: session closed")
+	}
+	if !strings.HasSuffix(text, "\n") {
+		text += "\n"
+	}
+	if _, err := io.WriteString(s.stdin, text); err != nil {
+		return fmt.Errorf("smt: session write: %w", err)
+	}
+	return nil
+}
+
+// CheckSat issues (check-sat) and waits for the solver's "sat"/"unsat"/
+// "unknown" answer line, skipping any diagnostic chatter. A cancelled
+// context or an exceeded timeout reports "unknown" with a nil error so the
+// caller can treat it like a budget exhaustion; the session is then no
+// longer synchronized and must be closed. timeout <= 0 falls back to a
+// 5-minute safety deadline, mirroring RunExternal.
+func (s *ExternalSession) CheckSat(ctx context.Context, timeout time.Duration) (string, error) {
+	if err := s.Send("(check-sat)"); err != nil {
+		return "", err
+	}
+	if timeout <= 0 {
+		timeout = 5 * time.Minute
+	}
+	deadline := time.NewTimer(timeout)
+	defer deadline.Stop()
+	for {
+		select {
+		case line, ok := <-s.lines:
+			if !ok {
+				select {
+				case err := <-s.errs:
+					return "", fmt.Errorf("smt: session read: %w", err)
+				default:
+					return "", fmt.Errorf("smt: solver %s exited mid-session", s.binary)
+				}
+			}
+			switch line {
+			case "sat", "unsat", "unknown":
+				return line, nil
+			}
+			if strings.HasPrefix(line, "(error") {
+				return "", fmt.Errorf("smt: solver error: %s", line)
+			}
+			// Skip banner/diagnostic lines and keep waiting.
+		case <-ctx.Done():
+			return "unknown", nil
+		case <-deadline.C:
+			return "unknown", nil
+		}
+	}
+}
+
+// Close terminates the solver process. Safe to call more than once.
+func (s *ExternalSession) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	s.mu.Unlock()
+	// A polite (exit) lets well-behaved solvers flush and quit; the kill
+	// below covers the rest. Drain the line channel so the reader
+	// goroutine can never wedge on a full buffer while we wait.
+	io.WriteString(s.stdin, "(exit)\n")
+	s.stdin.Close()
+	go func() {
+		for range s.lines {
+		}
+	}()
+	done := make(chan error, 1)
+	go func() { done <- s.cmd.Wait() }()
+	select {
+	case err := <-done:
+		return err
+	case <-time.After(2 * time.Second):
+		s.cmd.Process.Kill()
+		return <-done
+	}
+}

@@ -1,0 +1,107 @@
+package smt
+
+import (
+	"context"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+// fakeSolver writes an executable shell script that speaks just enough of
+// the interactive SMT-LIB protocol: it answers every (check-sat) with the
+// given verdict and ignores everything else. Naming it "z3" makes
+// StartExternalSession pick the known interactive flags.
+func fakeSolver(t *testing.T, verdict string) string {
+	t.Helper()
+	dir := t.TempDir()
+	path := filepath.Join(dir, "z3")
+	script := "#!/bin/sh\nwhile read line; do\n" +
+		"  case \"$line\" in\n" +
+		"    *check-sat*) echo " + verdict + " ;;\n" +
+		"    *exit*) exit 0 ;;\n" +
+		"  esac\ndone\n"
+	if err := os.WriteFile(path, []byte(script), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestExternalSessionProtocol(t *testing.T) {
+	sess, err := StartExternalSession(fakeSolver(t, "unsat"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sess.Close()
+	if err := sess.Send("(set-logic QF_LIA)\n(declare-const x Int)"); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if err := sess.Send("(push 1)\n(assert (> x 0))"); err != nil {
+			t.Fatal(err)
+		}
+		answer, err := sess.CheckSat(context.Background(), 5*time.Second)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if answer != "unsat" {
+			t.Fatalf("round %d: answer %q, want unsat", i, answer)
+		}
+		if err := sess.Send("(pop 1)"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := sess.Close(); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+	if err := sess.Close(); err != nil {
+		t.Fatalf("second close should be a no-op: %v", err)
+	}
+}
+
+func TestExternalSessionCancellation(t *testing.T) {
+	// A solver that never answers: cancellation must report "unknown"
+	// promptly instead of hanging.
+	dir := t.TempDir()
+	path := filepath.Join(dir, "z3")
+	if err := os.WriteFile(path, []byte("#!/bin/sh\nwhile read line; do :; done\n"), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	sess, err := StartExternalSession(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sess.Close()
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	answer, err := sess.CheckSat(ctx, time.Minute)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if answer != "unknown" {
+		t.Fatalf("cancelled check-sat answered %q, want unknown", answer)
+	}
+}
+
+func TestStartExternalSessionUnknownBinary(t *testing.T) {
+	if _, err := StartExternalSession("some-solver-without-interactive-mode"); err == nil {
+		t.Fatal("unknown binary should be rejected (no interactive flags known)")
+	}
+}
+
+func TestScriptPrelude(t *testing.T) {
+	s := NewScript()
+	s.DeclareInt("x", 0, 3)
+	s.DeclareBool("b")
+	s.Assertf("(=> b (= x 1))")
+	p := s.Prelude()
+	for _, want := range []string{"(set-logic QF_LIA)", "(declare-const x Int)", "(declare-const b Bool)", "(assert (=> b (= x 1)))"} {
+		if !strings.Contains(p, want) {
+			t.Errorf("prelude missing %q:\n%s", want, p)
+		}
+	}
+	if strings.Contains(p, "(check-sat)") || strings.Contains(p, "(get-value") {
+		t.Errorf("prelude must not issue queries:\n%s", p)
+	}
+}

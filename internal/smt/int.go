@@ -85,6 +85,13 @@ func (v *IntVar) GeLit(k int) (sat.Lit, bool) {
 // is not contingent.
 func (v *IntVar) TriviallyGe(k int) bool { return k <= v.Lo }
 
+// GeLits returns a copy of the variable's order-encoding literals:
+// GeLits()[i] is equivalent to (x >= Lo+1+i). The slice is a valid unary
+// register counting x - Lo, so it can feed totalizer merges directly (see
+// pb.MergeTotalizers); callers must not assert the literals inconsistently
+// with the order chain.
+func (v *IntVar) GeLits() []sat.Lit { return append([]sat.Lit(nil), v.ge...) }
+
 // LeLit returns a literal equivalent to (x <= k); same contract as GeLit
 // with TriviallyLe for the trivial case.
 func (v *IntVar) LeLit(k int) (sat.Lit, bool) {

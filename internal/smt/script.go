@@ -75,16 +75,7 @@ func (s *Script) Names() []string {
 // get-value for every declared constant.
 func (s *Script) String() string {
 	var b strings.Builder
-	b.WriteString("(set-logic QF_LIA)\n")
-	for _, d := range s.decls {
-		b.WriteString(d)
-		b.WriteByte('\n')
-	}
-	for _, a := range s.asserts {
-		b.WriteString("(assert ")
-		b.WriteString(a)
-		b.WriteString(")\n")
-	}
+	b.WriteString(s.Prelude())
 	b.WriteString("(check-sat)\n")
 	if len(s.names) > 0 {
 		b.WriteString("(get-value (")
@@ -95,6 +86,25 @@ func (s *Script) String() string {
 			b.WriteString(n)
 		}
 		b.WriteString("))\n")
+	}
+	return b.String()
+}
+
+// Prelude renders the script's logic declaration, constant declarations
+// and assertions without any (check-sat) or (get-value) commands — the
+// form an incremental session feeds to a live solver process before
+// issuing per-budget (push)/(check-sat)/(pop) rounds.
+func (s *Script) Prelude() string {
+	var b strings.Builder
+	b.WriteString("(set-logic QF_LIA)\n")
+	for _, d := range s.decls {
+		b.WriteString(d)
+		b.WriteByte('\n')
+	}
+	for _, a := range s.asserts {
+		b.WriteString("(assert ")
+		b.WriteString(a)
+		b.WriteString(")\n")
 	}
 	return b.String()
 }

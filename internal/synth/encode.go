@@ -73,6 +73,15 @@ type Result struct {
 	// and the answer is Unsat (nil for pruning-detected infeasibility,
 	// where the certificate is the unreachable requirement itself).
 	Proof *sat.Proof
+	// SessionProbe reports that the result was discharged through a live
+	// per-family solver session (see Session) instead of a one-shot solve.
+	SessionProbe bool
+	// SessionWarm reports that the session had already solved earlier
+	// probes, so learnt clauses and heuristic state carried into this one.
+	SessionWarm bool
+	// CarriedLearnts is the number of learnt clauses alive in the session
+	// solver when this solve began (0 for one-shot solves).
+	CarriedLearnts int
 }
 
 // Validate checks instance coherence.

@@ -41,6 +41,18 @@ type ParetoOptions struct {
 	// Stats, if non-nil, receives scheduler counters for speedup
 	// reporting once the sweep finishes.
 	Stats *ParetoStats
+	// NoSessions disables per-family incremental solver sessions; every
+	// probe then one-shots through the backend. With sessions enabled
+	// (the default when the backend supports them) same-family probes
+	// route to one live solver so learned clauses transfer between
+	// budgets; the merged frontier is byte-identical either way because
+	// Sat witnesses are re-derived canonically (see Session).
+	NoSessions bool
+	// Pool, if non-nil, supplies (and keeps) the solver sessions the
+	// sweep uses — an Engine passes its persistent pool so sessions
+	// survive across sweeps. Nil with sessions enabled uses a transient
+	// pool closed when the sweep returns.
+	Pool *SessionPool
 }
 
 // ParetoStats reports what the probe scheduler did during one sweep.
@@ -54,8 +66,26 @@ type ParetoStats struct {
 	// ProbeTime is the summed per-probe wall clock — the sequential cost
 	// of the work performed.
 	ProbeTime time.Duration
+	// EncodeTime and SolveTime split the completed probes' work into
+	// formula construction and solver search; their sum can undercut
+	// ProbeTime (which also covers extraction and validation).
+	EncodeTime time.Duration
+	SolveTime  time.Duration
 	// Wall is the end-to-end sweep wall clock.
 	Wall time.Duration
+	// Families counts the distinct (collective, chunking) solver-session
+	// families the sweep touched; 0 when sessions were disabled.
+	Families int
+	// SessionProbes counts completed probes discharged incrementally
+	// through a live session rather than a one-shot solve.
+	SessionProbes int
+	// SessionReuses counts session probes that hit a warm solver — one
+	// that had already solved earlier budgets of the same family.
+	SessionReuses int
+	// CarriedLearnts sums the learnt clauses already live in the session
+	// solver at the start of each completed probe: the knowledge that
+	// one-shot solving would have discarded.
+	CarriedLearnts int64
 }
 
 // Speedup returns the aggregate parallel speedup: summed probe time over
@@ -159,6 +189,7 @@ type probeOutcome struct {
 	err    error
 	pruned bool // cancelled by the scheduler; the result is discarded
 	dur    time.Duration
+	famKey string // session family the probe routed to ("" for one-shot)
 }
 
 // stepSchedule tracks probe state for one step count S. All fields are
@@ -201,6 +232,9 @@ type paretoSweep struct {
 	workers  int
 	steps    []*stepSchedule
 	stats    ParetoStats
+	// pool supplies per-family solver sessions; nil disables sessions.
+	pool *SessionPool
+	fams map[string]bool
 }
 
 // ParetoSynthesize runs Algorithm 1 for a non-combining collective kind on
@@ -252,7 +286,33 @@ func ParetoSynthesize(kind collective.Kind, topo *topology.Topology, root topolo
 		bl:       bl,
 		progress: SerializedProgress(opts.Progress),
 		workers:  workers,
+		fams:     map[string]bool{},
 	}
+	// Session affinity: same-family probes share one incremental solver.
+	// The caller's pool (usually an Engine's) keeps sessions across
+	// sweeps; otherwise a transient pool lives for this sweep only.
+	var transientPool *SessionPool
+	if !opts.NoSessions {
+		backend := opts.Instance.Backend
+		if backend == nil {
+			backend = NewCDCLBackend()
+		}
+		if sb, ok := backend.(SessionBackend); ok {
+			w.pool = opts.Pool
+			if w.pool == nil {
+				// A sweep has one family per probed chunk count, so size
+				// the transient pool exactly: an undersized pool would
+				// evict families between visits and never adopt them.
+				transientPool = NewSessionPool(sb, opts.MaxChunks)
+				w.pool = transientPool
+			}
+		}
+	}
+	defer func() {
+		if transientPool != nil {
+			transientPool.Close()
+		}
+	}()
 	for S := al; S <= opts.MaxSteps; S++ {
 		cands := enumerateCandidates(S, opts.K, opts.MaxChunks, bl)
 		w.steps = append(w.steps, &stepSchedule{
@@ -300,12 +360,10 @@ func (w *paretoSweep) run(ctx context.Context) ([]ParetoPoint, error) {
 		close(tasks)
 		for ; inflight > 0; inflight-- {
 			d := <-results
-			if d.out.pruned || w.steps[d.si].prunedF[d.ci] {
-				w.stats.Pruned++
-			} else {
-				w.stats.Probes++
-				w.stats.ProbeTime += d.out.dur
+			if w.steps[d.si].prunedF[d.ci] {
+				d.out.pruned = true
 			}
+			w.account(d.out)
 		}
 	}()
 
@@ -340,12 +398,7 @@ func (w *paretoSweep) run(ctx context.Context) ([]ParetoPoint, error) {
 			cancel()
 			st.cancels[d.ci] = nil
 		}
-		if d.out.pruned {
-			w.stats.Pruned++
-		} else {
-			w.stats.Probes++
-			w.stats.ProbeTime += d.out.dur
-		}
+		w.account(d.out)
 		if ctx.Err() != nil {
 			return points, fmt.Errorf("synth: pareto sweep cancelled: %w", ctx.Err())
 		}
@@ -362,6 +415,29 @@ func (w *paretoSweep) run(ctx context.Context) ([]ParetoPoint, error) {
 		if stop {
 			return points, nil
 		}
+	}
+}
+
+// account folds one finished probe into the sweep counters.
+func (w *paretoSweep) account(out *probeOutcome) {
+	if out.famKey != "" && !w.fams[out.famKey] {
+		w.fams[out.famKey] = true
+		w.stats.Families++
+	}
+	if out.pruned {
+		w.stats.Pruned++
+		return
+	}
+	w.stats.Probes++
+	w.stats.ProbeTime += out.dur
+	w.stats.EncodeTime += out.res.Encode
+	w.stats.SolveTime += out.res.Solve
+	if out.res.SessionProbe {
+		w.stats.SessionProbes++
+		if out.res.SessionWarm {
+			w.stats.SessionReuses++
+		}
+		w.stats.CarriedLearnts += int64(out.res.CarriedLearnts)
 	}
 }
 
@@ -454,10 +530,36 @@ func (w *paretoSweep) probe(t probeTask) *probeOutcome {
 		return out
 	}
 	inst := Instance{Coll: coll, Topo: w.topo, Steps: st.S, Round: cand.R}
-	out.res, out.err = SynthesizeContext(t.ctx, inst, w.opts.Instance)
+	if sess := w.session(coll, &out.famKey); sess != nil {
+		out.res, out.err = sess.Solve(t.ctx, st.S, cand.R, w.opts.Instance)
+	} else {
+		out.res, out.err = SynthesizeContext(t.ctx, inst, w.opts.Instance)
+	}
 	out.dur = time.Since(t0)
 	w.progress("probe %v C=%d S=%d R=%d: %v (%.2fs)", w.kind, cand.C, st.S, cand.R, out.res.Status, out.dur.Seconds())
 	return out
+}
+
+// session resolves the pooled solver session for a probe's collective,
+// or nil when sessions are disabled or unavailable; famKey receives the
+// family's pool key for the reuse counters.
+func (w *paretoSweep) session(coll *collective.Spec, famKey *string) Session {
+	if w.pool == nil {
+		return nil
+	}
+	fam := Family{
+		Coll:           coll,
+		Topo:           w.topo,
+		MaxSteps:       w.opts.MaxSteps,
+		MaxExtraRounds: w.opts.K,
+	}
+	key := fam.key(w.opts.Instance)
+	sess, err := w.pool.sessionForKey(fam, w.opts.Instance, key)
+	if err != nil {
+		return nil // e.g. the pool closed underneath us: fall back one-shot
+	}
+	*famKey = key
+	return sess
 }
 
 // SynthesizeCollective synthesizes any collective kind — including

@@ -1,9 +1,13 @@
 package synth
 
 import (
+	"context"
 	"fmt"
 	"strings"
+	"sync"
+	"time"
 
+	"repro/internal/sat"
 	"repro/internal/smt"
 )
 
@@ -119,4 +123,309 @@ func EmitSMTLIB(in Instance) (*smt.Script, error) {
 		s.Assertf("(= (+ %s) %d)", strings.Join(rTerms, " "), in.Round)
 	}
 	return s, nil
+}
+
+// EmitSMTLIBBase renders the budget-independent base formula of a session
+// family at the given step horizon: time domains span [0, horizon+1],
+// per-step round variables range over [1, MaxExtraRounds+1], and the
+// budget constraints C2 (post arrival within S) and C6 (round total R)
+// are left out — EmitSMTLIBBudget supplies them per probe inside a
+// (push)/(pop) bracket. Sends arriving after a probe's S are permitted by
+// the base and ignored by the probe, mirroring the CDCL session layering.
+func EmitSMTLIBBase(f Family, horizon int) (*smt.Script, error) {
+	if err := f.Validate(); err != nil {
+		return nil, err
+	}
+	if horizon < 1 || horizon > f.MaxSteps {
+		return nil, fmt.Errorf("synth: session horizon %d outside [1, %d]", horizon, f.MaxSteps)
+	}
+	s := smt.NewScript()
+	coll, topo := f.Coll, f.Topo
+	H, G := horizon, coll.G
+	edges := topo.Edges()
+
+	timeName := func(c, n int) string { return fmt.Sprintf("time_c%d_n%d", c, n) }
+	sndName := func(c int, src, dst int) string { return fmt.Sprintf("snd_n%d_c%d_n%d", src, c, dst) }
+	rName := func(st int) string { return fmt.Sprintf("r_%d", st) }
+
+	for c := 0; c < G; c++ {
+		for n := 0; n < coll.P; n++ {
+			s.DeclareInt(timeName(c, n), 0, H+1)
+		}
+	}
+	for c := 0; c < G; c++ {
+		for _, l := range edges {
+			s.DeclareBool(sndName(c, int(l.Src), int(l.Dst)))
+		}
+	}
+	for st := 0; st < H; st++ {
+		s.DeclareInt(rName(st), 1, f.MaxExtraRounds+1)
+	}
+
+	// C1: pre chunks available at time 0.
+	for c := 0; c < G; c++ {
+		for n := 0; n < coll.P; n++ {
+			if coll.Pre[c][n] {
+				s.Assertf("(= %s 0)", timeName(c, n))
+			}
+		}
+	}
+	// C3 at the horizon: arriving non-pre chunks are received exactly once.
+	for c := 0; c < G; c++ {
+		for n := 0; n < coll.P; n++ {
+			if coll.Pre[c][n] {
+				continue
+			}
+			var terms []string
+			for _, l := range edges {
+				if int(l.Dst) == n {
+					terms = append(terms, fmt.Sprintf("(ite %s 1 0)", sndName(c, int(l.Src), n)))
+				}
+			}
+			if len(terms) == 0 {
+				s.Assertf("(= %s %d)", timeName(c, n), H+1)
+				continue
+			}
+			sum := terms[0]
+			if len(terms) > 1 {
+				sum = "(+ " + strings.Join(terms, " ") + ")"
+			}
+			s.Assertf("(=> (<= %s %d) (= %s 1))", timeName(c, n), H, sum)
+			s.Assertf("(<= %s 1)", sum)
+		}
+	}
+	// C4: causality, with arrival bounded by the horizon.
+	for c := 0; c < G; c++ {
+		for _, l := range edges {
+			s.Assertf("(=> %s (< %s %s))",
+				sndName(c, int(l.Src), int(l.Dst)),
+				timeName(c, int(l.Src)), timeName(c, int(l.Dst)))
+			s.Assertf("(=> %s (<= %s %d))",
+				sndName(c, int(l.Src), int(l.Dst)), timeName(c, int(l.Dst)), H)
+		}
+	}
+	// C5 for every step in the horizon.
+	for st := 1; st <= H; st++ {
+		for _, rel := range topo.Relations {
+			var terms []string
+			for _, l := range rel.Links {
+				for c := 0; c < G; c++ {
+					terms = append(terms, fmt.Sprintf("(ite (and %s (= %s %d)) 1 0)",
+						sndName(c, int(l.Src), int(l.Dst)), timeName(c, int(l.Dst)), st))
+				}
+			}
+			if len(terms) == 0 {
+				continue
+			}
+			sum := terms[0]
+			if len(terms) > 1 {
+				sum = "(+ " + strings.Join(terms, " ") + ")"
+			}
+			s.Assertf("(<= %s (* %d %s))", sum, rel.Bandwidth, rName(st-1))
+		}
+	}
+	return s, nil
+}
+
+// EmitSMTLIBBudget renders the (S, R) budget layer over a session base
+// emitted at the given horizon: one assertion per post placement (C2) and
+// the round total (C6). The returned lines are complete SMT-LIB commands
+// meant to sit between (push 1) and (pop 1).
+func EmitSMTLIBBudget(f Family, horizon, steps, rounds int) ([]string, error) {
+	if steps < 1 || steps > horizon {
+		return nil, fmt.Errorf("synth: budget steps %d outside horizon %d", steps, horizon)
+	}
+	if rounds < steps || rounds-steps > f.MaxExtraRounds {
+		return nil, fmt.Errorf("synth: budget R=%d outside [S, S+%d]", rounds, f.MaxExtraRounds)
+	}
+	var out []string
+	coll := f.Coll
+	for c := 0; c < coll.G; c++ {
+		for n := 0; n < coll.P; n++ {
+			if coll.Post[c][n] && !coll.Pre[c][n] {
+				out = append(out, fmt.Sprintf("(assert (<= time_c%d_n%d %d))", c, n, steps))
+			}
+		}
+	}
+	if steps == 1 {
+		out = append(out, fmt.Sprintf("(assert (= r_0 %d))", rounds))
+		return out, nil
+	}
+	terms := make([]string, steps)
+	for st := 0; st < steps; st++ {
+		terms[st] = fmt.Sprintf("r_%d", st)
+	}
+	out = append(out, fmt.Sprintf("(assert (= (+ %s) %d))", strings.Join(terms, " "), rounds))
+	return out, nil
+}
+
+// smtlibSession keeps one interactive solver process per family and
+// brackets each probe in (push)/(pop) — the incremental route SMT-LIB2
+// standardizes. Binaries without a known interactive mode, and any probe
+// the process fails on, fall back to the backend's one-shot Solve, so a
+// session never answers differently from the non-session path.
+type smtlibSession struct {
+	fam Family
+	b   *SMTLIBBackend
+
+	mu      sync.Mutex
+	oneShot bool // interactive mode unavailable: every probe one-shots
+	proc    *smt.ExternalSession
+	horizon int
+	probes  int
+}
+
+// NewSession prepares an incremental (push)/(pop) session; the solver
+// process starts lazily on the first probe.
+func (b *SMTLIBBackend) NewSession(f Family, opts Options) (Session, error) {
+	if err := f.Validate(); err != nil {
+		return nil, err
+	}
+	_ = opts // the SMT emission has no lowering-relevant options
+	return &smtlibSession{fam: f, b: b}, nil
+}
+
+func (s *smtlibSession) Family() Family { return s.fam }
+
+func (s *smtlibSession) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.oneShot = true
+	return s.stopLocked()
+}
+
+func (s *smtlibSession) stopLocked() error {
+	if s.proc == nil {
+		return nil
+	}
+	err := s.proc.Close()
+	s.proc = nil
+	return err
+}
+
+// start (re)launches the interactive process and feeds it the base
+// formula at a horizon covering steps. Caller holds s.mu.
+func (s *smtlibSession) start(steps int) error {
+	s.stopLocked()
+	horizon := sessionHorizon(s.fam, steps)
+	base, err := EmitSMTLIBBase(s.fam, horizon)
+	if err != nil {
+		return err
+	}
+	proc, err := smt.StartExternalSession(s.b.Binary, s.b.ExtraArgs...)
+	if err != nil {
+		return err
+	}
+	if err := proc.Send(base.Prelude()); err != nil {
+		proc.Close()
+		return err
+	}
+	s.proc = proc
+	s.horizon = horizon
+	return nil
+}
+
+func (s *smtlibSession) Solve(ctx context.Context, steps, rounds int, opts Options) (Result, error) {
+	in := Instance{Coll: s.fam.Coll, Topo: s.fam.Topo, Steps: steps, Round: rounds}
+	if err := in.Validate(); err != nil {
+		return Result{}, err
+	}
+	res, mode, err := s.probeLocked(ctx, steps, rounds, opts)
+	if err != nil {
+		return res, err
+	}
+	switch mode {
+	case probeModeDone:
+		return res, nil
+	case probeModeOneShot:
+		return s.b.Solve(ctx, in, opts)
+	}
+	// Sat: re-derive the canonical witness one-shot, exactly like the
+	// CDCL session, so the extracted algorithm does not depend on the
+	// incremental process's history. Runs outside the family lock so
+	// concurrent same-family probes are not serialized behind it.
+	canon, err := s.b.Solve(ctx, in, opts)
+	if err != nil {
+		return res, err
+	}
+	res.Encode += canon.Encode
+	res.Solve += canon.Solve
+	switch canon.Status {
+	case sat.Sat:
+		res.Status = sat.Sat
+		res.Algorithm = canon.Algorithm
+	case sat.Unknown:
+		res.Status = sat.Unknown
+	default:
+		return res, fmt.Errorf("synth: internal: session says sat but one-shot re-solve says %v for C=%d S=%d R=%d",
+			canon.Status, s.fam.Coll.C, steps, rounds)
+	}
+	return res, nil
+}
+
+// probeLocked holds the family lock while talking to the interactive
+// process; one-shot fallbacks and witness materialization run in Solve,
+// outside the lock.
+func (s *smtlibSession) probeLocked(ctx context.Context, steps, rounds int, opts Options) (Result, int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.oneShot || steps > s.fam.MaxSteps || rounds-steps > s.fam.MaxExtraRounds {
+		return Result{}, probeModeOneShot, nil
+	}
+	if s.proc == nil && s.probes < sessionAdoptProbes {
+		// Lazy adoption, mirroring the CDCL session: a family probed only
+		// a few times never pays for the solver process.
+		s.probes++
+		return Result{}, probeModeOneShot, nil
+	}
+	warm := s.proc != nil && steps <= s.horizon
+	if !warm {
+		if err := s.start(steps); err != nil {
+			// No interactive mode (or the process refused to start): stay
+			// on one-shot solving for the session's remaining lifetime.
+			s.oneShot = true
+			return Result{}, probeModeOneShot, nil
+		}
+	}
+	var res Result
+	res.SessionProbe = true
+	res.SessionWarm = warm
+	s.probes++
+	t0 := time.Now()
+	budget, err := EmitSMTLIBBudget(s.fam, s.horizon, steps, rounds)
+	if err != nil {
+		return res, probeModeDone, err
+	}
+	probeErr := s.proc.Send("(push 1)\n" + strings.Join(budget, "\n"))
+	res.Encode = time.Since(t0)
+	answer := ""
+	if probeErr == nil {
+		t1 := time.Now()
+		answer, probeErr = s.proc.CheckSat(ctx, opts.Timeout)
+		res.Solve = time.Since(t1)
+	}
+	if probeErr != nil {
+		// Protocol failure: drop the process and answer one-shot; later
+		// probes will relaunch.
+		s.stopLocked()
+		return Result{}, probeModeOneShot, nil
+	}
+	switch answer {
+	case "unsat":
+		res.Status = sat.Unsat
+		if err := s.proc.Send("(pop 1)"); err != nil {
+			s.stopLocked()
+		}
+		return res, probeModeDone, nil
+	case "unknown":
+		// Timeout or cancellation leaves the process possibly mid-solve
+		// and out of sync; drop it.
+		s.stopLocked()
+		res.Status = sat.Unknown
+		return res, probeModeDone, nil
+	}
+	if err := s.proc.Send("(pop 1)"); err != nil {
+		s.stopLocked()
+	}
+	return res, probeModeSat, nil
 }

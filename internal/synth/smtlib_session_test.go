@@ -1,0 +1,156 @@
+package synth
+
+import (
+	"context"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/collective"
+	"repro/internal/sat"
+	"repro/internal/topology"
+)
+
+// fakeSMTSolver writes a shell script named z3 (so the interactive flags
+// resolve) that answers "unsat" to every query, in both the one-shot
+// file-argument mode RunExternal uses and the interactive stdin mode the
+// session uses.
+func fakeSMTSolver(t *testing.T) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "z3")
+	script := `#!/bin/sh
+for a in "$@"; do
+  if [ -f "$a" ]; then
+    echo unsat
+    exit 0
+  fi
+done
+while read line; do
+  case "$line" in
+    *check-sat*) echo unsat ;;
+    *exit*) exit 0 ;;
+  esac
+done
+`
+	if err := os.WriteFile(path, []byte(script), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// TestSMTLIBSessionPushPop drives the SMT-LIB session through lazy
+// adoption into interactive (push)/(pop) rounds against the fake solver:
+// the first probes one-shot, later ones reuse the live process.
+func TestSMTLIBSessionPushPop(t *testing.T) {
+	topo := topology.Ring(4)
+	coll, err := collective.New(collective.Allgather, topo.P, 1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := &SMTLIBBackend{Binary: fakeSMTSolver(t)}
+	sess, err := b.NewSession(Family{Coll: coll, Topo: topo, MaxSteps: 4, MaxExtraRounds: 2}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sess.Close()
+	ctx := context.Background()
+	// Ring(4) Allgather needs 3 steps, so every probe below is genuinely
+	// unsatisfiable — matching the fake's fixed answer.
+	for i, probe := range []struct{ s, r int }{{1, 1}, {1, 2}, {1, 3}, {2, 2}, {2, 3}} {
+		res, err := sess.Solve(ctx, probe.s, probe.r, Options{})
+		if err != nil {
+			t.Fatalf("probe %d: %v", i, err)
+		}
+		if res.Status != sat.Unsat {
+			t.Fatalf("probe %d: status %v, want Unsat", i, res.Status)
+		}
+		wantSession := i >= sessionAdoptProbes
+		if res.SessionProbe != wantSession {
+			t.Errorf("probe %d: SessionProbe=%v, want %v", i, res.SessionProbe, wantSession)
+		}
+	}
+}
+
+// TestSMTLIBSessionFallsBackOneShot checks that a binary without a known
+// interactive mode degrades to per-probe one-shot solving.
+func TestSMTLIBSessionFallsBackOneShot(t *testing.T) {
+	topo := topology.Ring(4)
+	coll, err := collective.New(collective.Allgather, topo.P, 1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Same fake, but named so no interactive flags are known for it.
+	src := fakeSMTSolver(t)
+	path := filepath.Join(filepath.Dir(src), "weird-solver")
+	if err := os.Rename(src, path); err != nil {
+		t.Fatal(err)
+	}
+	b := &SMTLIBBackend{Binary: path}
+	sess, err := b.NewSession(Family{Coll: coll, Topo: topo, MaxSteps: 4, MaxExtraRounds: 1}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sess.Close()
+	for i := 0; i < sessionAdoptProbes+2; i++ {
+		res, err := sess.Solve(context.Background(), 2, 2, Options{})
+		if err != nil {
+			t.Fatalf("probe %d: %v", i, err)
+		}
+		if res.Status != sat.Unsat || res.SessionProbe {
+			t.Fatalf("probe %d: %+v, want one-shot Unsat", i, res)
+		}
+	}
+}
+
+// TestEmitSMTLIBBaseBudget pins the shape of the layered emission: the
+// base carries no budget constraints, and the budget layer asserts one
+// post-arrival bound per placement plus the round total.
+func TestEmitSMTLIBBaseBudget(t *testing.T) {
+	topo := topology.Ring(4)
+	coll, err := collective.New(collective.Broadcast, topo.P, 2, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fam := Family{Coll: coll, Topo: topo, MaxSteps: 5, MaxExtraRounds: 2}
+	base, err := EmitSMTLIBBase(fam, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prelude := base.Prelude()
+	if strings.Contains(prelude, "(check-sat)") {
+		t.Error("base prelude must not issue check-sat")
+	}
+	// Round variables exist for the whole horizon with the family's
+	// widest domain; the round total is absent from the base.
+	for _, want := range []string{"(declare-const r_0 Int)", "(declare-const r_3 Int)"} {
+		if !strings.Contains(prelude, want) {
+			t.Errorf("base missing %q", want)
+		}
+	}
+	budget, err := EmitSMTLIBBudget(fam, 4, 3, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	joined := strings.Join(budget, "\n")
+	if !strings.Contains(joined, "(assert (= (+ r_0 r_1 r_2) 5))") {
+		t.Errorf("budget layer missing round total: %s", joined)
+	}
+	// Broadcast posts: every non-root node wants both chunks within S.
+	posts := 0
+	for _, line := range budget {
+		if strings.Contains(line, "(<= time_") && strings.HasSuffix(line, " 3))") {
+			posts++
+		}
+	}
+	if posts != coll.G*(topo.P-1) {
+		t.Errorf("budget layer has %d post bounds, want %d", posts, coll.G*(topo.P-1))
+	}
+	// Out-of-window budgets are rejected.
+	if _, err := EmitSMTLIBBudget(fam, 4, 5, 5); err == nil {
+		t.Error("steps past the horizon should be rejected")
+	}
+	if _, err := EmitSMTLIBBudget(fam, 4, 3, 9); err == nil {
+		t.Error("rounds outside the k-synchronous class should be rejected")
+	}
+}

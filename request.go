@@ -237,8 +237,14 @@ type ParetoRequest struct {
 	// engine's sink does). Not serialized.
 	Progress func(format string, args ...any) `json:"-"`
 	// Options overrides the engine's solver options for this sweep. Nil
-	// uses the engine defaults. Not serialized.
+	// uses the engine defaults. Not serialized. Overriding the Backend
+	// bypasses the engine's session pool (the pooled solvers belong to
+	// the engine backend); the sweep then uses a transient pool.
 	Options *SynthOptions `json:"-"`
+	// NoSessions disables incremental solver sessions for this sweep;
+	// every probe solves one-shot. The frontier is byte-identical either
+	// way, so the flag is excluded from the cache fingerprint.
+	NoSessions bool `json:"-"`
 }
 
 // Validate checks the sweep parameters.
