@@ -5,7 +5,9 @@
 //	SCCL_SLOW=1 go test -bench=Table4     # include the minutes-long rows
 //
 // The same rows/series print from cmd/scclbench; here each experiment is
-// timed and its key numbers are attached as benchmark metrics.
+// timed and its key numbers are attached as benchmark metrics. BENCH_*.json
+// artifacts land in the current directory unless SCCL_BENCH_DIR redirects
+// them (CI sets it so benchmark runs never dirty the checkout).
 package sccl_test
 
 import (

@@ -1,0 +1,143 @@
+// Command benchguard is the CI benchmark regression gate: it parses a
+// fresh BENCH_sessions.json (the session sweep suite written by
+// BenchmarkSessionSweeps or `scclbench -sweeps -json`) and compares every
+// row against the committed baseline, failing when solve wall regresses
+// beyond the allowed percentage on any recorded suite row.
+//
+// Usage:
+//
+//	benchguard -baseline ci/BENCH_sessions_baseline.json \
+//	           -fresh bench-out/BENCH_sessions.json \
+//	           -max-regress-pct 25 -min-wall 25ms
+//
+// Rows are matched by their sweep identity (topology, collective,
+// backend, k, maxSteps, maxChunks, workers, sessions). Rows whose solve
+// wall sits under -min-wall in both files are reported but never fail
+// the gate: at that scale scheduler noise outweighs solver work. A
+// baseline row missing from the fresh run fails the gate — the suite
+// changed and the baseline needs regenerating alongside it.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"time"
+
+	"repro/internal/eval"
+)
+
+func rowKey(r eval.SweepRow) string {
+	return fmt.Sprintf("%s|%s|%s|k%d|s%d|c%d|w%d|sessions=%v",
+		r.Topology, r.Collective, r.Backend, r.K, r.MaxSteps, r.MaxChunks, r.Workers, r.Sessions)
+}
+
+func loadRows(path string) (map[string]eval.SweepRow, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var rows []eval.SweepRow
+	if err := json.Unmarshal(data, &rows); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	out := make(map[string]eval.SweepRow, len(rows))
+	for _, r := range rows {
+		out[rowKey(r)] = r
+	}
+	return out, nil
+}
+
+func main() {
+	baselinePath := flag.String("baseline", "ci/BENCH_sessions_baseline.json", "committed baseline rows")
+	freshPath := flag.String("fresh", "BENCH_sessions.json", "freshly generated rows")
+	maxRegressPct := flag.Float64("max-regress-pct", 25, "allowed solve-wall regression per row, percent")
+	minWall := flag.Duration("min-wall", 25*time.Millisecond, "rows faster than this in both files never fail the gate")
+	calibrate := flag.Bool("calibrate", false, "scale fresh rows by the one-shot rows' aggregate speed ratio, so a slower/faster machine than the baseline's does not trip the gate")
+	flag.Parse()
+
+	baseline, err := loadRows(*baselinePath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchguard:", err)
+		os.Exit(1)
+	}
+	fresh, err := loadRows(*freshPath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchguard:", err)
+		os.Exit(1)
+	}
+
+	// One-shot rows never route through sessions or unsat-core pruning, so
+	// their aggregate solve wall moves only with machine speed — the
+	// calibration anchor that lets an absolute-time baseline travel
+	// between developer machines and CI runners.
+	scale := 1.0
+	if *calibrate {
+		var baseAnchor, freshAnchor int64
+		for key, b := range baseline {
+			f, ok := fresh[key]
+			if !ok || b.Sessions {
+				continue
+			}
+			baseAnchor += b.SolveWallNs
+			freshAnchor += f.SolveWallNs
+		}
+		if baseAnchor > 0 && freshAnchor > 0 {
+			scale = float64(baseAnchor) / float64(freshAnchor)
+		}
+		fmt.Printf("calibration: machine speed scale %.3f (one-shot anchor %s baseline vs %s fresh)\n",
+			scale, fmtNs(baseAnchor), fmtNs(freshAnchor))
+	}
+
+	baseKeys := sortedKeys(baseline)
+	failures := 0
+	fmt.Printf("%-70s %12s %12s %8s\n", "row", "baseline", "fresh", "delta")
+	for _, key := range baseKeys {
+		base := baseline[key]
+		got, ok := fresh[key]
+		if !ok {
+			fmt.Printf("%-70s %12s %12s %8s\n", key, fmtNs(base.SolveWallNs), "missing", "FAIL")
+			failures++
+			continue
+		}
+		scaled := int64(float64(got.SolveWallNs) * scale)
+		deltaPct := 0.0
+		if base.SolveWallNs > 0 {
+			deltaPct = 100 * float64(scaled-base.SolveWallNs) / float64(base.SolveWallNs)
+		}
+		verdict := fmt.Sprintf("%+.0f%%", deltaPct)
+		tiny := base.SolveWallNs < int64(*minWall) && scaled < int64(*minWall)
+		if deltaPct > *maxRegressPct && !tiny {
+			verdict += " FAIL"
+			failures++
+		} else if tiny {
+			verdict += " (tiny)"
+		}
+		fmt.Printf("%-70s %12s %12s %8s\n", key, fmtNs(base.SolveWallNs), fmtNs(scaled), verdict)
+	}
+	for _, key := range sortedKeys(fresh) {
+		if _, ok := baseline[key]; !ok {
+			fmt.Printf("%-70s %12s %12s %8s\n", key, "-", fmtNs(fresh[key].SolveWallNs), "new")
+		}
+	}
+	if failures > 0 {
+		fmt.Fprintf(os.Stderr, "benchguard: %d row(s) regressed more than %.0f%% (or went missing); "+
+			"if intentional, regenerate the baseline with `SCCL_BENCH_DIR= go test -bench=SessionSweeps -benchtime=1x -run '^$' .` "+
+			"and copy BENCH_sessions.json over %s\n", failures, *maxRegressPct, *baselinePath)
+		os.Exit(1)
+	}
+	fmt.Printf("benchguard: %d rows within %.0f%% of baseline\n", len(baseline), *maxRegressPct)
+}
+
+func fmtNs(ns int64) string { return time.Duration(ns).Round(time.Microsecond).String() }
+
+func sortedKeys(rows map[string]eval.SweepRow) []string {
+	keys := make([]string, 0, len(rows))
+	for k := range rows {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}

@@ -79,8 +79,10 @@ func usage() {
 commands:
   synthesize  synthesize one algorithm for an exact (C,S,R) budget
   pareto      run the Pareto-Synthesize procedure (paper Algorithm 1);
-              -stats prints scheduler + session-reuse counters and
-              -no-sessions disables incremental solver sessions
+              -stats prints scheduler + session/unsat-core counters,
+              -no-sessions disables incremental sessions (and with them
+              unsat-core pruning), -json emits a deterministic frontier
+              document for diffing
   bounds      print latency/bandwidth lower bounds
   simulate    run the discrete-event simulator across sizes
   cuda        emit CUDA-flavored C++ for a synthesized algorithm
@@ -241,7 +243,8 @@ func cmdPareto(args []string) error {
 	maxChunks := fs.Int("max-chunks", 0, "chunk cap (0 = auto)")
 	timeout := fs.Duration("timeout", 5*time.Minute, "per-instance solver timeout")
 	stats := fs.Bool("stats", false, "print scheduler and session-reuse statistics")
-	noSessions := fs.Bool("no-sessions", false, "disable incremental solver sessions")
+	noSessions := fs.Bool("no-sessions", false, "disable incremental solver sessions (and unsat-core pruning)")
+	jsonOut := fs.Bool("json", false, "print the frontier as a deterministic JSON document (synthesis times zeroed)")
 	cm, err := parseCommon(fs, args)
 	if err != nil {
 		return err
@@ -254,28 +257,53 @@ func cmdPareto(args []string) error {
 	if err != nil {
 		return err
 	}
-	fmt.Printf("%-8s %-6s %-6s %-12s %-10s\n", "C", "S", "R", "Optimality", "Time")
-	for _, p := range res.Points {
-		fmt.Printf("%-8d %-6d %-6d %-12s %.1fs\n", p.C, p.S, p.R, p.Optimality(), p.SynthesisTime.Seconds())
+	if *jsonOut {
+		// Zero the wall-clock field so two runs of the same sweep render
+		// byte-identical documents — the contract the CI frontier gate
+		// diffs sessions+pruning against -no-sessions with.
+		pts := append([]sccl.ParetoPoint(nil), res.Points...)
+		for i := range pts {
+			pts[i].SynthesisTime = 0
+		}
+		data, err := sccl.EncodeFrontier(pts)
+		if err != nil {
+			return err
+		}
+		fmt.Println(string(data))
+	} else {
+		fmt.Printf("%-8s %-6s %-6s %-12s %-10s\n", "C", "S", "R", "Optimality", "Time")
+		for _, p := range res.Points {
+			fmt.Printf("%-8d %-6d %-6d %-12s %.1fs\n", p.C, p.S, p.R, p.Optimality(), p.SynthesisTime.Seconds())
+		}
+	}
+	statsOut := os.Stdout
+	if *jsonOut {
+		statsOut = os.Stderr // keep the JSON document clean
 	}
 	if res.CacheHit {
-		fmt.Printf("frontier served from cache in %.2fs\n", res.Wall.Seconds())
+		fmt.Fprintf(statsOut, "frontier served from cache in %.2fs\n", res.Wall.Seconds())
 	} else {
-		fmt.Printf("%d probes (%d pruned): %.1fs solver time in %.1fs wall, %.2fx speedup\n",
+		fmt.Fprintf(statsOut, "%d probes (%d pruned): %.1fs solver time in %.1fs wall, %.2fx speedup\n",
 			res.Stats.Probes, res.Stats.Pruned, res.Stats.ProbeTime.Seconds(), res.Stats.Wall.Seconds(), res.Stats.Speedup())
 	}
 	if *stats && !res.CacheHit {
 		s := res.Stats
-		fmt.Printf("probe wall: %.2fs encode + %.2fs solve\n", s.EncodeTime.Seconds(), s.SolveTime.Seconds())
+		fmt.Fprintf(statsOut, "probe wall: %.2fs encode + %.2fs solve\n", s.EncodeTime.Seconds(), s.SolveTime.Seconds())
 		probesPerSession := 0.0
 		if s.Families > 0 {
 			probesPerSession = float64(s.SessionProbes) / float64(s.Families)
 		}
-		fmt.Printf("sessions: %d families, %d incremental probes (%.1f per session), %d warm reuses, %d learnt clauses carried\n",
+		fmt.Fprintf(statsOut, "sessions: %d families, %d incremental probes (%.1f per session), %d warm reuses, %d learnt clauses carried\n",
 			s.Families, s.SessionProbes, probesPerSession, s.SessionReuses, s.CarriedLearnts)
+		pruneRate := 0.0
+		if s.Probes+s.PrunedProbes > 0 {
+			pruneRate = 100 * float64(s.PrunedProbes) / float64(s.Probes+s.PrunedProbes)
+		}
+		fmt.Fprintf(statsOut, "cores: %d unsat probes yielded budget cores, %d candidates pruned by dominance (%.0f%% of the candidate load)\n",
+			s.CoreSolves, s.PrunedProbes, pruneRate)
 		cs := cm.eng.CacheStats()
-		fmt.Printf("engine: %d pooled sessions (%d pool hits, %d misses), %d cached algorithms\n",
-			cs.Sessions, cs.SessionHits, cs.SessionMisses, cs.Algorithms)
+		fmt.Fprintf(statsOut, "engine: %d pooled sessions (%d pool hits, %d misses), %d cached algorithms, %d core solves / %d pruned probes lifetime\n",
+			cs.Sessions, cs.SessionHits, cs.SessionMisses, cs.Algorithms, cs.CoreSolves, cs.PrunedProbes)
 	}
 	return cm.finish()
 }

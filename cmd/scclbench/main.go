@@ -18,9 +18,11 @@
 //
 // -json writes machine-readable benchmark rows next to the printed
 // output: BENCH_sweeps.json for the sweep suite (topology, collective,
-// frontier S/R/C, encode+solve wall, probes, workers, session reuse) and
-// BENCH_tables.json for synthesized table rows — the artifacts CI uploads
-// to track the performance trajectory.
+// frontier S/R/C, encode+solve wall, probes, workers, session reuse,
+// unsat-core solves and dominance-pruned probes) and BENCH_tables.json
+// for synthesized table rows — the artifacts CI uploads to track the
+// performance trajectory. Set SCCL_BENCH_DIR to redirect the files out
+// of the working tree.
 package main
 
 import (

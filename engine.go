@@ -95,6 +95,10 @@ type Engine struct {
 	frontiers     map[string][]ParetoPoint
 	frontierOrder []string
 	hits, misses  uint64
+	// coreSolves / prunedProbes aggregate the unsat-core counters of
+	// every sweep the engine ran (see ParetoStats).
+	coreSolves   uint64
+	prunedProbes uint64
 }
 
 // NewEngine builds an Engine from options; the zero EngineOptions value
@@ -289,16 +293,24 @@ type CacheStats struct {
 	Sessions      int
 	SessionHits   uint64
 	SessionMisses uint64
+	// CoreSolves and PrunedProbes aggregate the unsat-core counters of
+	// every sweep the engine ran: Unsat probes whose final-conflict
+	// analysis produced a budget core, and candidates those cores let the
+	// scheduler answer without solving (see ParetoStats).
+	CoreSolves   uint64
+	PrunedProbes uint64
 }
 
 // CacheStats returns a snapshot of the cache counters.
 func (e *Engine) CacheStats() CacheStats {
 	e.mu.Lock()
 	cs := CacheStats{
-		Algorithms: len(e.algs),
-		Frontiers:  len(e.frontiers),
-		Hits:       e.hits,
-		Misses:     e.misses,
+		Algorithms:   len(e.algs),
+		Frontiers:    len(e.frontiers),
+		Hits:         e.hits,
+		Misses:       e.misses,
+		CoreSolves:   e.coreSolves,
+		PrunedProbes: e.prunedProbes,
 	}
 	e.mu.Unlock()
 	if e.sessions != nil {
@@ -443,6 +455,10 @@ func (e *Engine) Pareto(ctx context.Context, req ParetoRequest) (*ParetoResult, 
 		Context: ctx, Stats: &stats,
 		NoSessions: noSessions, Pool: pool,
 	})
+	e.mu.Lock()
+	e.coreSolves += uint64(stats.CoreSolves)
+	e.prunedProbes += uint64(stats.PrunedProbes)
+	e.mu.Unlock()
 	res := &ParetoResult{Points: pts, Stats: stats, Wall: time.Since(t0), Fingerprint: fp}
 	if err != nil {
 		return res, err

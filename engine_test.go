@@ -376,6 +376,14 @@ func TestEngineSessionPool(t *testing.T) {
 	if cs.Sessions == 0 || cs.SessionMisses == 0 {
 		t.Errorf("engine pool unused: %+v", cs)
 	}
+	// The engine aggregates the sweep's unsat-core counters.
+	if res.Stats.CoreSolves == 0 {
+		t.Errorf("session sweep produced no budget cores: %+v", res.Stats)
+	}
+	if cs.CoreSolves != uint64(res.Stats.CoreSolves) || cs.PrunedProbes != uint64(res.Stats.PrunedProbes) {
+		t.Errorf("CacheStats cores %d/%d, want sweep's %d/%d",
+			cs.CoreSolves, cs.PrunedProbes, res.Stats.CoreSolves, res.Stats.PrunedProbes)
+	}
 	// The same sweep with sessions disabled must match point for point
 	// (fresh engine: the frontier cache would otherwise short-circuit).
 	plain := sccl.NewEngine(sccl.EngineOptions{Workers: 1, NoSessions: true})

@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"os"
+	"path/filepath"
 	"time"
 
 	"repro/internal/collective"
@@ -66,9 +67,14 @@ type SweepRow struct {
 	SessionProbes  int          `json:"sessionProbes"`
 	SessionReuses  int          `json:"sessionReuses"`
 	CarriedLearnts int64        `json:"carriedLearnts"`
-	EncodeWallNs   int64        `json:"encodeWallNs"`
-	SolveWallNs    int64        `json:"solveWallNs"`
-	WallNs         int64        `json:"wallNs"`
+	// CoreSolves and PrunedProbes track unsat-core budget pruning: probes
+	// whose final conflict yielded a core, and candidates those cores let
+	// the scheduler answer without solving.
+	CoreSolves   int   `json:"coreSolves"`
+	PrunedProbes int   `json:"prunedProbes"`
+	EncodeWallNs int64 `json:"encodeWallNs"`
+	SolveWallNs  int64 `json:"solveWallNs"`
+	WallNs       int64 `json:"wallNs"`
 }
 
 // RunSweep executes one spec with sessions on or off and renders its
@@ -101,6 +107,8 @@ func RunSweep(spec SweepSpec, backend synth.Backend, sessions bool, workers int,
 		SessionProbes:  stats.SessionProbes,
 		SessionReuses:  stats.SessionReuses,
 		CarriedLearnts: stats.CarriedLearnts,
+		CoreSolves:     stats.CoreSolves,
+		PrunedProbes:   stats.PrunedProbes,
 		EncodeWallNs:   int64(stats.EncodeTime),
 		SolveWallNs:    int64(stats.SolveTime),
 		WallNs:         int64(stats.Wall),
@@ -124,8 +132,8 @@ func RunSessionSweeps(specs []SweepSpec, backend synth.Backend, workers int, tim
 			if err != nil {
 				return rows, err
 			}
-			progress("sweep %-28s sessions=%-5v probes=%-3d families=%-2d reuses=%-3d encode=%.3fs solve=%.3fs wall=%.3fs",
-				spec.Name, sessions, row.Probes, row.Families, row.SessionReuses,
+			progress("sweep %-28s sessions=%-5v probes=%-3d pruned=%-3d families=%-2d reuses=%-3d encode=%.3fs solve=%.3fs wall=%.3fs",
+				spec.Name, sessions, row.Probes, row.PrunedProbes, row.Families, row.SessionReuses,
 				time.Duration(row.EncodeWallNs).Seconds(), time.Duration(row.SolveWallNs).Seconds(),
 				time.Duration(row.WallNs).Seconds())
 			rows = append(rows, row)
@@ -134,10 +142,24 @@ func RunSessionSweeps(specs []SweepSpec, backend synth.Backend, workers int, tim
 	return rows, nil
 }
 
+// BenchDirEnv names the environment variable that redirects relative
+// BENCH_*.json paths into a dedicated output directory, so `go test
+// ./...` in a dirty worktree (and CI) stops dropping artifacts into the
+// repository root. Unset, rows land in the current directory as before.
+const BenchDirEnv = "SCCL_BENCH_DIR"
+
 // WriteBenchJSON writes rows (any JSON-marshalable slice) as an indented
 // array — the BENCH_*.json artifact format the CI benchmark smoke step
-// uploads. Shared by the sweep suite and scclbench's table rows.
+// uploads. Shared by the sweep suite and scclbench's table rows. Relative
+// paths are redirected under $SCCL_BENCH_DIR when it is set (the
+// directory is created as needed).
 func WriteBenchJSON(path string, rows any) error {
+	if dir := os.Getenv(BenchDirEnv); dir != "" && !filepath.IsAbs(path) {
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			return err
+		}
+		path = filepath.Join(dir, path)
+	}
 	data, err := json.MarshalIndent(rows, "", "  ")
 	if err != nil {
 		return err

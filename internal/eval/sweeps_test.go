@@ -1,0 +1,55 @@
+package eval
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// TestWriteBenchJSONRedirects pins the SCCL_BENCH_DIR contract: relative
+// artifact paths land under the directory (created on demand), absolute
+// paths are untouched, and unset keeps the current-directory behavior.
+func TestWriteBenchJSONRedirects(t *testing.T) {
+	rows := []SweepRow{{Topology: "ring", Collective: "Broadcast", Probes: 3}}
+	dir := t.TempDir()
+	t.Setenv(BenchDirEnv, filepath.Join(dir, "nested", "out"))
+	if err := WriteBenchJSON("BENCH_test.json", rows); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(filepath.Join(dir, "nested", "out", "BENCH_test.json"))
+	if err != nil {
+		t.Fatalf("artifact not redirected: %v", err)
+	}
+	var got []SweepRow
+	if err := json.Unmarshal(data, &got); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 || got[0].Probes != 3 {
+		t.Fatalf("round-trip mismatch: %+v", got)
+	}
+	// Absolute paths ignore the redirect.
+	abs := filepath.Join(dir, "abs.json")
+	if err := WriteBenchJSON(abs, rows); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(abs); err != nil {
+		t.Fatalf("absolute path not honored: %v", err)
+	}
+	// Unset: relative paths stay relative to the working directory.
+	t.Setenv(BenchDirEnv, "")
+	cwd, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Chdir(dir); err != nil {
+		t.Fatal(err)
+	}
+	defer os.Chdir(cwd)
+	if err := WriteBenchJSON("BENCH_cwd.json", rows); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(filepath.Join(dir, "BENCH_cwd.json")); err != nil {
+		t.Fatalf("cwd fallback broken: %v", err)
+	}
+}

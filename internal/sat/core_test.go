@@ -1,0 +1,221 @@
+package sat
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// litSet builds a membership set over literals.
+func litSet(lits []Lit) map[Lit]bool {
+	m := make(map[Lit]bool, len(lits))
+	for _, l := range lits {
+		m[l] = true
+	}
+	return m
+}
+
+// checkCore asserts the FailedAssumptions contract after an Unsat answer
+// under the given assumptions: the core is a subset of the assumptions,
+// and re-solving under only the core assumptions stays Unsat (the core is
+// falsifying on its own).
+func checkCore(t *testing.T, s *Solver, assumptions []Lit) []Lit {
+	t.Helper()
+	core := append([]Lit(nil), s.FailedAssumptions()...)
+	want := litSet(assumptions)
+	for _, l := range core {
+		if !want[l] {
+			t.Fatalf("core literal %v is not one of the assumptions %v", l, assumptions)
+		}
+	}
+	seen := map[Lit]bool{}
+	for _, l := range core {
+		if seen[l] {
+			t.Fatalf("core %v repeats literal %v", core, l)
+		}
+		seen[l] = true
+	}
+	if got := s.Solve(core...); got != Unsat {
+		t.Fatalf("re-solving with only the core %v: %v, want Unsat", core, got)
+	}
+	return core
+}
+
+// TestFailedAssumptionsSubset pins the core on a hand-built formula where
+// only two of three assumptions participate in the conflict:
+// (¬a ∨ x) ∧ (¬b ∨ ¬x) is Unsat under {a, b}, and c is irrelevant.
+func TestFailedAssumptionsSubset(t *testing.T) {
+	s := NewSolver()
+	a, b, c, x := s.NewVar(), s.NewVar(), s.NewVar(), s.NewVar()
+	s.AddClause(NegLit(a), PosLit(x))
+	s.AddClause(NegLit(b), NegLit(x))
+	if got := s.Solve(PosLit(a), PosLit(c), PosLit(b)); got != Unsat {
+		t.Fatalf("Solve = %v, want Unsat", got)
+	}
+	core := checkCore(t, s, []Lit{PosLit(a), PosLit(c), PosLit(b)})
+	in := litSet(core)
+	if !in[PosLit(a)] || !in[PosLit(b)] {
+		t.Errorf("core %v should contain both a and b", core)
+	}
+	if in[PosLit(c)] {
+		t.Errorf("core %v contains the irrelevant assumption c", core)
+	}
+}
+
+// TestFailedAssumptionsChain exercises a conflict reached only through
+// unit propagation chains, so the analysis must walk reason clauses
+// rather than just collect decisions.
+func TestFailedAssumptionsChain(t *testing.T) {
+	s := NewSolver()
+	// a -> x1 -> x2 -> x3, b -> ¬x3; unrelated assumption d.
+	a, b, d := s.NewVar(), s.NewVar(), s.NewVar()
+	x1, x2, x3 := s.NewVar(), s.NewVar(), s.NewVar()
+	s.AddClause(NegLit(a), PosLit(x1))
+	s.AddClause(NegLit(x1), PosLit(x2))
+	s.AddClause(NegLit(x2), PosLit(x3))
+	s.AddClause(NegLit(b), NegLit(x3))
+	if got := s.Solve(PosLit(d), PosLit(a), PosLit(b)); got != Unsat {
+		t.Fatalf("Solve = %v, want Unsat", got)
+	}
+	core := checkCore(t, s, []Lit{PosLit(d), PosLit(a), PosLit(b)})
+	in := litSet(core)
+	if !in[PosLit(a)] || !in[PosLit(b)] {
+		t.Errorf("core %v should contain a and b", core)
+	}
+	if in[PosLit(d)] {
+		t.Errorf("core %v contains the irrelevant assumption d", core)
+	}
+}
+
+// TestFailedAssumptionsContradictory pins the degenerate core {p, ¬p}
+// when the caller assumes both polarities of one variable.
+func TestFailedAssumptionsContradictory(t *testing.T) {
+	s := NewSolver()
+	a, b := s.NewVar(), s.NewVar()
+	s.AddClause(PosLit(a), PosLit(b)) // keep the formula satisfiable
+	if got := s.Solve(PosLit(a), NegLit(a)); got != Unsat {
+		t.Fatalf("Solve = %v, want Unsat", got)
+	}
+	core := checkCore(t, s, []Lit{PosLit(a), NegLit(a)})
+	if len(core) != 2 {
+		t.Errorf("core %v, want both polarities of a", core)
+	}
+}
+
+// TestFailedAssumptionsSingleton: an assumption whose negation is a unit
+// of the formula yields the singleton core {p}.
+func TestFailedAssumptionsSingleton(t *testing.T) {
+	s := NewSolver()
+	a, b := s.NewVar(), s.NewVar()
+	_ = b
+	s.AddClause(NegLit(a))
+	if got := s.Solve(PosLit(b), PosLit(a)); got != Unsat {
+		t.Fatalf("Solve = %v, want Unsat", got)
+	}
+	core := checkCore(t, s, []Lit{PosLit(b), PosLit(a)})
+	if len(core) != 1 || core[0] != PosLit(a) {
+		t.Errorf("core = %v, want [a]", core)
+	}
+}
+
+// php builds the pigeonhole formula PHP(n+1, n): n+1 pigeons into n
+// holes, unsatisfiable but only via search, never by pruning.
+func php(s *Solver, pigeons, holes int) {
+	vars := make([][]Lit, pigeons)
+	for p := 0; p < pigeons; p++ {
+		vars[p] = make([]Lit, holes)
+		for h := 0; h < holes; h++ {
+			vars[p][h] = PosLit(s.NewVar())
+		}
+		s.AddClause(vars[p]...)
+	}
+	for h := 0; h < holes; h++ {
+		for p1 := 0; p1 < pigeons; p1++ {
+			for p2 := p1 + 1; p2 < pigeons; p2++ {
+				s.AddClause(vars[p1][h].Neg(), vars[p2][h].Neg())
+			}
+		}
+	}
+}
+
+// TestFailedAssumptionsEmptyOnPlainUnsat: when the formula itself is
+// unsatisfiable the core must be empty even if assumptions were passed —
+// the conflict owes nothing to them.
+func TestFailedAssumptionsEmptyOnPlainUnsat(t *testing.T) {
+	s := NewSolver()
+	php(s, 5, 4)
+	free := s.NewVar() // unrelated assumption target
+	if got := s.Solve(PosLit(free)); got != Unsat {
+		t.Fatalf("PHP(5,4) under an unrelated assumption: %v, want Unsat", got)
+	}
+	if core := s.FailedAssumptions(); len(core) != 0 {
+		t.Errorf("plain-Unsat core = %v, want empty", core)
+	}
+	// The stale core must not leak into a later satisfiable solve.
+	s2 := NewSolver()
+	a := s2.NewVar()
+	s2.AddClause(NegLit(a))
+	if got := s2.Solve(PosLit(a)); got != Unsat {
+		t.Fatalf("Solve = %v", got)
+	}
+	if got := s2.Solve(NegLit(a)); got != Sat {
+		t.Fatalf("Solve = %v", got)
+	}
+	if core := s2.FailedAssumptions(); len(core) != 0 {
+		t.Errorf("Sat answer left a stale core %v", core)
+	}
+}
+
+// TestFailedAssumptionsProperty is the randomized contract check: on
+// random 3-CNF formulas under random assumptions, every Unsat answer's
+// core is a subset of the assumptions and re-solving under only the core
+// stays Unsat. Seeded for reproducibility.
+func TestFailedAssumptionsProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	unsatSeen := 0
+	for round := 0; round < 200; round++ {
+		s := NewSolver()
+		const nVars = 14
+		vars := make([]Var, nVars)
+		for i := range vars {
+			vars[i] = s.NewVar()
+		}
+		randLit := func() Lit { return MkLit(vars[rng.Intn(nVars)], rng.Intn(2) == 0) }
+		nClauses := 30 + rng.Intn(40)
+		for i := 0; i < nClauses; i++ {
+			cl := []Lit{randLit(), randLit(), randLit()}
+			if !s.AddClause(cl...) {
+				break
+			}
+		}
+		var assumptions []Lit
+		used := map[Var]bool{}
+		for len(assumptions) < 5 {
+			l := randLit()
+			if used[l.Var()] {
+				continue
+			}
+			used[l.Var()] = true
+			assumptions = append(assumptions, l)
+		}
+		formulaUnsat := s.Solve() == Unsat
+		got := s.Solve(assumptions...)
+		if got != Unsat {
+			continue
+		}
+		core := s.FailedAssumptions()
+		if formulaUnsat {
+			if len(core) != 0 {
+				t.Fatalf("round %d: formula-level Unsat but core %v", round, core)
+			}
+			continue
+		}
+		unsatSeen++
+		if len(core) == 0 {
+			t.Fatalf("round %d: assumption-driven Unsat with empty core", round)
+		}
+		checkCore(t, s, assumptions)
+	}
+	if unsatSeen < 10 {
+		t.Fatalf("property test only saw %d assumption-driven Unsat instances; weaken the generator", unsatSeen)
+	}
+}

@@ -59,7 +59,7 @@ type Solver struct {
 	okay      bool // false once top-level conflict derived
 	stats     Stats
 	model     []lbool
-	conflictC []Lit // final conflict clause in terms of assumptions
+	conflictC []Lit // failed-assumption core of the last Unsat (analyzeFinal)
 
 	analyzeToClear []Lit
 	deadline       time.Time
@@ -589,14 +589,14 @@ const pollInterval = 512
 // configured conflict and wall-clock budgets — and a cancelled solve
 // returns Unknown. The solver state remains valid for further Solve calls.
 func (s *Solver) SolveContext(ctx context.Context, assumptions ...Lit) Status {
+	s.model = nil
+	s.conflictC = nil
 	if !s.okay {
 		return Unsat
 	}
 	if ctx.Err() != nil {
 		return Unknown
 	}
-	s.model = nil
-	s.conflictC = nil
 	if s.opts.Timeout > 0 {
 		s.deadline = time.Now().Add(s.opts.Timeout)
 	} else {
@@ -689,7 +689,7 @@ func (s *Solver) SolveContext(ctx context.Context, assumptions ...Lit) Status {
 				s.trailLo = append(s.trailLo, int32(len(s.trail)))
 				continue
 			case lFalse:
-				s.buildFinalConflict(p)
+				s.analyzeFinal(p)
 				return Unsat
 			}
 			s.trailLo = append(s.trailLo, int32(len(s.trail)))
@@ -710,15 +710,59 @@ func (s *Solver) SolveContext(ctx context.Context, assumptions ...Lit) Status {
 	}
 }
 
-// buildFinalConflict records which assumptions were responsible for
-// unsatisfiability (a cheap analysis: ancestors of the failed assumption).
-func (s *Solver) buildFinalConflict(p Lit) {
-	s.conflictC = []Lit{p.Neg()}
+// analyzeFinal performs final-conflict analysis for a failed assumption p
+// (one whose negation is entailed by the formula and the assumptions
+// enqueued before it): it walks the implication graph backward from ¬p,
+// expanding implied trail literals through their reason clauses, until
+// only assumption decisions remain. The surviving assumption literals —
+// p itself plus every assumption decision reached by the walk — are
+// recorded as the final conflict: the formula entails that they cannot
+// all hold together. Assumptions the walk never reaches are provably
+// irrelevant to this conflict, so the recorded set is a (not necessarily
+// minimal, but usually much smaller) unsat core over the assumptions.
+func (s *Solver) analyzeFinal(p Lit) {
+	s.conflictC = []Lit{p}
+	if s.decisionLevel() == 0 {
+		// ¬p was forced by the formula alone: p is the whole core.
+		return
+	}
+	s.seen[p.Var()] = true
+	for i := len(s.trail) - 1; i >= int(s.trailLo[0]); i-- {
+		v := s.trail[i].Var()
+		if !s.seen[v] {
+			continue
+		}
+		if s.reason[v] == nilClause {
+			// Every decision on the trail while assumptions are being
+			// re-applied is itself an assumption (branching only starts
+			// once all assumptions are placed), so its trail literal is
+			// the assumption as the caller passed it.
+			if s.level[v] > 0 {
+				s.conflictC = append(s.conflictC, s.trail[i])
+			}
+		} else {
+			// Implied literal: charge the conflict to its antecedents.
+			// The enqueued literal of a reason clause sits at index 0.
+			c := &s.clauses[s.reason[v]]
+			for _, q := range c.lits[1:] {
+				if s.level[q.Var()] > 0 {
+					s.seen[q.Var()] = true
+				}
+			}
+		}
+		s.seen[v] = false
+	}
+	s.seen[p.Var()] = false
 }
 
-// FailedAssumptions returns a (possibly over-approximate) subset of
-// assumptions responsible for the last Unsat answer. Empty if the formula
-// itself is unsatisfiable.
+// FailedAssumptions returns the subset of the last Solve call's assumption
+// literals that the final-conflict analysis found responsible for the
+// Unsat answer: the formula entails that they cannot all hold, so any
+// solve whose assumptions include this subset is Unsat too. The core is
+// minimal-ish (only implication-graph ancestors of the conflict), not
+// guaranteed minimal. Empty when the formula itself is unsatisfiable
+// without any assumptions. The slice is owned by the solver and valid
+// until the next Solve call.
 func (s *Solver) FailedAssumptions() []Lit { return s.conflictC }
 
 // Value returns the model value of v after a Sat answer.

@@ -145,6 +145,71 @@ func (s *ExternalSession) CheckSat(ctx context.Context, timeout time.Duration) (
 	}
 }
 
+// SupportsUnsatCores reports whether the binary is known to honor
+// (set-option :produce-unsat-cores true) + (get-unsat-core) in its
+// interactive mode. Sessions on other solvers simply skip core
+// extraction rather than risking desynchronizing the protocol on an
+// error reply.
+func SupportsUnsatCores(binary string) bool {
+	switch filepath.Base(binary) {
+	case "z3", "cvc5", "cvc4":
+		return true
+	}
+	return false
+}
+
+// GetUnsatCore issues (get-unsat-core) after an "unsat" answer and
+// returns the assertion names of the reported core (possibly empty: an
+// empty reply "()" means no named assertion was needed). The reply is a
+// single parenthesized s-expression, accumulated across lines until the
+// parentheses balance. An error reply or a cancelled context leaves the
+// session out of sync; the caller must close it. Unlike CheckSat's
+// 5-minute fallback, timeout <= 0 selects a short deadline: the core is
+// already computed when the solver answers unsat, so a slow reply means a
+// wedged process, not a hard query.
+func (s *ExternalSession) GetUnsatCore(ctx context.Context, timeout time.Duration) ([]string, error) {
+	if err := s.Send("(get-unsat-core)"); err != nil {
+		return nil, err
+	}
+	if timeout <= 0 || timeout > 30*time.Second {
+		timeout = 30 * time.Second
+	}
+	deadline := time.NewTimer(timeout)
+	defer deadline.Stop()
+	var reply strings.Builder
+	depth := 0
+	started := false
+	for {
+		select {
+		case line, ok := <-s.lines:
+			if !ok {
+				return nil, fmt.Errorf("smt: solver %s exited before unsat core", s.binary)
+			}
+			if strings.HasPrefix(line, "(error") {
+				return nil, fmt.Errorf("smt: solver error: %s", line)
+			}
+			if !started && !strings.HasPrefix(line, "(") {
+				continue // banner/diagnostic chatter
+			}
+			started = true
+			reply.WriteString(line)
+			reply.WriteByte(' ')
+			depth += strings.Count(line, "(") - strings.Count(line, ")")
+			if depth <= 0 {
+				text := strings.TrimSpace(reply.String())
+				text = strings.TrimPrefix(text, "(")
+				text = strings.TrimSuffix(text, ")")
+				names := strings.Fields(text)
+				return names, nil
+			}
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		case <-deadline.C:
+			return nil, fmt.Errorf("smt: timed out waiting for unsat core from %s", s.binary)
+		}
+	}
+}
+
 // Close terminates the solver process. Safe to call more than once.
 func (s *ExternalSession) Close() error {
 	s.mu.Lock()

@@ -82,6 +82,11 @@ type Result struct {
 	// CarriedLearnts is the number of learnt clauses alive in the session
 	// solver when this solve began (0 for one-shot solves).
 	CarriedLearnts int
+	// Core, on an Unsat session probe, classifies the final conflict by
+	// the budget-assumption groups it involved (nil when the probe was
+	// solved one-shot or the analysis produced no usable core). The Pareto
+	// scheduler uses it to skip dominated budgets without solving them.
+	Core *BudgetCore
 }
 
 // Validate checks instance coherence.

@@ -86,6 +86,13 @@ type ParetoStats struct {
 	// solver at the start of each completed probe: the knowledge that
 	// one-shot solving would have discarded.
 	CarriedLearnts int64
+	// CoreSolves counts completed Unsat probes whose final-conflict
+	// analysis produced a usable budget core (see BudgetCore).
+	CoreSolves int
+	// PrunedProbes counts candidates the scheduler answered as synthetic
+	// Unsat results because an earlier probe's core dominated their
+	// budget — probes the sweep never paid a solver call for.
+	PrunedProbes int
 }
 
 // Speedup returns the aggregate parallel speedup: summed probe time over
@@ -188,27 +195,69 @@ type probeOutcome struct {
 	res    Result
 	err    error
 	pruned bool // cancelled by the scheduler; the result is discarded
-	dur    time.Duration
-	famKey string // session family the probe routed to ("" for one-shot)
+	// skipped marks a synthetic Unsat answered by budget dominance: an
+	// earlier probe's unsat core already refutes this candidate, so no
+	// solver ran. The merge treats it like any other Unsat.
+	skipped bool
+	// escalated marks the outcome of a speculative chain-top probe; the
+	// coordinator records it only when it is a usable Unsat and otherwise
+	// returns the candidate to the pending pool.
+	escalated bool
+	dur       time.Duration
+	famKey    string // session family the probe routed to ("" for one-shot)
 }
 
 // stepSchedule tracks probe state for one step count S. All fields are
 // owned by the coordinator goroutine; workers only see immutable candidate
 // data through probeTask.
 type stepSchedule struct {
-	S       int
-	cands   []candidate
-	next    int // next candidate index to dispatch
-	satCut  int // lowest index that returned Sat (len(cands) if none yet)
-	scan    int // lowest index whose outcome the deterministic merge still needs
-	done    []*probeOutcome
-	prunedF []bool
-	cancels []context.CancelFunc
+	S          int
+	cands      []candidate
+	dispatched []bool // candidate handed to a worker (or synthesized)
+	satCut     int    // lowest index that returned Sat (len(cands) if none yet)
+	scan       int    // lowest index whose outcome the deterministic merge still needs
+	done       []*probeOutcome
+	prunedF    []bool
+	cancels    []context.CancelFunc
+	// escalated tracks per-family chain-top escalation state at this step
+	// (see escState).
+	escalated map[int]escState
+}
+
+// escState is one family's chain-top escalation state at one step.
+type escState struct {
+	state int // escalateNone / escalateActive / escalateDone
+	// cap bounds the wall clock of the speculative top probe, derived
+	// from the solve time of the Unsat probe that triggered escalation: a
+	// gamble that cannot beat the chain it tries to skip is abandoned.
+	cap time.Duration
+}
+
+// Escalation states of one family (chunk count) at one step.
+const (
+	escalateNone   = iota // no evidence yet: dispatch in cost order
+	escalateActive        // round-bound Unsat seen: probe the chain top next
+	escalateDone          // top probed (or given up): back to cost order
+)
+
+// escalateBudget derives the wall-clock cap of a chain-top probe from the
+// solve time of the probe that triggered it. The factor covers the top
+// budget being genuinely harder than the trigger; the floor keeps
+// microsecond-fast sweeps from aborting every speculation on timer
+// granularity.
+func escalateBudget(trigger time.Duration) time.Duration {
+	budget := 4*trigger + 2*time.Millisecond
+	return budget
 }
 
 type probeTask struct {
 	si, ci int
 	ctx    context.Context
+	// escalated marks a speculative chain-top probe: solved status-only
+	// under the wall-clock cap below, recorded only when it answers Unsat
+	// (see stepSchedule.escalated).
+	escalated bool
+	escCap    time.Duration
 }
 
 type probeDone struct {
@@ -235,6 +284,21 @@ type paretoSweep struct {
 	// pool supplies per-family solver sessions; nil disables sessions.
 	pool *SessionPool
 	fams map[string]bool
+	// Budget-dominance regions learned from unsat cores. A sweep probes
+	// one collective kind on one topology, so a family is identified by
+	// its chunk count C alone. stepKill[C] is the largest S a
+	// steps-dominating core was seen at: every (S' <= stepKill[C], any R)
+	// of that family is Unsat. roundKill[{C, S}] is the largest R a
+	// rounds-dominating core was seen at: every (S, R' <= that) is Unsat.
+	// Both are read and written only by the coordinator goroutine.
+	stepKill  map[int]int
+	roundKill map[[2]int]int
+	// lastWinnerCost is the bandwidth cost of the most recently resolved
+	// frontier point. Frontier costs strictly decrease with S, so it upper
+	// bounds the cost a later step's winner can have — the guard that
+	// keeps chain-top escalation away from candidates the baseline scan
+	// would never have solved.
+	lastWinnerCost *big.Rat
 }
 
 // ParetoSynthesize runs Algorithm 1 for a non-combining collective kind on
@@ -278,15 +342,17 @@ func ParetoSynthesize(kind collective.Kind, topo *topology.Topology, root topolo
 		al = 1 // degenerate specs (e.g. P=1) still need one step encoding-wise
 	}
 	w := &paretoSweep{
-		kind:     kind,
-		topo:     topo,
-		root:     root,
-		opts:     opts,
-		bounds:   bounds,
-		bl:       bl,
-		progress: SerializedProgress(opts.Progress),
-		workers:  workers,
-		fams:     map[string]bool{},
+		kind:      kind,
+		topo:      topo,
+		root:      root,
+		opts:      opts,
+		bounds:    bounds,
+		bl:        bl,
+		progress:  SerializedProgress(opts.Progress),
+		workers:   workers,
+		fams:      map[string]bool{},
+		stepKill:  map[int]int{},
+		roundKill: map[[2]int]int{},
 	}
 	// Session affinity: same-family probes share one incremental solver.
 	// The caller's pool (usually an Engine's) keeps sessions across
@@ -316,12 +382,14 @@ func ParetoSynthesize(kind collective.Kind, topo *topology.Topology, root topolo
 	for S := al; S <= opts.MaxSteps; S++ {
 		cands := enumerateCandidates(S, opts.K, opts.MaxChunks, bl)
 		w.steps = append(w.steps, &stepSchedule{
-			S:       S,
-			cands:   cands,
-			satCut:  len(cands),
-			done:    make([]*probeOutcome, len(cands)),
-			prunedF: make([]bool, len(cands)),
-			cancels: make([]context.CancelFunc, len(cands)),
+			S:          S,
+			cands:      cands,
+			dispatched: make([]bool, len(cands)),
+			satCut:     len(cands),
+			done:       make([]*probeOutcome, len(cands)),
+			prunedF:    make([]bool, len(cands)),
+			cancels:    make([]context.CancelFunc, len(cands)),
+			escalated:  map[int]escState{},
 		})
 	}
 	t0 := time.Now()
@@ -372,17 +440,50 @@ func (w *paretoSweep) run(ctx context.Context) ([]ParetoPoint, error) {
 	for {
 		// Fill the pool with probes in global (S, cost-rank) order; later
 		// steps are speculated while earlier ones are still in flight.
+		// Candidates an unsat core already dominates are answered as
+		// synthetic Unsat results on the spot, without occupying a worker.
+		skipped := false
 		for inflight < w.workers {
-			si, ci, ok := w.nextTask(resolved)
+			si, ci, esc, ok := w.nextTask(resolved)
 			if !ok {
 				break
 			}
 			st := w.steps[si]
+			cand := st.cands[ci]
+			if w.dominated(cand.C, st.S, cand.R) {
+				st.dispatched[ci] = true
+				st.done[ci] = &probeOutcome{res: Result{Status: sat.Unsat}, skipped: true}
+				w.account(st.done[ci])
+				w.progress("probe %v C=%d S=%d R=%d: %v (core-dominated, skipped)",
+					w.kind, cand.C, st.S, cand.R, sat.Unsat)
+				skipped = true
+				continue
+			}
+			st.dispatched[ci] = true
 			pctx, cancel := context.WithCancel(ctx)
 			st.cancels[ci] = cancel
-			st.next = ci + 1
-			tasks <- probeTask{si: si, ci: ci, ctx: pctx}
+			tasks <- probeTask{si: si, ci: ci, ctx: pctx,
+				escalated: esc, escCap: st.escalated[cand.C].cap}
+			if esc {
+				// One gamble per family and step: consuming the state here
+				// keeps further fill iterations from launching concurrent
+				// speculative probes for the same family (Workers > 1).
+				st.escalated[cand.C] = escState{state: escalateDone}
+			}
 			inflight++
+		}
+		if skipped {
+			// Synthetic outcomes can complete steps without any result
+			// arriving; merge before blocking on (or running out of)
+			// in-flight probes.
+			stop, err := w.advance(&resolved, &points)
+			if err != nil {
+				return points, err
+			}
+			if stop {
+				return points, nil
+			}
+			continue
 		}
 		if inflight == 0 {
 			return points, nil // frontier exhausted below MaxSteps
@@ -393,20 +494,57 @@ func (w *paretoSweep) run(ctx context.Context) ([]ParetoPoint, error) {
 		if st.prunedF[d.ci] {
 			d.out.pruned = true
 		}
-		st.done[d.ci] = d.out
 		if cancel := st.cancels[d.ci]; cancel != nil {
 			cancel()
 			st.cancels[d.ci] = nil
 		}
+		if d.out.escalated && !d.out.pruned && (d.out.err != nil || d.out.res.Status != sat.Unsat) {
+			// A speculative chain-top probe that did not answer Unsat is
+			// discarded: the candidate returns to the pending pool and is
+			// solved normally (with a witness) if the scan ever needs it.
+			// In particular a Sat answer must NOT move the Sat cut — the
+			// cut excludes its own index from dispatch, which would strand
+			// this candidate unsolved and truncate the frontier.
+			st.dispatched[d.ci] = false
+			st.escalated[st.cands[d.ci].C] = escState{state: escalateDone}
+			w.stats.ProbeTime += d.out.dur
+			if ctx.Err() != nil {
+				return points, fmt.Errorf("synth: pareto sweep cancelled: %w", ctx.Err())
+			}
+			continue
+		}
+		st.done[d.ci] = d.out
 		w.account(d.out)
 		if ctx.Err() != nil {
 			return points, fmt.Errorf("synth: pareto sweep cancelled: %w", ctx.Err())
 		}
-		if !d.out.pruned && d.out.err == nil && d.out.res.Status == sat.Sat && d.ci < st.satCut {
-			// A cheaper Sat for this S makes every costlier candidate a
-			// loser: cancel them immediately.
-			st.satCut = d.ci
-			w.pruneAbove(st, d.ci)
+		if !d.out.pruned && d.out.err == nil {
+			switch {
+			case d.out.res.Status == sat.Sat && d.ci < st.satCut:
+				// A cheaper Sat for this S makes every costlier candidate a
+				// loser: cancel them immediately.
+				st.satCut = d.ci
+				w.pruneAbove(st, d.ci)
+			case d.out.res.Status == sat.Unsat && d.out.res.Core != nil:
+				w.stats.CoreSolves++
+				w.noteCore(st.cands[d.ci].C, d.out.res.Core)
+				if d.out.res.Core.RoundUpper && st.escalated[st.cands[d.ci].C].state == escalateNone {
+					// The round budget took part in the conflict: the
+					// family looks bandwidth-starved at this step, so try
+					// its costliest plausible candidate next — one Unsat at
+					// the chain top dominates every cheaper round count in
+					// between (BudgetCore.DominatesRounds).
+					st.escalated[st.cands[d.ci].C] = escState{
+						state: escalateActive,
+						cap:   escalateBudget(d.out.res.Solve),
+					}
+				}
+			}
+			if d.out.escalated {
+				// The chain-top gamble paid off (an Unsat with its core);
+				// the family's cheaper candidates now fall to dominance.
+				st.escalated[st.cands[d.ci].C] = escState{state: escalateDone}
+			}
 		}
 		stop, err := w.advance(&resolved, &points)
 		if err != nil {
@@ -418,11 +556,40 @@ func (w *paretoSweep) run(ctx context.Context) ([]ParetoPoint, error) {
 	}
 }
 
+// dominated reports whether an earlier probe's unsat core already proves
+// candidate (S, R) of family C unsatisfiable.
+func (w *paretoSweep) dominated(c, s, r int) bool {
+	if kill, ok := w.stepKill[c]; ok && s <= kill {
+		return true
+	}
+	if kill, ok := w.roundKill[[2]int{c, s}]; ok && r <= kill {
+		return true
+	}
+	return false
+}
+
+// noteCore folds one probe's budget core into the dominance regions.
+func (w *paretoSweep) noteCore(c int, core *BudgetCore) {
+	if core.DominatesSteps() && core.Steps > w.stepKill[c] {
+		w.stepKill[c] = core.Steps
+	}
+	if core.DominatesRounds() {
+		k := [2]int{c, core.Steps}
+		if core.Rounds > w.roundKill[k] {
+			w.roundKill[k] = core.Rounds
+		}
+	}
+}
+
 // account folds one finished probe into the sweep counters.
 func (w *paretoSweep) account(out *probeOutcome) {
 	if out.famKey != "" && !w.fams[out.famKey] {
 		w.fams[out.famKey] = true
 		w.stats.Families++
+	}
+	if out.skipped {
+		w.stats.PrunedProbes++
+		return
 	}
 	if out.pruned {
 		w.stats.Pruned++
@@ -443,15 +610,54 @@ func (w *paretoSweep) account(out *probeOutcome) {
 
 // nextTask picks the globally first undispatched candidate: steps in
 // ascending S, candidates in ascending cost rank, skipping candidates
-// above a step's known Sat cut.
-func (w *paretoSweep) nextTask(resolved int) (int, int, bool) {
+// above a step's known Sat cut. When the candidate's family has an active
+// chain-top escalation, the family's costliest plausible candidate is
+// dispatched in its place as a speculative status probe (the cheap slot
+// stays pending and is usually answered by the top probe's dominance
+// core). The final return reports that speculative flavor.
+func (w *paretoSweep) nextTask(resolved int) (si, ci int, escalated, ok bool) {
 	for si := resolved; si < len(w.steps); si++ {
 		st := w.steps[si]
-		if st.next < len(st.cands) && st.next < st.satCut {
-			return si, st.next, true
+		for ci := 0; ci < len(st.cands) && ci < st.satCut; ci++ {
+			if st.dispatched[ci] || st.done[ci] != nil {
+				continue
+			}
+			if st.escalated[st.cands[ci].C].state == escalateActive {
+				if top := w.chainTop(st, st.cands[ci].C); top > ci {
+					return si, top, true, true
+				}
+				// Nothing above the natural slot is worth speculating on.
+				st.escalated[st.cands[ci].C] = escState{state: escalateDone}
+			}
+			return si, ci, false, true
 		}
 	}
-	return 0, 0, false
+	return 0, 0, false, false
+}
+
+// chainTop returns the family's costliest pending candidate index below
+// the Sat cut whose bandwidth cost stays under the last resolved frontier
+// point's — candidates at or above that cost can never beat this step's
+// winner, so probing them would pay for solves the plain scan skips.
+// Returns -1 when no bounded candidate is pending (including before the
+// first frontier point, when no bound is known yet).
+func (w *paretoSweep) chainTop(st *stepSchedule, family int) int {
+	if w.lastWinnerCost == nil {
+		return -1
+	}
+	limit := len(st.cands)
+	if st.satCut < limit {
+		limit = st.satCut
+	}
+	for ci := limit - 1; ci >= 0; ci-- {
+		if st.cands[ci].cost.Cmp(w.lastWinnerCost) >= 0 {
+			continue
+		}
+		if st.cands[ci].C == family && !st.dispatched[ci] && st.done[ci] == nil {
+			return ci
+		}
+	}
+	return -1
 }
 
 // pruneAbove cancels every in-flight probe of st costlier than index ci.
@@ -501,6 +707,10 @@ steps:
 					SynthesisTime:    out.res.Encode + out.res.Solve,
 				}
 				*points = append(*points, pt)
+				// Later steps' winners must beat this cost; the bound
+				// keeps chain-top escalation inside the plain scan's
+				// probe set.
+				w.lastWinnerCost = cand.cost
 				if pt.BandwidthOptimal {
 					return true, nil
 				}
@@ -514,6 +724,14 @@ steps:
 		*resolved++
 	}
 	return true, nil // MaxSteps exhausted with all steps resolved
+}
+
+// statusSolver is implemented by sessions that can answer a budget's
+// satisfiability without materializing a canonical witness — the cheap
+// flavor speculative chain-top probes use, where a Sat answer is
+// discarded anyway.
+type statusSolver interface {
+	SolveStatus(ctx context.Context, steps, rounds int, opts Options) (Result, error)
 }
 
 // probe synthesizes one (S, R, C) candidate. It runs on a worker
@@ -530,13 +748,33 @@ func (w *paretoSweep) probe(t probeTask) *probeOutcome {
 		return out
 	}
 	inst := Instance{Coll: coll, Topo: w.topo, Steps: st.S, Round: cand.R}
-	if sess := w.session(coll, &out.famKey); sess != nil {
+	sess := w.session(coll, &out.famKey)
+	switch {
+	case t.escalated && sess != nil:
+		if ss, ok := sess.(statusSolver); ok {
+			// Speculative chain-top probe: status only, wall-clock capped
+			// so a hard instance is abandoned instead of out-costing the
+			// chain it tries to skip.
+			opts := w.opts.Instance
+			if t.escCap > 0 && (opts.Timeout == 0 || opts.Timeout > t.escCap) {
+				opts.Timeout = t.escCap
+			}
+			out.escalated = true
+			out.res, out.err = ss.SolveStatus(t.ctx, st.S, cand.R, opts)
+		} else {
+			out.res, out.err = sess.Solve(t.ctx, st.S, cand.R, w.opts.Instance)
+		}
+	case sess != nil:
 		out.res, out.err = sess.Solve(t.ctx, st.S, cand.R, w.opts.Instance)
-	} else {
+	default:
 		out.res, out.err = SynthesizeContext(t.ctx, inst, w.opts.Instance)
 	}
 	out.dur = time.Since(t0)
-	w.progress("probe %v C=%d S=%d R=%d: %v (%.2fs)", w.kind, cand.C, st.S, cand.R, out.res.Status, out.dur.Seconds())
+	flavor := ""
+	if out.escalated {
+		flavor = ", chain-top"
+	}
+	w.progress("probe %v C=%d S=%d R=%d: %v (%.2fs%s)", w.kind, cand.C, st.S, cand.R, out.res.Status, out.dur.Seconds(), flavor)
 	return out
 }
 

@@ -201,6 +201,23 @@ func (s *cdclSession) Solve(ctx context.Context, steps, rounds int, opts Options
 	return res, nil
 }
 
+// SolveStatus answers a budget's satisfiability without materializing a
+// canonical witness: a Sat answer carries no Algorithm (and skips the
+// deterministic one-shot re-solve Solve performs). Unsat answers are
+// identical to Solve's, including the budget core. The Pareto scheduler
+// uses it for speculative chain-top probes whose Sat answers it discards.
+func (s *cdclSession) SolveStatus(ctx context.Context, steps, rounds int, opts Options) (Result, error) {
+	in := s.instance(steps, rounds)
+	if err := in.Validate(); err != nil {
+		return Result{}, err
+	}
+	res, mode := s.probeLocked(ctx, steps, rounds, opts)
+	if mode == probeModeOneShot {
+		return synthesizeCDCL(ctx, in, opts)
+	}
+	return res, nil
+}
+
 // probeLocked is the part of a solve that touches session state, under
 // the family lock: it decides the probe mode and, on the incremental
 // path, discharges the budget assumptions against the live solver.
@@ -231,14 +248,24 @@ func (s *cdclSession) probeLocked(ctx context.Context, steps, rounds int, opts O
 		s.enc = encodeSessionBase(s.fam, s.opts, sessionHorizon(s.fam, steps))
 	}
 	res.CarriedLearnts = s.enc.ctx.Solver.LearntClauses()
-	assumptions, feasible := s.enc.assume(steps, rounds)
+	if s.enc.infeasible {
+		// A required placement is unreachable within the horizon: the base
+		// itself is Unsat, so every budget the probe dominates is too.
+		res.Encode = time.Since(t0)
+		s.probes++
+		res.Status = sat.Unsat
+		res.Core = &BudgetCore{Steps: steps, Rounds: rounds, Empty: true}
+		return res, probeModeDone
+	}
+	assumptions, marks, prune := s.enc.assume(steps, rounds)
 	res.Encode = time.Since(t0)
 	s.probes++
-	if s.enc.infeasible || !feasible {
+	if prune != nil {
 		// Pruning already proves the budget unsatisfiable — same as the
 		// one-shot encoder's feasible=false path, without touching the
-		// solver.
+		// solver — and the refuted assumption group is known exactly.
 		res.Status = sat.Unsat
+		res.Core = prune
 		return res, probeModeDone
 	}
 	applySolverOpts(s.enc.ctx.Solver, opts)
@@ -249,6 +276,11 @@ func (s *cdclSession) probeLocked(ctx context.Context, steps, rounds int, opts O
 	res.Solve = time.Since(t1)
 	res.Stats = s.enc.ctx.Solver.Stats()
 	if res.Status != sat.Sat {
+		if res.Status == sat.Unsat {
+			// Final-conflict analysis: map the failed assumptions back to
+			// their budget groups so the sweep can skip dominated budgets.
+			res.Core = marks.classify(s.enc.ctx.Solver.FailedAssumptions(), steps, rounds)
+		}
 		return res, probeModeDone
 	}
 	return res, probeModeSat
@@ -550,11 +582,12 @@ func encodeSessionBase(fam Family, opts Options, horizon int) *sessionEncoding {
 // assume builds the assumption literals encoding the (S, R) budget over
 // the base formula: time(c,n) <= S for every post placement (C2) and
 // sum(r_1..r_S) = R (C6) via a two-sided bound on the prefix-sum
-// register. feasible=false reports budgets pruning already refutes.
-func (e *sessionEncoding) assume(steps, rounds int) (lits []sat.Lit, feasible bool) {
-	if e.infeasible {
-		return nil, false
-	}
+// register. marks records each literal's budget group for the
+// final-conflict classification. A non-nil prune reports a budget that
+// pruning already refutes, classified like a solver core so the sweep
+// can skip the budgets it dominates.
+func (e *sessionEncoding) assume(steps, rounds int) (lits []sat.Lit, marks assumpMarks, prune *BudgetCore) {
+	marks.post = map[sat.Lit]bool{}
 	// C2: post placements arrive within S.
 	for c := range e.times {
 		for n, tv := range e.times[c] {
@@ -569,31 +602,39 @@ func (e *sessionEncoding) assume(steps, rounds int) (lits []sat.Lit, feasible bo
 				if tv.TriviallyLe(steps) {
 					continue
 				}
-				return nil, false // BFS lower bound exceeds the budget
+				// BFS lower bound exceeds the budget: the placement misses
+				// every step budget <= steps at any round count.
+				return nil, marks, &BudgetCore{Steps: steps, Rounds: rounds, PostArrival: true}
 			}
 			lits = append(lits, le)
+			marks.post[le] = true
 		}
 	}
 	// C6: the round variables hold S <= sum <= S*(K+1); the prefix
 	// register counts the excess over the minimum one round per step.
 	target := rounds - steps
 	if target < 0 {
-		return nil, false
+		// R < S cannot hold for any cheaper R either.
+		return nil, marks, &BudgetCore{Steps: steps, Rounds: rounds, RoundUpper: true}
 	}
 	reg := e.prefixRegister(steps)
 	capacity := len(reg.Outputs)
 	if target > capacity {
-		return nil, false
+		// The per-step domains cannot reach R; refutes only costlier R,
+		// so the core claims no downward dominance.
+		return nil, marks, &BudgetCore{Steps: steps, Rounds: rounds, RoundLower: true}
 	}
 	if lit, ok := reg.AtLeast(target); ok {
 		lits = append(lits, lit)
+		marks.lower = lit
 	} else if target > 0 {
-		return nil, false
+		return nil, marks, &BudgetCore{Steps: steps, Rounds: rounds, RoundLower: true}
 	}
 	if lit, ok := reg.AtLeast(target + 1); ok {
 		lits = append(lits, lit.Neg())
+		marks.upper = lit.Neg()
 	}
-	return lits, true
+	return lits, marks, nil
 }
 
 // post reports whether (c, n) is a non-pre post placement. Sessions never

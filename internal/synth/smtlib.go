@@ -227,36 +227,93 @@ func EmitSMTLIBBase(f Family, horizon int) (*smt.Script, error) {
 	return s, nil
 }
 
+// Assertion names of the named budget layer (EmitSMTLIBBudgetNamed):
+// post-arrival assertions are named smtPostPrefix + "c<C>_n<N>", and the
+// round total is split into its two sides so (get-unsat-core) replies map
+// directly onto BudgetCore's groups.
+const (
+	smtPostPrefix    = "bpost_"
+	smtRoundLowName  = "brounds_lo"
+	smtRoundHighName = "brounds_hi"
+)
+
 // EmitSMTLIBBudget renders the (S, R) budget layer over a session base
 // emitted at the given horizon: one assertion per post placement (C2) and
 // the round total (C6). The returned lines are complete SMT-LIB commands
 // meant to sit between (push 1) and (pop 1).
 func EmitSMTLIBBudget(f Family, horizon, steps, rounds int) ([]string, error) {
+	return emitSMTLIBBudget(f, horizon, steps, rounds, false)
+}
+
+// EmitSMTLIBBudgetNamed is EmitSMTLIBBudget with :named annotations on
+// every budget assertion, and the round total split into its >= and <=
+// sides, so an unsat answer's (get-unsat-core) reply identifies exactly
+// which budget groups the conflict involved. Requires the solver to run
+// with :produce-unsat-cores true.
+func EmitSMTLIBBudgetNamed(f Family, horizon, steps, rounds int) ([]string, error) {
+	return emitSMTLIBBudget(f, horizon, steps, rounds, true)
+}
+
+func emitSMTLIBBudget(f Family, horizon, steps, rounds int, named bool) ([]string, error) {
 	if steps < 1 || steps > horizon {
 		return nil, fmt.Errorf("synth: budget steps %d outside horizon %d", steps, horizon)
 	}
 	if rounds < steps || rounds-steps > f.MaxExtraRounds {
 		return nil, fmt.Errorf("synth: budget R=%d outside [S, S+%d]", rounds, f.MaxExtraRounds)
 	}
+	assert := func(body, name string) string {
+		if !named {
+			return fmt.Sprintf("(assert %s)", body)
+		}
+		return fmt.Sprintf("(assert (! %s :named %s))", body, name)
+	}
 	var out []string
 	coll := f.Coll
 	for c := 0; c < coll.G; c++ {
 		for n := 0; n < coll.P; n++ {
 			if coll.Post[c][n] && !coll.Pre[c][n] {
-				out = append(out, fmt.Sprintf("(assert (<= time_c%d_n%d %d))", c, n, steps))
+				out = append(out, assert(
+					fmt.Sprintf("(<= time_c%d_n%d %d)", c, n, steps),
+					fmt.Sprintf("%sc%d_n%d", smtPostPrefix, c, n)))
 			}
 		}
 	}
-	if steps == 1 {
-		out = append(out, fmt.Sprintf("(assert (= r_0 %d))", rounds))
+	sum := "r_0"
+	if steps > 1 {
+		terms := make([]string, steps)
+		for st := 0; st < steps; st++ {
+			terms[st] = fmt.Sprintf("r_%d", st)
+		}
+		sum = "(+ " + strings.Join(terms, " ") + ")"
+	}
+	if !named {
+		out = append(out, assert(fmt.Sprintf("(= %s %d)", sum, rounds), ""))
 		return out, nil
 	}
-	terms := make([]string, steps)
-	for st := 0; st < steps; st++ {
-		terms[st] = fmt.Sprintf("r_%d", st)
-	}
-	out = append(out, fmt.Sprintf("(assert (= (+ %s) %d))", strings.Join(terms, " "), rounds))
+	out = append(out,
+		assert(fmt.Sprintf("(>= %s %d)", sum, rounds), smtRoundLowName),
+		assert(fmt.Sprintf("(<= %s %d)", sum, rounds), smtRoundHighName))
 	return out, nil
+}
+
+// coreFromNames maps a (get-unsat-core) reply onto the budget groups. An
+// unexpected name yields nil — no dominance is claimed over a core that
+// cannot be explained.
+func coreFromNames(names []string, steps, rounds int) *BudgetCore {
+	bc := &BudgetCore{Steps: steps, Rounds: rounds, Empty: len(names) == 0}
+	for _, n := range names {
+		switch {
+		case n == smtRoundLowName:
+			bc.RoundLower = true
+		case n == smtRoundHighName:
+			bc.RoundUpper = true
+		case strings.HasPrefix(n, smtPostPrefix):
+			bc.PostArrival = true
+		default:
+			return nil
+		}
+	}
+	return bc
 }
 
 // smtlibSession keeps one interactive solver process per family and
@@ -271,6 +328,10 @@ type smtlibSession struct {
 	mu      sync.Mutex
 	oneShot bool // interactive mode unavailable: every probe one-shots
 	proc    *smt.ExternalSession
+	// cores is true when the live process produces unsat cores, so Unsat
+	// probes can be classified into BudgetCore groups via named budget
+	// assertions and (get-unsat-core).
+	cores   bool
 	horizon int
 	probes  int
 }
@@ -315,6 +376,16 @@ func (s *smtlibSession) start(steps int) error {
 	proc, err := smt.StartExternalSession(s.b.Binary, s.b.ExtraArgs...)
 	if err != nil {
 		return err
+	}
+	// Solvers known to support unsat cores get the option up front (it
+	// must precede assertions) plus named budget assertions per probe;
+	// others run exactly as before and report no cores.
+	s.cores = smt.SupportsUnsatCores(s.b.Binary)
+	if s.cores {
+		if err := proc.Send("(set-option :produce-unsat-cores true)"); err != nil {
+			proc.Close()
+			return err
+		}
 	}
 	if err := proc.Send(base.Prelude()); err != nil {
 		proc.Close()
@@ -363,6 +434,27 @@ func (s *smtlibSession) Solve(ctx context.Context, steps, rounds int, opts Optio
 	return res, nil
 }
 
+// SolveStatus answers a budget's satisfiability without materializing a
+// witness, mirroring the CDCL session's status-only probe flavor: Sat
+// answers carry no Algorithm and skip the canonical re-solve.
+func (s *smtlibSession) SolveStatus(ctx context.Context, steps, rounds int, opts Options) (Result, error) {
+	in := Instance{Coll: s.fam.Coll, Topo: s.fam.Topo, Steps: steps, Round: rounds}
+	if err := in.Validate(); err != nil {
+		return Result{}, err
+	}
+	res, mode, err := s.probeLocked(ctx, steps, rounds, opts)
+	if err != nil {
+		return res, err
+	}
+	switch mode {
+	case probeModeOneShot:
+		return s.b.Solve(ctx, in, opts)
+	case probeModeSat:
+		res.Status = sat.Sat
+	}
+	return res, nil
+}
+
 // probeLocked holds the family lock while talking to the interactive
 // process; one-shot fallbacks and witness materialization run in Solve,
 // outside the lock.
@@ -392,7 +484,11 @@ func (s *smtlibSession) probeLocked(ctx context.Context, steps, rounds int, opts
 	res.SessionWarm = warm
 	s.probes++
 	t0 := time.Now()
-	budget, err := EmitSMTLIBBudget(s.fam, s.horizon, steps, rounds)
+	emit := EmitSMTLIBBudget
+	if s.cores {
+		emit = EmitSMTLIBBudgetNamed
+	}
+	budget, err := emit(s.fam, s.horizon, steps, rounds)
 	if err != nil {
 		return res, probeModeDone, err
 	}
@@ -413,6 +509,18 @@ func (s *smtlibSession) probeLocked(ctx context.Context, steps, rounds int, opts
 	switch answer {
 	case "unsat":
 		res.Status = sat.Unsat
+		if s.cores {
+			// Mirror the CDCL session's final-conflict analysis: ask the
+			// solver which named budget assertions the conflict needed. A
+			// protocol failure drops the process (later probes relaunch)
+			// but keeps the Unsat answer — it was already committed.
+			names, coreErr := s.proc.GetUnsatCore(ctx, opts.Timeout)
+			if coreErr != nil {
+				s.stopLocked()
+				return res, probeModeDone, nil
+			}
+			res.Core = coreFromNames(names, steps, rounds)
+		}
 		if err := s.proc.Send("(pop 1)"); err != nil {
 			s.stopLocked()
 		}

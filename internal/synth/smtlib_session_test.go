@@ -13,9 +13,10 @@ import (
 )
 
 // fakeSMTSolver writes a shell script named z3 (so the interactive flags
-// resolve) that answers "unsat" to every query, in both the one-shot
+// resolve) that answers "unsat" to every query — in both the one-shot
 // file-argument mode RunExternal uses and the interactive stdin mode the
-// session uses.
+// session uses — and reports the round-total upper bound as the unsat
+// core, like a solver refuting the round budget would.
 func fakeSMTSolver(t *testing.T) string {
 	t.Helper()
 	path := filepath.Join(t.TempDir(), "z3")
@@ -29,6 +30,7 @@ done
 while read line; do
   case "$line" in
     *check-sat*) echo unsat ;;
+    *get-unsat-core*) echo "(brounds_hi)" ;;
     *exit*) exit 0 ;;
   esac
 done
@@ -68,6 +70,18 @@ func TestSMTLIBSessionPushPop(t *testing.T) {
 		wantSession := i >= sessionAdoptProbes
 		if res.SessionProbe != wantSession {
 			t.Errorf("probe %d: SessionProbe=%v, want %v", i, res.SessionProbe, wantSession)
+		}
+		if wantSession {
+			// Session probes get the (get-unsat-core) classification: the
+			// fake blames the round-total upper bound.
+			if res.Core == nil || !res.Core.RoundUpper || res.Core.PostArrival || res.Core.RoundLower {
+				t.Errorf("probe %d: core %v, want a rounds-upper core", i, res.Core)
+			}
+			if !res.Core.DominatesRounds() || res.Core.DominatesSteps() {
+				t.Errorf("probe %d: core %v dominance flags wrong", i, res.Core)
+			}
+		} else if res.Core != nil {
+			t.Errorf("probe %d: one-shot probe reported a core %v", i, res.Core)
 		}
 	}
 }
