@@ -1,21 +1,21 @@
 // Command benchguard is the CI benchmark regression gate: it parses a
 // fresh BENCH_sessions.json (the session sweep suite written by
 // BenchmarkSessionSweeps or `scclbench -sweeps -json`) and compares every
-// row against the committed baseline, failing when solve wall regresses
-// beyond the allowed percentage on any recorded suite row.
+// row against the committed baseline, failing when solve wall or encode
+// wall regresses beyond the allowed percentage on any recorded suite row.
 //
 // Usage:
 //
 //	benchguard -baseline ci/BENCH_sessions_baseline.json \
 //	           -fresh bench-out/BENCH_sessions.json \
-//	           -max-regress-pct 25 -min-wall 25ms
+//	           -max-regress-pct 25 -max-encode-regress-pct 35 -min-wall 25ms
 //
 // Rows are matched by their sweep identity (topology, collective,
-// backend, k, maxSteps, maxChunks, workers, sessions). Rows whose solve
-// wall sits under -min-wall in both files are reported but never fail
-// the gate: at that scale scheduler noise outweighs solver work. A
-// baseline row missing from the fresh run fails the gate — the suite
-// changed and the baseline needs regenerating alongside it.
+// backend, k, maxSteps, maxChunks, workers, sessions). Rows whose metric
+// sits under -min-wall in both files are reported but never fail the
+// gate: at that scale scheduler noise outweighs solver work. A baseline
+// row missing from the fresh run fails the gate — the suite changed and
+// the baseline needs regenerating alongside it.
 package main
 
 import (
@@ -50,10 +50,79 @@ func loadRows(path string) (map[string]eval.SweepRow, error) {
 	return out, nil
 }
 
+// metric is one gated wall-clock column of a SweepRow.
+type metric struct {
+	name          string
+	value         func(eval.SweepRow) int64
+	maxRegressPct float64
+}
+
+// calibration derives the machine-speed scale of one metric from the
+// one-shot rows: they never route through sessions, template sharing or
+// unsat-core pruning, so their aggregate moves only with machine speed —
+// the anchor that lets an absolute-time baseline travel between
+// developer machines and CI runners.
+func calibration(m metric, baseline, fresh map[string]eval.SweepRow) float64 {
+	var baseAnchor, freshAnchor int64
+	for key, b := range baseline {
+		f, ok := fresh[key]
+		if !ok || b.Sessions {
+			continue
+		}
+		baseAnchor += m.value(b)
+		freshAnchor += m.value(f)
+	}
+	if baseAnchor <= 0 || freshAnchor <= 0 {
+		return 1.0
+	}
+	scale := float64(baseAnchor) / float64(freshAnchor)
+	fmt.Printf("calibration (%s): machine speed scale %.3f (one-shot anchor %s baseline vs %s fresh)\n",
+		m.name, scale, fmtNs(baseAnchor), fmtNs(freshAnchor))
+	return scale
+}
+
+// gate compares one metric across every baseline row, printing the table
+// and returning the number of failing rows.
+func gate(m metric, baseline, fresh map[string]eval.SweepRow, scale float64, minWall time.Duration) int {
+	failures := 0
+	fmt.Printf("\n%-70s %12s %12s %8s\n", m.name+" row", "baseline", "fresh", "delta")
+	for _, key := range sortedKeys(baseline) {
+		base := baseline[key]
+		got, ok := fresh[key]
+		if !ok {
+			fmt.Printf("%-70s %12s %12s %8s\n", key, fmtNs(m.value(base)), "missing", "FAIL")
+			failures++
+			continue
+		}
+		baseNs := m.value(base)
+		scaled := int64(float64(m.value(got)) * scale)
+		deltaPct := 0.0
+		if baseNs > 0 {
+			deltaPct = 100 * float64(scaled-baseNs) / float64(baseNs)
+		}
+		verdict := fmt.Sprintf("%+.0f%%", deltaPct)
+		tiny := baseNs < int64(minWall) && scaled < int64(minWall)
+		if deltaPct > m.maxRegressPct && !tiny {
+			verdict += " FAIL"
+			failures++
+		} else if tiny {
+			verdict += " (tiny)"
+		}
+		fmt.Printf("%-70s %12s %12s %8s\n", key, fmtNs(baseNs), fmtNs(scaled), verdict)
+	}
+	for _, key := range sortedKeys(fresh) {
+		if _, ok := baseline[key]; !ok {
+			fmt.Printf("%-70s %12s %12s %8s\n", key, "-", fmtNs(m.value(fresh[key])), "new")
+		}
+	}
+	return failures
+}
+
 func main() {
 	baselinePath := flag.String("baseline", "ci/BENCH_sessions_baseline.json", "committed baseline rows")
 	freshPath := flag.String("fresh", "BENCH_sessions.json", "freshly generated rows")
 	maxRegressPct := flag.Float64("max-regress-pct", 25, "allowed solve-wall regression per row, percent")
+	maxEncodePct := flag.Float64("max-encode-regress-pct", 35, "allowed encode-wall regression per row, percent (encode walls are smaller and noisier than solve walls)")
 	minWall := flag.Duration("min-wall", 25*time.Millisecond, "rows faster than this in both files never fail the gate")
 	calibrate := flag.Bool("calibrate", false, "scale fresh rows by the one-shot rows' aggregate speed ratio, so a slower/faster machine than the baseline's does not trip the gate")
 	flag.Parse()
@@ -69,66 +138,25 @@ func main() {
 		os.Exit(1)
 	}
 
-	// One-shot rows never route through sessions or unsat-core pruning, so
-	// their aggregate solve wall moves only with machine speed — the
-	// calibration anchor that lets an absolute-time baseline travel
-	// between developer machines and CI runners.
-	scale := 1.0
-	if *calibrate {
-		var baseAnchor, freshAnchor int64
-		for key, b := range baseline {
-			f, ok := fresh[key]
-			if !ok || b.Sessions {
-				continue
-			}
-			baseAnchor += b.SolveWallNs
-			freshAnchor += f.SolveWallNs
-		}
-		if baseAnchor > 0 && freshAnchor > 0 {
-			scale = float64(baseAnchor) / float64(freshAnchor)
-		}
-		fmt.Printf("calibration: machine speed scale %.3f (one-shot anchor %s baseline vs %s fresh)\n",
-			scale, fmtNs(baseAnchor), fmtNs(freshAnchor))
+	metrics := []metric{
+		{name: "solve-wall", value: func(r eval.SweepRow) int64 { return r.SolveWallNs }, maxRegressPct: *maxRegressPct},
+		{name: "encode-wall", value: func(r eval.SweepRow) int64 { return r.EncodeWallNs }, maxRegressPct: *maxEncodePct},
 	}
-
-	baseKeys := sortedKeys(baseline)
 	failures := 0
-	fmt.Printf("%-70s %12s %12s %8s\n", "row", "baseline", "fresh", "delta")
-	for _, key := range baseKeys {
-		base := baseline[key]
-		got, ok := fresh[key]
-		if !ok {
-			fmt.Printf("%-70s %12s %12s %8s\n", key, fmtNs(base.SolveWallNs), "missing", "FAIL")
-			failures++
-			continue
+	for _, m := range metrics {
+		scale := 1.0
+		if *calibrate {
+			scale = calibration(m, baseline, fresh)
 		}
-		scaled := int64(float64(got.SolveWallNs) * scale)
-		deltaPct := 0.0
-		if base.SolveWallNs > 0 {
-			deltaPct = 100 * float64(scaled-base.SolveWallNs) / float64(base.SolveWallNs)
-		}
-		verdict := fmt.Sprintf("%+.0f%%", deltaPct)
-		tiny := base.SolveWallNs < int64(*minWall) && scaled < int64(*minWall)
-		if deltaPct > *maxRegressPct && !tiny {
-			verdict += " FAIL"
-			failures++
-		} else if tiny {
-			verdict += " (tiny)"
-		}
-		fmt.Printf("%-70s %12s %12s %8s\n", key, fmtNs(base.SolveWallNs), fmtNs(scaled), verdict)
-	}
-	for _, key := range sortedKeys(fresh) {
-		if _, ok := baseline[key]; !ok {
-			fmt.Printf("%-70s %12s %12s %8s\n", key, "-", fmtNs(fresh[key].SolveWallNs), "new")
-		}
+		failures += gate(m, baseline, fresh, scale, *minWall)
 	}
 	if failures > 0 {
-		fmt.Fprintf(os.Stderr, "benchguard: %d row(s) regressed more than %.0f%% (or went missing); "+
+		fmt.Fprintf(os.Stderr, "benchguard: %d row-metric(s) regressed beyond their allowance (or went missing); "+
 			"if intentional, regenerate the baseline with `SCCL_BENCH_DIR= go test -bench=SessionSweeps -benchtime=1x -run '^$' .` "+
-			"and copy BENCH_sessions.json over %s\n", failures, *maxRegressPct, *baselinePath)
+			"and copy BENCH_sessions.json over %s\n", failures, *baselinePath)
 		os.Exit(1)
 	}
-	fmt.Printf("benchguard: %d rows within %.0f%% of baseline\n", len(baseline), *maxRegressPct)
+	fmt.Printf("\nbenchguard: %d rows within allowance on %d metrics\n", len(baseline), len(metrics))
 }
 
 func fmtNs(ns int64) string { return time.Duration(ns).Round(time.Microsecond).String() }

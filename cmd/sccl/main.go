@@ -301,9 +301,13 @@ func cmdPareto(args []string) error {
 		}
 		fmt.Fprintf(statsOut, "cores: %d unsat probes yielded budget cores, %d candidates pruned by dominance (%.0f%% of the candidate load)\n",
 			s.CoreSolves, s.PrunedProbes, pruneRate)
+		fmt.Fprintf(statsOut, "staged encoder: %d Stage-0 template shares, %d learnt clauses migrated across re-bases\n",
+			s.TemplateHits, s.MigratedLearnts)
 		cs := cm.eng.CacheStats()
 		fmt.Fprintf(statsOut, "engine: %d pooled sessions (%d pool hits, %d misses), %d cached algorithms, %d core solves / %d pruned probes lifetime\n",
 			cs.Sessions, cs.SessionHits, cs.SessionMisses, cs.Algorithms, cs.CoreSolves, cs.PrunedProbes)
+		fmt.Fprintf(statsOut, "engine: %d template hits / %d migrated learnts lifetime\n",
+			cs.TemplateHits, cs.MigratedLearnts)
 	}
 	return cm.finish()
 }

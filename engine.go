@@ -12,6 +12,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/collective"
 	"repro/internal/synth"
 )
 
@@ -99,6 +100,11 @@ type Engine struct {
 	// every sweep the engine ran (see ParetoStats).
 	coreSolves   uint64
 	prunedProbes uint64
+	// templateHits / migratedLearnts aggregate the staged-encoder
+	// counters: Stage-0 template shares and learnt clauses carried across
+	// session re-bases (see ParetoStats and Stage0Template).
+	templateHits    uint64
+	migratedLearnts uint64
 }
 
 // NewEngine builds an Engine from options; the zero EngineOptions value
@@ -229,6 +235,18 @@ func (e *Engine) lookupAlg(key string) *cacheEntry {
 	return ent
 }
 
+// peekAlg is lookupAlg without the hit/miss accounting — for planning
+// decisions (e.g. whether a batch group needs solver work at all) that
+// must not double-count the lookup answerRequest will do.
+func (e *Engine) peekAlg(key string) *cacheEntry {
+	if e.cacheOff {
+		return nil
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.algs[key]
+}
+
 func (e *Engine) storeAlg(key string, ent *cacheEntry) {
 	if e.cacheOff {
 		return
@@ -299,18 +317,26 @@ type CacheStats struct {
 	// scheduler answer without solving (see ParetoStats).
 	CoreSolves   uint64
 	PrunedProbes uint64
+	// TemplateHits counts encodes that shared a Stage-0 routing template
+	// (per (topology, step horizon), across families) instead of
+	// re-deriving it; MigratedLearnts counts learnt clauses translated
+	// into a rebuilt session solver across re-bases instead of dropped.
+	TemplateHits    uint64
+	MigratedLearnts uint64
 }
 
 // CacheStats returns a snapshot of the cache counters.
 func (e *Engine) CacheStats() CacheStats {
 	e.mu.Lock()
 	cs := CacheStats{
-		Algorithms:   len(e.algs),
-		Frontiers:    len(e.frontiers),
-		Hits:         e.hits,
-		Misses:       e.misses,
-		CoreSolves:   e.coreSolves,
-		PrunedProbes: e.prunedProbes,
+		Algorithms:      len(e.algs),
+		Frontiers:       len(e.frontiers),
+		Hits:            e.hits,
+		Misses:          e.misses,
+		CoreSolves:      e.coreSolves,
+		PrunedProbes:    e.prunedProbes,
+		TemplateHits:    e.templateHits,
+		MigratedLearnts: e.migratedLearnts,
 	}
 	e.mu.Unlock()
 	if e.sessions != nil {
@@ -320,25 +346,19 @@ func (e *Engine) CacheStats() CacheStats {
 	return cs
 }
 
-// Synthesize answers one request: on a cache hit the stored algorithm is
-// returned with Result.CacheHit set and no solver work; otherwise the
-// instance is discharged to the backend and the outcome (Sat or Unsat,
-// never Unknown) is cached under the request's canonical fingerprint.
-func (e *Engine) Synthesize(ctx context.Context, req Request) (*Result, error) {
-	if ctx == nil {
-		ctx = context.Background()
-	}
+// answerRequest serves one validated request through the algorithm
+// cache: a hit returns the stored entry with no solver work; otherwise
+// solve runs and any definite outcome (Sat or Unsat, never Unknown) is
+// stored under the request's canonical fingerprint. Shared by the
+// single-request and batched paths so cache semantics cannot diverge.
+func (e *Engine) answerRequest(ctx context.Context, req Request, o SynthOptions, solve func(context.Context) (*Algorithm, Status, error)) (*Result, error) {
 	t0 := time.Now()
-	if err := req.Validate(); err != nil {
-		return nil, err
-	}
-	o := e.solveOptions(req.Timeout, req.Options)
 	fp := e.requestFingerprint(req, o)
 	if ent := e.lookupAlg(fp); ent != nil {
 		e.progress("engine: cache hit %v %s on %s [%s]", req.Kind, req.Budget, req.Topo.Name, fp)
 		return &Result{Algorithm: ent.alg, Status: ent.status, CacheHit: true, Wall: time.Since(t0), Fingerprint: fp}, nil
 	}
-	alg, status, err := synth.SynthesizeCollectiveContext(ctx, req.Kind, req.Topo, req.Root, req.Budget.C, req.Budget.S, req.Budget.R, o)
+	alg, status, err := solve(ctx)
 	if err != nil {
 		return nil, err
 	}
@@ -349,6 +369,23 @@ func (e *Engine) Synthesize(ctx context.Context, req Request) (*Result, error) {
 		})
 	}
 	return &Result{Algorithm: alg, Status: status, Wall: time.Since(t0), Fingerprint: fp}, nil
+}
+
+// Synthesize answers one request: on a cache hit the stored algorithm is
+// returned with Result.CacheHit set and no solver work; otherwise the
+// instance is discharged to the backend and the outcome (Sat or Unsat,
+// never Unknown) is cached under the request's canonical fingerprint.
+func (e *Engine) Synthesize(ctx context.Context, req Request) (*Result, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if err := req.Validate(); err != nil {
+		return nil, err
+	}
+	o := e.solveOptions(req.Timeout, req.Options)
+	return e.answerRequest(ctx, req, o, func(ctx context.Context) (*Algorithm, Status, error) {
+		return synth.SynthesizeCollectiveContext(ctx, req.Kind, req.Topo, req.Root, req.Budget.C, req.Budget.S, req.Budget.R, o)
+	})
 }
 
 // SynthesizeInstance answers one raw SynColl instance (non-combining
@@ -458,6 +495,8 @@ func (e *Engine) Pareto(ctx context.Context, req ParetoRequest) (*ParetoResult, 
 	e.mu.Lock()
 	e.coreSolves += uint64(stats.CoreSolves)
 	e.prunedProbes += uint64(stats.PrunedProbes)
+	e.templateHits += uint64(stats.TemplateHits)
+	e.migratedLearnts += uint64(stats.MigratedLearnts)
 	e.mu.Unlock()
 	res := &ParetoResult{Points: pts, Stats: stats, Wall: time.Since(t0), Fingerprint: fp}
 	if err != nil {
@@ -474,22 +513,148 @@ func (e *Engine) Pareto(ctx context.Context, req ParetoRequest) (*ParetoResult, 
 	return res, nil
 }
 
+// batchGroup is one coalesced fingerprint group of a SynthesizeAll
+// batch; sess, when non-nil, routes the group's budget through a pooled
+// incremental session instead of a one-shot solve.
+type batchGroup struct {
+	first int
+	rest  []int
+	sess  Session
+}
+
+// primeBatchSessions assigns pooled incremental sessions to the batch's
+// fingerprint groups: groups sharing a (topology, collective, chunking)
+// family — same everything except the (S, R) budget — discharge through
+// one live solver as assumption-based exact-budget probes, the same
+// route the Pareto sweep uses, instead of independent one-shot solves.
+// Families with a single budget, combining collectives, and requests
+// overriding the engine backend stay on the one-shot path. Sessions are
+// primed with the expected probe count so lazy adoption does not
+// one-shot the first probes of a known-hot batch.
+func (e *Engine) primeBatchSessions(reqs []Request, groups map[string]*batchGroup, order []string) {
+	if e.sessions == nil {
+		return
+	}
+	type familyAgg struct {
+		req        Request // representative member
+		opts       SynthOptions
+		keys       []string
+		maxS, maxK int
+	}
+	fams := map[string]*familyAgg{}
+	var famOrder []string
+	for _, key := range order {
+		g := groups[key]
+		req := reqs[g.first]
+		if e.peekAlg(key) != nil {
+			// Already cached: answerRequest will serve it without solver
+			// work, so it must not count toward priming a session.
+			continue
+		}
+		o := e.solveOptions(req.Timeout, req.Options)
+		if req.Kind.IsCombining() || o.Backend != e.backend {
+			continue
+		}
+		if backendName(o) == "cdcl" && (o.Encoding != EncodingPaper || o.ProveUnsat) {
+			// The built-in backend one-shots such sessions (direct
+			// ablation encoding, proof recording — see cdclBackend.
+			// NewSession); pooling them would only evict warm sessions.
+			continue
+		}
+		fk := strings.Join(append([]string{
+			req.Kind.String(),
+			req.Topo.Fingerprint(),
+			strconv.Itoa(int(req.Root)),
+			strconv.Itoa(req.Budget.C),
+			strconv.FormatBool(o.ProveUnsat),
+		}, optionParts(o)...), "|")
+		fa, ok := fams[fk]
+		if !ok {
+			fa = &familyAgg{req: req, opts: o}
+			fams[fk] = fa
+			famOrder = append(famOrder, fk)
+		}
+		fa.keys = append(fa.keys, key)
+		if req.Budget.S > fa.maxS {
+			fa.maxS = req.Budget.S
+		}
+		if k := req.Budget.R - req.Budget.S; k > fa.maxK {
+			fa.maxK = k
+		}
+	}
+	primed := 0
+	for _, fk := range famOrder {
+		if primed >= e.sessions.Cap() {
+			// Priming past the pool capacity would evict (and close) the
+			// batch's own earlier sessions before their groups solve;
+			// remaining families fall back to one-shot solving.
+			break
+		}
+		fa := fams[fk]
+		if len(fa.keys) < synth.BatchSessionMinBudgets {
+			// Too few budgets to outlast lazy adoption: the session would
+			// one-shot every probe while occupying pool capacity that
+			// sweeps may have warmed.
+			continue
+		}
+		coll, err := collective.New(fa.req.Kind, fa.req.Topo.P, fa.req.Budget.C, fa.req.Root)
+		if err != nil {
+			continue
+		}
+		fam := synth.Family{Coll: coll, Topo: fa.req.Topo, MaxSteps: fa.maxS, MaxExtraRounds: fa.maxK}
+		sess, err := e.sessions.Session(fam, fa.opts)
+		if err != nil {
+			continue // fall back one-shot (e.g. pool closed)
+		}
+		if pr, ok := sess.(interface{ Prime(int) }); ok {
+			pr.Prime(len(fa.keys))
+		}
+		primed++
+		for _, key := range fa.keys {
+			groups[key].sess = sess
+		}
+	}
+}
+
+// synthesizeGrouped answers one batched (pre-validated) request,
+// discharging the exact budget through the group's pooled session when
+// one was assigned. Sessions re-derive Sat witnesses canonically, so
+// the result — and the cache entry it stores — is byte-identical to
+// Engine.Synthesize's.
+func (e *Engine) synthesizeGrouped(ctx context.Context, req Request, sess Session) (*Result, error) {
+	if sess == nil {
+		return e.Synthesize(ctx, req)
+	}
+	o := e.solveOptions(req.Timeout, req.Options)
+	return e.answerRequest(ctx, req, o, func(ctx context.Context) (*Algorithm, Status, error) {
+		sres, err := sess.Solve(ctx, req.Budget.S, req.Budget.R, o)
+		if err != nil {
+			return nil, Unknown, err
+		}
+		e.mu.Lock()
+		e.templateHits += uint64(sres.TemplateHits)
+		e.migratedLearnts += uint64(sres.MigratedLearnts)
+		e.mu.Unlock()
+		return sres.Algorithm, sres.Status, nil
+	})
+}
+
 // SynthesizeAll answers a batch of requests concurrently over the
 // engine's worker pool. Results come back in request order regardless of
 // completion order; duplicate requests (same canonical fingerprint) are
-// solved once and fanned out as cache hits. Failed requests leave a nil
-// slot; the returned error joins every per-request failure.
+// solved once and fanned out as cache hits. Batches sharing a
+// (topology, collective, chunking) family route through the engine's
+// pooled incremental sessions via assumption-based exact-budget probes
+// (see primeBatchSessions); results are byte-identical to independent
+// solves. Failed requests leave a nil slot; the returned error joins
+// every per-request failure.
 func (e *Engine) SynthesizeAll(ctx context.Context, reqs []Request) ([]*Result, error) {
 	if ctx == nil {
 		ctx = context.Background()
 	}
 	results := make([]*Result, len(reqs))
 	errs := make([]error, len(reqs))
-	type group struct {
-		first int
-		rest  []int
-	}
-	groups := map[string]*group{}
+	groups := map[string]*batchGroup{}
 	var order []string
 	for i := range reqs {
 		if err := reqs[i].Validate(); err != nil {
@@ -501,10 +666,11 @@ func (e *Engine) SynthesizeAll(ctx context.Context, reqs []Request) ([]*Result, 
 		if g, ok := groups[key]; ok {
 			g.rest = append(g.rest, i)
 		} else {
-			groups[key] = &group{first: i}
+			groups[key] = &batchGroup{first: i}
 			order = append(order, key)
 		}
 	}
+	e.primeBatchSessions(reqs, groups, order)
 	workers := e.workers
 	if workers > len(order) {
 		workers = len(order)
@@ -520,7 +686,7 @@ func (e *Engine) SynthesizeAll(ctx context.Context, reqs []Request) ([]*Result, 
 			defer wg.Done()
 			for key := range keyCh {
 				g := groups[key]
-				res, err := e.Synthesize(ctx, reqs[g.first])
+				res, err := e.synthesizeGrouped(ctx, reqs[g.first], g.sess)
 				if err != nil {
 					errs[g.first] = fmt.Errorf("request %d: %w", g.first, err)
 					for _, j := range g.rest {

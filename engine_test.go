@@ -265,6 +265,69 @@ func TestEngineSynthesizeAll(t *testing.T) {
 	}
 }
 
+// TestEngineSynthesizeAllSessions checks the batched session routing: a
+// batch of same-(topology, collective, C) requests differing only in
+// budget must route through one pooled incremental session as
+// exact-budget assumption probes and still return results byte-identical
+// to a session-less engine solving each request independently.
+func TestEngineSynthesizeAllSessions(t *testing.T) {
+	ring := sccl.Ring(4)
+	budgets := []sccl.Budget{
+		{C: 1, S: 1, R: 1}, // Unsat
+		{C: 1, S: 2, R: 2}, // Unsat
+		{C: 1, S: 2, R: 3}, // Unsat
+		{C: 1, S: 3, R: 3}, // Sat
+		{C: 1, S: 4, R: 4}, // Sat
+	}
+	reqs := make([]sccl.Request, len(budgets))
+	for i, b := range budgets {
+		reqs[i] = sccl.Request{Kind: sccl.Allgather, Topo: ring, Budget: b}
+	}
+	eng := sccl.NewEngine(sccl.EngineOptions{Workers: 4})
+	defer eng.Close()
+	results, err := eng.SynthesizeAll(context.Background(), reqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cs := eng.CacheStats(); cs.Sessions == 0 {
+		t.Errorf("batch of %d same-family budgets created no pooled session: %+v", len(reqs), cs)
+	}
+	plain := sccl.NewEngine(sccl.EngineOptions{NoSessions: true, DisableCache: true})
+	for i, res := range results {
+		want, err := plain.Synthesize(context.Background(), reqs[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res == nil || res.Status != want.Status {
+			t.Fatalf("request %d: session-batched %+v, independent %v", i, res, want.Status)
+		}
+		if want.Status != sccl.Sat {
+			continue
+		}
+		a, err := sccl.EncodeAlgorithm(res.Algorithm)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := sccl.EncodeAlgorithm(want.Algorithm)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(a, b) {
+			t.Errorf("request %d: session-batched algorithm differs from independent solve", i)
+		}
+	}
+	// A second identical batch is served from the algorithm cache.
+	again, err := eng.SynthesizeAll(context.Background(), reqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, res := range again {
+		if !res.CacheHit {
+			t.Errorf("request %d not served from cache on the second batch", i)
+		}
+	}
+}
+
 // TestEngineLibraryRoundTrip persists one engine's cache and serves a
 // fresh engine from it without re-solving.
 func TestEngineLibraryRoundTrip(t *testing.T) {

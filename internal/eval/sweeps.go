@@ -70,11 +70,16 @@ type SweepRow struct {
 	// CoreSolves and PrunedProbes track unsat-core budget pruning: probes
 	// whose final conflict yielded a core, and candidates those cores let
 	// the scheduler answer without solving.
-	CoreSolves   int   `json:"coreSolves"`
-	PrunedProbes int   `json:"prunedProbes"`
-	EncodeWallNs int64 `json:"encodeWallNs"`
-	SolveWallNs  int64 `json:"solveWallNs"`
-	WallNs       int64 `json:"wallNs"`
+	CoreSolves   int `json:"coreSolves"`
+	PrunedProbes int `json:"prunedProbes"`
+	// TemplateHits and MigratedLearnts track the staged encoder: encodes
+	// that shared a Stage-0 routing template across families, and learnt
+	// clauses carried across session re-bases instead of dropped.
+	TemplateHits    int   `json:"templateHits"`
+	MigratedLearnts int64 `json:"migratedLearnts"`
+	EncodeWallNs    int64 `json:"encodeWallNs"`
+	SolveWallNs     int64 `json:"solveWallNs"`
+	WallNs          int64 `json:"wallNs"`
 }
 
 // RunSweep executes one spec with sessions on or off and renders its
@@ -99,19 +104,21 @@ func RunSweep(spec SweepSpec, backend synth.Backend, sessions bool, workers int,
 		Collective: spec.Kind.String(),
 		Backend:    backendName,
 		K:          spec.K, MaxSteps: spec.MaxSteps, MaxChunks: spec.MaxChunks,
-		Workers:        workers,
-		Sessions:       sessions,
-		Probes:         stats.Probes,
-		Pruned:         stats.Pruned,
-		Families:       stats.Families,
-		SessionProbes:  stats.SessionProbes,
-		SessionReuses:  stats.SessionReuses,
-		CarriedLearnts: stats.CarriedLearnts,
-		CoreSolves:     stats.CoreSolves,
-		PrunedProbes:   stats.PrunedProbes,
-		EncodeWallNs:   int64(stats.EncodeTime),
-		SolveWallNs:    int64(stats.SolveTime),
-		WallNs:         int64(stats.Wall),
+		Workers:         workers,
+		Sessions:        sessions,
+		Probes:          stats.Probes,
+		Pruned:          stats.Pruned,
+		Families:        stats.Families,
+		SessionProbes:   stats.SessionProbes,
+		SessionReuses:   stats.SessionReuses,
+		CarriedLearnts:  stats.CarriedLearnts,
+		CoreSolves:      stats.CoreSolves,
+		PrunedProbes:    stats.PrunedProbes,
+		TemplateHits:    stats.TemplateHits,
+		MigratedLearnts: stats.MigratedLearnts,
+		EncodeWallNs:    int64(stats.EncodeTime),
+		SolveWallNs:     int64(stats.SolveTime),
+		WallNs:          int64(stats.Wall),
 	}
 	for _, p := range pts {
 		row.Points = append(row.Points, SweepPoint{C: p.C, S: p.S, R: p.R})

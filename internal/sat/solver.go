@@ -146,6 +146,134 @@ func (s *Solver) LearntClauses() int {
 	return n
 }
 
+// LearntClauseLits returns copies of the live learnt clauses' literals,
+// in clause-database order. The synthesis sessions use it to migrate
+// lemmas into a rebuilt solver when a session re-bases (see AddLearnt
+// and Entailed).
+func (s *Solver) LearntClauseLits() [][]Lit {
+	out := make([][]Lit, 0, len(s.learnts))
+	for _, r := range s.learnts {
+		c := &s.clauses[r]
+		if c.deleted || len(c.lits) == 0 {
+			continue
+		}
+		out = append(out, append([]Lit(nil), c.lits...))
+	}
+	return out
+}
+
+// Entailed reports whether the clause is entailed by the current formula
+// under unit propagation: assuming the negation of every literal on a
+// scratch decision level must propagate to a conflict (a failed-literal
+// test, as in clause vivification). Sound but incomplete — a false
+// answer does not mean the clause is not a consequence, only that
+// propagation alone cannot show it. Must be called at decision level 0
+// (between Solve calls); the trial assignment is fully undone.
+func (s *Solver) Entailed(lits ...Lit) bool {
+	if !s.okay {
+		return true // an unsatisfiable formula entails everything
+	}
+	if s.decisionLevel() != 0 {
+		return false
+	}
+	for _, l := range lits {
+		if l.Var() < 1 || int(l.Var()) > s.numVars {
+			return false
+		}
+	}
+	if s.propagate() != nilClause {
+		s.okay = false
+		s.recordProof(nil)
+		return true
+	}
+	s.trailLo = append(s.trailLo, int32(len(s.trail)))
+	refuted := false
+	for _, l := range lits {
+		if !s.enqueue(l.Neg(), nilClause) {
+			// l is already forced true under the partial negation: the
+			// full negation is contradictory.
+			refuted = true
+			break
+		}
+	}
+	if !refuted {
+		refuted = s.propagate() != nilClause
+	}
+	s.backtrack(0)
+	return refuted
+}
+
+// AddLearnt adds a clause to the learnt-clause database, normalized at
+// the top level like AddClause. The caller must ensure the clause is
+// entailed by the current formula (see Entailed): the solver treats it
+// exactly like a lemma it derived itself, so an unsound import corrupts
+// answers. Imported clauses carry a pessimistic LBD so database
+// reduction can drop them again if they never help.
+//
+// imported reports that the clause actually reached the solver (entered
+// the clause database, or propagated as a unit) — clauses already
+// satisfied at the top level or tautological after normalization are
+// dropped with imported false. ok is false if the formula became
+// unsatisfiable at the top level.
+func (s *Solver) AddLearnt(lits ...Lit) (imported, ok bool) {
+	if !s.okay {
+		return false, false
+	}
+	for _, l := range lits {
+		if l.Var() < 1 || int(l.Var()) > s.numVars {
+			panic(ErrBadLiteral)
+		}
+	}
+	out := make([]Lit, 0, len(lits))
+	for _, l := range lits {
+		switch s.value(l) {
+		case lTrue:
+			return false, true // already satisfied at top level
+		case lFalse:
+			continue // drop falsified literal
+		}
+		dup := false
+		for _, o := range out {
+			if o == l {
+				dup = true
+				break
+			}
+			if o == l.Neg() {
+				return false, true // tautology
+			}
+		}
+		if !dup {
+			out = append(out, l)
+		}
+	}
+	switch len(out) {
+	case 0:
+		s.okay = false
+		s.recordProof(nil)
+		return false, false
+	case 1:
+		s.recordProof(out[:1])
+		if !s.enqueue(out[0], nilClause) {
+			s.okay = false
+			s.recordProof(nil)
+			return false, false
+		}
+		if s.propagate() != nilClause {
+			s.okay = false
+			s.recordProof(nil)
+			return true, false
+		}
+		return true, true
+	}
+	// Entailed-by-propagation clauses are RUP steps, so recording them in
+	// a live proof keeps it checkable.
+	s.recordProof(out)
+	ref := s.pushClause(out, true)
+	s.clauses[ref].lbd = int32(len(out))
+	s.attachClause(ref)
+	return true, true
+}
+
 // ErrBadLiteral is returned by AddClause when a literal references an
 // unallocated variable.
 var ErrBadLiteral = errors.New("sat: literal references unallocated variable")

@@ -1,6 +1,7 @@
 package synth
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/sat"
@@ -102,4 +103,72 @@ func (m assumpMarks) classify(core []sat.Lit, steps, rounds int) *BudgetCore {
 		}
 	}
 	return bc
+}
+
+// minimizeConflictBudget bounds each deletion probe of the core
+// minimization: a re-solve that cannot re-derive the conflict within
+// this many conflicts keeps the unminimized core rather than paying for
+// a hard search the probe already answered.
+const minimizeConflictBudget = 256
+
+// classifyCore maps the solver's failed-assumption core of an Unsat
+// session probe onto the budget groups, then applies deletion-based
+// minimization. The final-conflict analysis returns implication-graph
+// ancestors, not a minimal core, so a conflict that truly needs only
+// the post-arrival literals often drags the round bounds along — and a
+// mixed post+round core claims no dominance at all. Re-solving without
+// each budget group under a small conflict budget upgrades:
+//
+//   - mixed cores whose post literals alone stay Unsat to pure
+//     post-arrival cores — the much stronger steps dominance, pruning
+//     every cheaper step budget of the family;
+//   - mixed cores whose round bounds alone stay Unsat to pure round
+//     cores — rounds dominance at this step when the lower bound drops
+//     out too.
+//
+// Every upgrade is sound by construction: the deletion probe is a real
+// solve of the live session formula under the reduced assumption set,
+// so the refined core is itself a failed-assumption core.
+func (e *sessionEncoding) classifyCore(ctx context.Context, marks assumpMarks, steps, rounds int) *BudgetCore {
+	failed := e.ctx.Solver.FailedAssumptions()
+	bc := marks.classify(failed, steps, rounds)
+	if bc == nil || bc.Empty || !bc.PostArrival || (!bc.RoundLower && !bc.RoundUpper) {
+		// Unexplainable, base-level, or already pure: nothing to minimize.
+		return bc
+	}
+	core := append([]sat.Lit(nil), failed...)
+	// Deletion 1: drop the round bounds. If the post-arrival literals
+	// alone still refute the formula, the re-solve's own final conflict
+	// is a pure post core.
+	var postOnly []sat.Lit
+	for _, l := range core {
+		if marks.post[l] {
+			postOnly = append(postOnly, l)
+		}
+	}
+	if len(postOnly) < len(core) && e.refutes(ctx, postOnly) {
+		if min := marks.classify(e.ctx.Solver.FailedAssumptions(), steps, rounds); min != nil {
+			return min
+		}
+	}
+	// Deletion 2: drop the post literals. A surviving conflict is a pure
+	// bandwidth shortfall over the round bounds.
+	var roundOnly []sat.Lit
+	for _, l := range core {
+		if !marks.post[l] {
+			roundOnly = append(roundOnly, l)
+		}
+	}
+	if len(roundOnly) < len(core) && e.refutes(ctx, roundOnly) {
+		if min := marks.classify(e.ctx.Solver.FailedAssumptions(), steps, rounds); min != nil {
+			return min
+		}
+	}
+	return bc
+}
+
+// refutes re-solves the live session formula under a reduced assumption
+// set with a small conflict budget; only a definite Unsat counts.
+func (e *sessionEncoding) refutes(ctx context.Context, assumptions []sat.Lit) bool {
+	return e.ctx.Solver.SolveWithBudgetContext(ctx, minimizeConflictBudget, assumptions...) == sat.Unsat
 }

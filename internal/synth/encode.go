@@ -87,6 +87,14 @@ type Result struct {
 	// solved one-shot or the analysis produced no usable core). The Pareto
 	// scheduler uses it to skip dominated budgets without solving them.
 	Core *BudgetCore
+	// TemplateHits counts encodes within this result that reused a shared
+	// Stage-0 routing template (see Stage0Template) instead of deriving
+	// their own — session base builds and canonical witness re-solves.
+	TemplateHits int
+	// MigratedLearnts is the number of learnt clauses translated through
+	// the stage variable map into the rebuilt solver when this probe
+	// triggered a session re-base (0 otherwise).
+	MigratedLearnts int
 }
 
 // Validate checks instance coherence.
@@ -124,7 +132,12 @@ type encoded struct {
 	feasible bool
 }
 
-// encodePaper builds the paper's encoding (§3.4).
+// encodePaper builds the paper's encoding (§3.4) through the staged
+// emitter: Stage 0 (routing template) + Stage 1 (base constraints) +
+// Stage 2 flattened (C2 via post-arrival domains, C6 asserted). See
+// StagedEncoder for the stage walk and cdclStageSink for the lowering;
+// the emission is clause-for-clause the historical one-shot encoder
+// (pinned by TestStagedEncoderGoldens).
 //
 // Pruning beyond the paper's description (correctness-preserving):
 //   - time(c,n) lower bounds are BFS distances from the chunk's sources;
@@ -133,294 +146,29 @@ type encoded struct {
 //   - if a required (c,n) cannot be reached within S steps the instance is
 //     immediately unsatisfiable.
 func encodePaper(in Instance, opts Options) *encoded {
+	return encodePaperTemplate(in, opts, nil)
+}
+
+// encodePaperTemplate is encodePaper with an optional shared Stage-0
+// template (sessions pass their family's; nil derives a private one).
+func encodePaperTemplate(in Instance, opts Options, tmpl *Stage0Template) *encoded {
+	enc := NewStagedEncoder(EncodePlan{
+		Coll:            in.Coll,
+		Topo:            in.Topo,
+		Window:          in.Steps,
+		RoundHi:         in.Round - in.Steps + 1,
+		Budget:          &BudgetSpec{Steps: in.Steps, Rounds: in.Round},
+		NoSymmetryBreak: opts.NoSymmetryBreak,
+		Template:        tmpl,
+	})
 	ctx := smt.NewContext()
-	e := &encoded{ctx: ctx, feasible: true, edges: in.Topo.Edges()}
+	e := &encoded{ctx: ctx, edges: enc.Template.Edges}
 	if opts.ProveUnsat {
 		e.proof = ctx.Solver.StartProof()
 	}
-	coll, topo := in.Coll, in.Topo
-	S := in.Steps
-	G, P := coll.G, coll.P
-
-	// BFS distance from any pre node of chunk c to every node.
-	dist := make([][]int, G)
-	for c := 0; c < G; c++ {
-		dist[c] = multiSourceDistances(topo, coll.Pre.Nodes(c))
-	}
-
-	// Integer time variables (C1, C2 via domains).
-	e.times = make([][]*smt.IntVar, G)
-	for c := 0; c < G; c++ {
-		e.times[c] = make([]*smt.IntVar, P)
-		for n := 0; n < P; n++ {
-			name := fmt.Sprintf("time_c%d_n%d", c, n)
-			switch {
-			case coll.Pre[c][n]:
-				e.times[c][n] = ctx.NewIntVar(name, 0, 0)
-			case coll.Post[c][n]:
-				d := dist[c][n]
-				if d < 0 || d > S {
-					e.feasible = false
-					return e
-				}
-				e.times[c][n] = ctx.NewIntVar(name, d, S)
-			default:
-				d := dist[c][n]
-				if d < 0 || d > S {
-					// Unreachable and not required: chunk never there.
-					e.times[c][n] = nil
-					continue
-				}
-				// Hi = S+1 encodes "never arrives".
-				e.times[c][n] = ctx.NewIntVar(name, d, S+1)
-			}
-		}
-	}
-
-	// Chunk-symmetry breaking: chunks with identical pre and post rows are
-	// interchangeable; order their arrival times at the group's witness
-	// node (the first non-pre post node).
-	if !opts.NoSymmetryBreak {
-		groups := symmetricChunkGroups(coll)
-		for _, group := range groups {
-			w := witnessNode(coll, group[0])
-			if w < 0 {
-				continue
-			}
-			for i := 0; i+1 < len(group); i++ {
-				a, b := e.times[group[i]][w], e.times[group[i+1]][w]
-				if a == nil || b == nil {
-					continue
-				}
-				// a <= b: for every threshold t, a>=t -> b>=t.
-				for t := b.Lo + 1; t <= a.Hi; t++ {
-					la, okA := a.GeLit(t)
-					if !okA {
-						if !a.TriviallyGe(t) {
-							continue
-						}
-						// a always >= t: force b >= t.
-						ctx.AssertGe(b, t)
-						continue
-					}
-					if lb, okB := b.GeLit(t); okB {
-						ctx.AddClause(la.Neg(), lb)
-					} else if !b.TriviallyGe(t) {
-						ctx.AddClause(la.Neg())
-					}
-				}
-			}
-		}
-	}
-
-	// Send Booleans, pruned. A send n->n' of chunk c is only possible when
-	// n can hold the chunk strictly before step S (dist <= S-1) and n' can
-	// accept it (variable exists and is not a pre holder).
-	e.snds = make([][]sat.Lit, G)
-	for c := 0; c < G; c++ {
-		e.snds[c] = make([]sat.Lit, len(e.edges))
-		for ei, l := range e.edges {
-			src, dst := int(l.Src), int(l.Dst)
-			if e.times[c][src] == nil || e.times[c][dst] == nil {
-				continue
-			}
-			if coll.Pre[c][dst] {
-				continue // never send a chunk to a node that starts with it
-			}
-			if dist[c][src] > S-1 {
-				continue // source can never usefully hold the chunk
-			}
-			e.snds[c][ei] = ctx.BoolVar()
-		}
-	}
-
-	// Minimal-solution constraints. Any valid algorithm can be stripped of
-	// wasteful sends without violating C1–C6 (bandwidth only decreases),
-	// so restricting the search to minimal solutions preserves SAT/UNSAT:
-	//
-	//  (m1) a chunk received at a non-post node must be forwarded at least
-	//       once (otherwise the receive was wasteful);
-	//  (m2) a chunk with a single post node travels a simple path, so each
-	//       node sends it at most once;
-	//  (m3) in a minimal solution every holder of a chunk has a post node
-	//       downstream, so time(c,n) <= S - dist(n, post(c)); nodes that
-	//       cannot reach any post node never usefully receive the chunk.
-	distToPost := make([][]int, G)
-	for c := 0; c < G; c++ {
-		distToPost[c] = distancesToSet(topo, coll.Post, c)
-	}
-	for c := 0; c < G; c++ {
-		singlePost := len(coll.Post.Nodes(c)) == 1
-		for n := 0; n < P; n++ {
-			tv := e.times[c][n]
-			if tv == nil || coll.Post[c][n] {
-				continue
-			}
-			var outgoing []sat.Lit
-			for ei, l := range e.edges {
-				if int(l.Src) == n && e.snds[c][ei] != 0 {
-					outgoing = append(outgoing, e.snds[c][ei])
-				}
-			}
-			d := distToPost[c][n]
-			if d < 0 || len(outgoing) == 0 {
-				// (m3) dead end: never usefully holds the chunk.
-				if coll.Pre[c][n] {
-					continue // pre holders may simply keep their copy
-				}
-				ctx.AssertEq(tv, S+1)
-				continue
-			}
-			// (m3) arrival leaves enough steps to reach a post node.
-			if ub := S - d; ub < tv.Hi && !coll.Pre[c][n] {
-				if leS, ok := tv.LeLit(S); ok {
-					if leUB, ok2 := tv.LeLit(ub); ok2 {
-						ctx.AddClause(leS.Neg(), leUB)
-					} else if !tv.TriviallyLe(ub) {
-						ctx.AddClause(leS.Neg()) // can only be "never"
-					}
-				}
-			}
-			// (m1) received => forwards at least once.
-			if !coll.Pre[c][n] {
-				if leS, ok := tv.LeLit(S); ok {
-					cl := append([]sat.Lit{leS.Neg()}, outgoing...)
-					ctx.AddClause(cl...)
-				} else if tv.TriviallyLe(S) {
-					ctx.AddClause(outgoing...)
-				}
-			}
-			// (m2) single-destination chunks form paths.
-			if singlePost {
-				atMostOne(ctx, outgoing)
-			}
-		}
-		// (m2) also applies to the chunk's source(s).
-		if singlePost {
-			for n := 0; n < P; n++ {
-				if !coll.Pre[c][n] || coll.Post[c][n] {
-					continue
-				}
-				var outgoing []sat.Lit
-				for ei, l := range e.edges {
-					if int(l.Src) == n && e.snds[c][ei] != 0 {
-						outgoing = append(outgoing, e.snds[c][ei])
-					}
-				}
-				atMostOne(ctx, outgoing)
-			}
-		}
-	}
-
-	// Round variables and C6.
-	e.rs = make([]*smt.IntVar, S)
-	maxRounds := in.Round - S + 1
-	for s := 0; s < S; s++ {
-		e.rs[s] = ctx.NewIntVar(fmt.Sprintf("r_%d", s), 1, maxRounds)
-	}
-	ctx.AssertSumEquals(e.rs, in.Round)
-
-	// C3: exactly-one receive for arriving non-pre chunks; C4: causality;
-	// and the snd -> arrival-within-budget tie.
-	for c := 0; c < G; c++ {
-		for n := 0; n < P; n++ {
-			tv := e.times[c][n]
-			if tv == nil || coll.Pre[c][n] {
-				continue
-			}
-			var incoming []sat.Lit
-			for ei, l := range e.edges {
-				if int(l.Dst) == n && e.snds[c][ei] != 0 {
-					incoming = append(incoming, e.snds[c][ei])
-				}
-			}
-			if len(incoming) == 0 {
-				// No way to receive: if required, UNSAT; else pin "never".
-				if coll.Post[c][n] {
-					e.feasible = false
-					return e
-				}
-				ctx.AssertEq(tv, S+1)
-				continue
-			}
-			// At most one receive always (paper's optimality refinement).
-			atMostOne(ctx, incoming)
-			// time <= S -> at least one incoming send.
-			if leLit, ok := tv.LeLit(S); ok {
-				cl := append([]sat.Lit{leLit.Neg()}, incoming...)
-				ctx.AddClause(cl...)
-			} else if tv.TriviallyLe(S) {
-				ctx.AddClause(incoming...)
-			}
-		}
-	}
-	for c := 0; c < G; c++ {
-		for ei, l := range e.edges {
-			snd := e.snds[c][ei]
-			if snd == 0 {
-				continue
-			}
-			src, dst := e.times[c][int(l.Src)], e.times[c][int(l.Dst)]
-			// C4: snd -> time(src) < time(dst).
-			ctx.ImplyLess(snd, src, dst)
-			// Arrival must happen within the algorithm: snd -> time(dst) <= S.
-			ctx.ImplyLe(snd, dst, S)
-		}
-	}
-
-	// C5: per-step, per-relation bandwidth. The arrival literal for
-	// (c, link, s) is snd(c,link) ∧ time(c,dst) == s.
-	arrival := func(c, ei, s int) (sat.Lit, bool) {
-		snd := e.snds[c][ei]
-		if snd == 0 {
-			return 0, false
-		}
-		dst := e.times[c][int(e.edges[ei].Dst)]
-		conj, possible := dst.EqClauses(s)
-		if !possible {
-			return 0, false
-		}
-		lits := append([]sat.Lit{snd}, conj...)
-		return ctx.AndLit(lits...), true
-	}
-	// Cache arrival lits per (c, ei, s) as they may appear in multiple
-	// relations.
-	type key struct{ c, ei, s int }
-	cache := map[key]sat.Lit{}
-	edgeIndex := map[topology.Link]int{}
-	for ei, l := range e.edges {
-		edgeIndex[l] = ei
-	}
-	for s := 1; s <= S; s++ {
-		for _, rel := range topo.Relations {
-			var lits []sat.Lit
-			for _, l := range rel.Links {
-				ei, ok := edgeIndex[l]
-				if !ok {
-					continue
-				}
-				for c := 0; c < G; c++ {
-					k := key{c, ei, s}
-					al, cached := cache[k]
-					if !cached {
-						var okA bool
-						al, okA = arrival(c, ei, s)
-						if !okA {
-							cache[k] = 0
-							continue
-						}
-						cache[k] = al
-					}
-					if al != 0 {
-						lits = append(lits, al)
-					}
-				}
-			}
-			if len(lits) > 0 {
-				ctx.CountLeScaled(lits, rel.Bandwidth, e.rs[s-1])
-			}
-		}
-	}
+	sink := newCDCLStageSink(enc, ctx)
+	e.feasible = enc.Emit(sink)
+	e.times, e.snds, e.rs = sink.times, sink.snds, sink.rs
 	return e
 }
 
@@ -589,6 +337,14 @@ func SynthesizeContext(ctx context.Context, in Instance, opts Options) (Result, 
 // synthesizeCDCL is the built-in pipeline: encode (paper or direct
 // encoding) into the internal CDCL solver and extract the model.
 func synthesizeCDCL(ctx context.Context, in Instance, opts Options) (Result, error) {
+	return synthesizeCDCLTemplate(ctx, in, opts, nil, false)
+}
+
+// synthesizeCDCLTemplate is synthesizeCDCL with an optional shared
+// Stage-0 template; templateHit marks a template that was served from a
+// cache (reported through Result.TemplateHits) rather than derived for
+// this call.
+func synthesizeCDCLTemplate(ctx context.Context, in Instance, opts Options, tmpl *Stage0Template, templateHit bool) (Result, error) {
 	var res Result
 	if err := in.Validate(); err != nil {
 		return res, err
@@ -597,8 +353,11 @@ func synthesizeCDCL(ctx context.Context, in Instance, opts Options) (Result, err
 		return synthesizeDirect(ctx, in, opts)
 	}
 	t0 := time.Now()
-	e := encodePaper(in, opts)
+	e := encodePaperTemplate(in, opts, tmpl)
 	res.Encode = time.Since(t0)
+	if tmpl != nil && templateHit {
+		res.TemplateHits = 1
+	}
 	if !e.feasible {
 		res.Status = sat.Unsat
 		return res, nil

@@ -93,6 +93,14 @@ type ParetoStats struct {
 	// Unsat results because an earlier probe's core dominated their
 	// budget — probes the sweep never paid a solver call for.
 	PrunedProbes int
+	// TemplateHits counts encodes that shared a Stage-0 routing template
+	// (per (topology, step horizon), across the sweep's families) instead
+	// of re-deriving identical substructure (see Stage0Template).
+	TemplateHits int
+	// MigratedLearnts sums the learnt clauses translated through the
+	// stage variable map into rebuilt session solvers when probes stepped
+	// past their encoded window — lemmas a re-base used to drop.
+	MigratedLearnts int64
 }
 
 // Speedup returns the aggregate parallel speedup: summed probe time over
@@ -599,6 +607,8 @@ func (w *paretoSweep) account(out *probeOutcome) {
 	w.stats.ProbeTime += out.dur
 	w.stats.EncodeTime += out.res.Encode
 	w.stats.SolveTime += out.res.Solve
+	w.stats.TemplateHits += out.res.TemplateHits
+	w.stats.MigratedLearnts += int64(out.res.MigratedLearnts)
 	if out.res.SessionProbe {
 		w.stats.SessionProbes++
 		if out.res.SessionWarm {

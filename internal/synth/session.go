@@ -112,6 +112,13 @@ const stepSlack = 1
 // session only invests once the family's probe stream proves hot.
 const sessionAdoptProbes = 2
 
+// BatchSessionMinBudgets is the smallest number of distinct budgets for
+// which routing a batch through a Prime'd session beats one-shot
+// solving: at least one probe must land past the lazy-adoption warmup,
+// otherwise the session never goes incremental and only occupies pool
+// capacity.
+const BatchSessionMinBudgets = sessionAdoptProbes + 1
+
 // sessionHorizon picks the encoding step horizon for a probe at steps.
 func sessionHorizon(f Family, steps int) int {
 	h := steps + stepSlack
@@ -138,6 +145,40 @@ type cdclSession struct {
 	oneShot bool
 	enc     *sessionEncoding
 	probes  int
+	// templates, when set (by the owning SessionPool), shares Stage-0
+	// routing templates across every family of the pool — same-(topo, S)
+	// families stop re-deriving identical substructure.
+	templates *TemplateCache
+}
+
+// setTemplateCache hands the session a shared Stage-0 template cache;
+// called by the pool before the session is published.
+func (s *cdclSession) setTemplateCache(tc *TemplateCache) {
+	s.mu.Lock()
+	s.templates = tc
+	s.mu.Unlock()
+}
+
+// sharedTemplate resolves the Stage-0 template for a probe from the
+// pool's shared cache; hit reports that it was already derived by an
+// earlier encode (this session's or another family's).
+func (s *cdclSession) sharedTemplate() (tmpl *Stage0Template, hit bool) {
+	s.mu.Lock()
+	tc := s.templates
+	s.mu.Unlock()
+	if tc == nil {
+		return nil, false
+	}
+	return tc.Get(s.fam.Topo)
+}
+
+// oneShotSolve discharges a probe through the plain one-shot pipeline,
+// sharing the Stage-0 template when a pool cache is attached — lazy
+// adoption and canonical witness re-solves stop paying the routing
+// derivation for every probe.
+func (s *cdclSession) oneShotSolve(ctx context.Context, in Instance, opts Options) (Result, error) {
+	tmpl, hit := s.sharedTemplate()
+	return synthesizeCDCLTemplate(ctx, in, opts, tmpl, hit)
 }
 
 func (s *cdclSession) Family() Family { return s.fam }
@@ -153,6 +194,19 @@ func (s *cdclSession) Close() error {
 // instance materializes the concrete SynColl instance of one probe.
 func (s *cdclSession) instance(steps, rounds int) Instance {
 	return Instance{Coll: s.fam.Coll, Topo: s.fam.Topo, Steps: steps, Round: rounds}
+}
+
+// Prime announces how many probes the caller is about to issue. Lazy
+// adoption exists because sweeps probe most families only once or twice;
+// a batch that knows it will probe more than sessionAdoptProbes budgets
+// skips the one-shot warmup and builds the incremental base on its first
+// probe. Idempotent; never un-adopts.
+func (s *cdclSession) Prime(expected int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if expected > sessionAdoptProbes && s.probes < sessionAdoptProbes {
+		s.probes = sessionAdoptProbes
+	}
 }
 
 // probe modes returned by the locked portion of a session solve.
@@ -172,7 +226,7 @@ func (s *cdclSession) Solve(ctx context.Context, steps, rounds int, opts Options
 	case probeModeDone:
 		return res, nil
 	case probeModeOneShot:
-		return synthesizeCDCL(ctx, in, opts)
+		return s.oneShotSolve(ctx, in, opts)
 	}
 	// Canonical witness: the session's own model depends on the solving
 	// history (carried learnt clauses steer the search), so a Sat budget
@@ -181,12 +235,13 @@ func (s *cdclSession) Solve(ctx context.Context, steps, rounds int, opts Options
 	// the Unsat chain the sweep walks before each frontier point. This
 	// solve builds its own solver and runs outside the family lock, so
 	// concurrent same-family probes are not serialized behind it.
-	canon, err := synthesizeCDCL(ctx, in, opts)
+	canon, err := s.oneShotSolve(ctx, in, opts)
 	if err != nil {
 		return res, err
 	}
 	res.Encode += canon.Encode
 	res.Solve += canon.Solve
+	res.TemplateHits += canon.TemplateHits
 	switch canon.Status {
 	case sat.Sat:
 		res.Algorithm = canon.Algorithm
@@ -213,7 +268,7 @@ func (s *cdclSession) SolveStatus(ctx context.Context, steps, rounds int, opts O
 	}
 	res, mode := s.probeLocked(ctx, steps, rounds, opts)
 	if mode == probeModeOneShot {
-		return synthesizeCDCL(ctx, in, opts)
+		return s.oneShotSolve(ctx, in, opts)
 	}
 	return res, nil
 }
@@ -243,9 +298,25 @@ func (s *cdclSession) probeLocked(ctx context.Context, steps, rounds int, opts O
 	if !res.SessionWarm {
 		// First incremental probe of the family, or the sweep moved past
 		// the encoded step window: (re-)emit the base formula at a fresh
-		// horizon. A re-base drops the learnt clauses of the old window;
-		// stepSlack bounds how often that happens.
-		s.enc = encodeSessionBase(s.fam, s.opts, sessionHorizon(s.fam, steps))
+		// horizon, sharing the Stage-0 routing template with every other
+		// family of the pool at the same (topo, S).
+		h := sessionHorizon(s.fam, steps)
+		var tmpl *Stage0Template
+		if s.templates != nil {
+			var hit bool
+			tmpl, hit = s.templates.Get(s.fam.Topo)
+			if hit {
+				res.TemplateHits++
+			}
+		}
+		old := s.enc
+		s.enc = encodeSessionBase(s.fam, s.opts, h, tmpl)
+		if old != nil && !old.infeasible && !s.enc.infeasible {
+			// A re-base used to drop the old window's learnt clauses;
+			// translate the ones that survive the stage variable map (and
+			// the entailment vetting) into the rebuilt solver instead.
+			res.MigratedLearnts = migrateLearnts(old, s.enc)
+		}
 	}
 	res.CarriedLearnts = s.enc.ctx.Solver.LearntClauses()
 	if s.enc.infeasible {
@@ -277,9 +348,15 @@ func (s *cdclSession) probeLocked(ctx context.Context, steps, rounds int, opts O
 	res.Stats = s.enc.ctx.Solver.Stats()
 	if res.Status != sat.Sat {
 		if res.Status == sat.Unsat {
-			// Final-conflict analysis: map the failed assumptions back to
-			// their budget groups so the sweep can skip dominated budgets.
-			res.Core = marks.classify(s.enc.ctx.Solver.FailedAssumptions(), steps, rounds)
+			// Final-conflict analysis plus deletion-based minimization: map
+			// the failed assumptions back to their budget groups, upgrading
+			// mixed post+round cores to pure ones where a budgeted re-solve
+			// shows one group suffices (see classifyCore). The deletion
+			// probes are solver work, so their wall time counts as solve
+			// time — the benchguard gates must see minimization cost.
+			t2 := time.Now()
+			res.Core = s.enc.classifyCore(ctx, marks, steps, rounds)
+			res.Solve += time.Since(t2)
 		}
 		return res, probeModeDone
 	}
@@ -302,6 +379,7 @@ type sessionEncoding struct {
 	spec    *collective.Spec
 	horizon int
 	times   [][]*smt.IntVar
+	snds    [][]sat.Lit
 	rs      []*smt.IntVar
 	// prefix[s] is a unary register counting sum(r_1..r_s) - s, grown one
 	// step at a time via totalizer merges as probes demand it.
@@ -311,272 +389,146 @@ type sessionEncoding struct {
 	infeasible bool
 }
 
-// encodeSessionBase emits the family's budget-independent constraints.
-// It deliberately mirrors encodePaper (the one-shot encoder) constraint
-// for constraint; the differences are confined to what the layering
-// needs — wider time/round domains, assumed rather than asserted C2/C6 —
-// and are documented inline. Changes to either encoder must be mirrored
-// in the other; TestSessionStatusMatchesOneShot holds them together.
-func encodeSessionBase(fam Family, opts Options, horizon int) *sessionEncoding {
+// encodeSessionBase emits the family's budget-independent constraints
+// through the staged emitter in window mode: Stage 0 (shared routing
+// template) + Stage 1 at the horizon, with Stage 2 (C2/C6) left to
+// assume(). It is the same walker and CDCL sink as the one-shot
+// encodePaper — the historical hand-mirrored fork is gone — differing
+// only in the EncodePlan: wider time/round domains and no flattened
+// budget. The minimality refinements at the horizon are weaker than the
+// one-shot encoder's S-specific forms but remain
+// satisfiability-preserving for every probed S: a minimal S-budget
+// algorithm maps into the base by sending nothing after S and placing
+// never-arriving chunks at horizon+1.
+func encodeSessionBase(fam Family, opts Options, horizon int, tmpl *Stage0Template) *sessionEncoding {
+	enc := NewStagedEncoder(EncodePlan{
+		Coll:            fam.Coll,
+		Topo:            fam.Topo,
+		Window:          horizon,
+		RoundHi:         fam.MaxExtraRounds + 1,
+		NoSymmetryBreak: opts.NoSymmetryBreak,
+		Template:        tmpl,
+	})
 	ctx := smt.NewContext()
-	e := &sessionEncoding{ctx: ctx, spec: fam.Coll, horizon: horizon}
-	coll, topo := fam.Coll, fam.Topo
-	H := horizon
-	G, P := coll.G, coll.P
-	edges := topo.Edges()
+	sink := newCDCLStageSink(enc, ctx)
+	ok := enc.Emit(sink)
+	return &sessionEncoding{
+		ctx:        ctx,
+		spec:       fam.Coll,
+		horizon:    horizon,
+		times:      sink.times,
+		snds:       sink.snds,
+		rs:         sink.rs,
+		infeasible: !ok,
+	}
+}
 
-	dist := make([][]int, G)
-	for c := 0; c < G; c++ {
-		dist[c] = multiSourceDistances(topo, coll.Pre.Nodes(c))
-	}
+// Learnt-clause migration across re-bases. A session probing past its
+// step window rebuilds the solver at a wider horizon; the clauses the
+// old solver learned used to be dropped wholesale. Stage-0/1 variables
+// carry over between the bases with identical meaning — time order
+// literals by (chunk, node, threshold), send Booleans by (chunk, edge),
+// round order literals by (step, threshold) — so a learnt clause over
+// only those variables can be translated literal for literal.
+//
+// Translation alone is not sufficient for soundness: the old base also
+// contains window-bound constraints (arrival within the old horizon,
+// the m1/m3 refinements at the old horizon, "never arrives" pinned at
+// oldH+1) that are *not* implied by the wider base, and learnt clauses
+// may silently depend on them (conflict analysis drops level-0 context).
+// Each candidate is therefore vetted by a failed-literal entailment
+// check against the new base (sat.Solver.Entailed) and imported only
+// when the new formula already entails it under unit propagation — the
+// import then never changes satisfiability, it only materializes lemmas
+// the new solver would otherwise have to re-derive.
+const (
+	// migrateLearntMax bounds how many learnt clauses one re-base tries
+	// to carry over; each attempt costs a unit-propagation pass.
+	migrateLearntMax = 1024
+	// migrateLearntWidth skips long clauses: wide lemmas are weak and
+	// rarely survive the entailment vetting.
+	migrateLearntWidth = 32
+)
 
-	// Time variables. Unlike the one-shot encoder, post placements keep
-	// the full [dist, H+1] domain: arrival within the probed S is an
-	// assumption, not a domain bound.
-	e.times = make([][]*smt.IntVar, G)
-	for c := 0; c < G; c++ {
-		e.times[c] = make([]*smt.IntVar, P)
-		for n := 0; n < P; n++ {
-			name := fmt.Sprintf("time_c%d_n%d", c, n)
-			d := dist[c][n]
-			switch {
-			case coll.Pre[c][n]:
-				e.times[c][n] = ctx.NewIntVar(name, 0, 0)
-			case d < 0 || d > H:
-				if coll.Post[c][n] {
-					// Required but unreachable within the horizon: every
-					// budget in the window is unsatisfiable.
-					e.infeasible = true
-					return e
-				}
-				e.times[c][n] = nil
-			default:
-				e.times[c][n] = ctx.NewIntVar(name, d, H+1)
+// stageVarMap builds the old-to-new literal translation over the
+// carried Stage-0/1 variables. Auxiliary variables (AndLit
+// reifications, totalizer internals, Stage-2 prefix registers) are
+// deliberately absent: clauses mentioning them are dropped.
+func stageVarMap(old, fresh *sessionEncoding) map[sat.Var]sat.Lit {
+	m := map[sat.Var]sat.Lit{}
+	addInt := func(ov, nv *smt.IntVar) {
+		if ov == nil || nv == nil {
+			return
+		}
+		for i, ol := range ov.GeLits() {
+			t := ov.Lo + 1 + i
+			if nl, ok := nv.GeLit(t); ok {
+				m[ol.Var()] = nl
 			}
 		}
 	}
+	for c := range old.times {
+		for n := range old.times[c] {
+			addInt(old.times[c][n], fresh.times[c][n])
+		}
+	}
+	for c := range old.snds {
+		for ei, ol := range old.snds[c] {
+			if ol != 0 && fresh.snds[c][ei] != 0 {
+				m[ol.Var()] = fresh.snds[c][ei]
+			}
+		}
+	}
+	for s := range old.rs {
+		if s < len(fresh.rs) {
+			addInt(old.rs[s], fresh.rs[s])
+		}
+	}
+	return m
+}
 
-	// Chunk-symmetry breaking, identical to the one-shot encoder.
-	if !opts.NoSymmetryBreak {
-		for _, group := range symmetricChunkGroups(coll) {
-			w := witnessNode(coll, group[0])
-			if w < 0 {
-				continue
+// migrateLearnts translates the old base's learnt clauses into the
+// rebuilt solver, returning how many were imported.
+func migrateLearnts(old, fresh *sessionEncoding) int {
+	vm := stageVarMap(old, fresh)
+	migrated, tried := 0, 0
+	buf := make([]sat.Lit, 0, migrateLearntWidth)
+	for _, cl := range old.ctx.Solver.LearntClauseLits() {
+		if len(cl) > migrateLearntWidth {
+			continue
+		}
+		if tried >= migrateLearntMax {
+			break
+		}
+		buf = buf[:0]
+		mapped := true
+		for _, l := range cl {
+			nl, ok := vm[l.Var()]
+			if !ok {
+				mapped = false
+				break
 			}
-			for i := 0; i+1 < len(group); i++ {
-				a, b := e.times[group[i]][w], e.times[group[i+1]][w]
-				if a == nil || b == nil {
-					continue
-				}
-				for t := b.Lo + 1; t <= a.Hi; t++ {
-					la, okA := a.GeLit(t)
-					if !okA {
-						if !a.TriviallyGe(t) {
-							continue
-						}
-						ctx.AssertGe(b, t)
-						continue
-					}
-					if lb, okB := b.GeLit(t); okB {
-						ctx.AddClause(la.Neg(), lb)
-					} else if !b.TriviallyGe(t) {
-						ctx.AddClause(la.Neg())
-					}
-				}
+			if l.Sign() {
+				nl = nl.Neg()
 			}
+			buf = append(buf, nl)
+		}
+		if !mapped {
+			continue
+		}
+		tried++
+		if !fresh.ctx.Solver.Entailed(buf...) {
+			continue
+		}
+		imported, ok := fresh.ctx.Solver.AddLearnt(buf...)
+		if imported {
+			migrated++
+		}
+		if !ok {
+			break
 		}
 	}
-
-	// Send Booleans, pruned against the horizon.
-	snds := make([][]sat.Lit, G)
-	for c := 0; c < G; c++ {
-		snds[c] = make([]sat.Lit, len(edges))
-		for ei, l := range edges {
-			src, dst := int(l.Src), int(l.Dst)
-			if e.times[c][src] == nil || e.times[c][dst] == nil {
-				continue
-			}
-			if coll.Pre[c][dst] {
-				continue
-			}
-			if dist[c][src] > H-1 {
-				continue
-			}
-			snds[c][ei] = ctx.BoolVar()
-		}
-	}
-
-	// Minimal-solution constraints (m1)-(m3), at the horizon. They are
-	// weaker than the one-shot encoder's S-specific forms but remain
-	// satisfiability-preserving for every probed S: a minimal S-budget
-	// algorithm maps into the base by sending nothing after S and placing
-	// never-arriving chunks at H+1.
-	distToPost := make([][]int, G)
-	for c := 0; c < G; c++ {
-		distToPost[c] = distancesToSet(topo, coll.Post, c)
-	}
-	for c := 0; c < G; c++ {
-		singlePost := len(coll.Post.Nodes(c)) == 1
-		for n := 0; n < P; n++ {
-			tv := e.times[c][n]
-			if tv == nil || coll.Post[c][n] {
-				continue
-			}
-			var outgoing []sat.Lit
-			for ei, l := range edges {
-				if int(l.Src) == n && snds[c][ei] != 0 {
-					outgoing = append(outgoing, snds[c][ei])
-				}
-			}
-			d := distToPost[c][n]
-			if d < 0 || len(outgoing) == 0 {
-				if coll.Pre[c][n] {
-					continue
-				}
-				ctx.AssertEq(tv, H+1)
-				continue
-			}
-			if ub := H - d; ub < tv.Hi && !coll.Pre[c][n] {
-				if leS, ok := tv.LeLit(H); ok {
-					if leUB, ok2 := tv.LeLit(ub); ok2 {
-						ctx.AddClause(leS.Neg(), leUB)
-					} else if !tv.TriviallyLe(ub) {
-						ctx.AddClause(leS.Neg())
-					}
-				}
-			}
-			if !coll.Pre[c][n] {
-				if leS, ok := tv.LeLit(H); ok {
-					cl := append([]sat.Lit{leS.Neg()}, outgoing...)
-					ctx.AddClause(cl...)
-				} else if tv.TriviallyLe(H) {
-					ctx.AddClause(outgoing...)
-				}
-			}
-			if singlePost {
-				atMostOne(ctx, outgoing)
-			}
-		}
-		if singlePost {
-			for n := 0; n < P; n++ {
-				if !coll.Pre[c][n] || coll.Post[c][n] {
-					continue
-				}
-				var outgoing []sat.Lit
-				for ei, l := range edges {
-					if int(l.Src) == n && snds[c][ei] != 0 {
-						outgoing = append(outgoing, snds[c][ei])
-					}
-				}
-				atMostOne(ctx, outgoing)
-			}
-		}
-	}
-
-	// Round variables for every step in the horizon, with the widest
-	// domain any probe in the family's k-synchronous class can need
-	// (r_s <= R-S+1 <= K+1 is implied by the assumed round total). C6
-	// itself is per-probe; see assume.
-	e.rs = make([]*smt.IntVar, H)
-	for s := 0; s < H; s++ {
-		e.rs[s] = ctx.NewIntVar(fmt.Sprintf("r_%d", s), 1, fam.MaxExtraRounds+1)
-	}
-
-	// C3 and C4 at the horizon.
-	for c := 0; c < G; c++ {
-		for n := 0; n < P; n++ {
-			tv := e.times[c][n]
-			if tv == nil || coll.Pre[c][n] {
-				continue
-			}
-			var incoming []sat.Lit
-			for ei, l := range edges {
-				if int(l.Dst) == n && snds[c][ei] != 0 {
-					incoming = append(incoming, snds[c][ei])
-				}
-			}
-			if len(incoming) == 0 {
-				if coll.Post[c][n] {
-					e.infeasible = true
-					return e
-				}
-				ctx.AssertEq(tv, H+1)
-				continue
-			}
-			atMostOne(ctx, incoming)
-			if leLit, ok := tv.LeLit(H); ok {
-				cl := append([]sat.Lit{leLit.Neg()}, incoming...)
-				ctx.AddClause(cl...)
-			} else if tv.TriviallyLe(H) {
-				ctx.AddClause(incoming...)
-			}
-		}
-	}
-	for c := 0; c < G; c++ {
-		for ei, l := range edges {
-			snd := snds[c][ei]
-			if snd == 0 {
-				continue
-			}
-			src, dst := e.times[c][int(l.Src)], e.times[c][int(l.Dst)]
-			ctx.ImplyLess(snd, src, dst)
-			ctx.ImplyLe(snd, dst, H)
-		}
-	}
-
-	// C5 for every step in the horizon. Arrivals after a probe's S only
-	// constrain sends the probe ignores, so the per-step constraints are
-	// budget-independent.
-	arrival := func(c, ei, s int) (sat.Lit, bool) {
-		snd := snds[c][ei]
-		if snd == 0 {
-			return 0, false
-		}
-		dst := e.times[c][int(edges[ei].Dst)]
-		conj, possible := dst.EqClauses(s)
-		if !possible {
-			return 0, false
-		}
-		lits := append([]sat.Lit{snd}, conj...)
-		return ctx.AndLit(lits...), true
-	}
-	type key struct{ c, ei, s int }
-	cache := map[key]sat.Lit{}
-	edgeIndex := map[topology.Link]int{}
-	for ei, l := range edges {
-		edgeIndex[l] = ei
-	}
-	for s := 1; s <= H; s++ {
-		for _, rel := range topo.Relations {
-			var lits []sat.Lit
-			for _, l := range rel.Links {
-				ei, ok := edgeIndex[l]
-				if !ok {
-					continue
-				}
-				for c := 0; c < G; c++ {
-					k := key{c, ei, s}
-					al, cached := cache[k]
-					if !cached {
-						var okA bool
-						al, okA = arrival(c, ei, s)
-						if !okA {
-							cache[k] = 0
-							continue
-						}
-						cache[k] = al
-					}
-					if al != 0 {
-						lits = append(lits, al)
-					}
-				}
-			}
-			if len(lits) > 0 {
-				ctx.CountLeScaled(lits, rel.Bandwidth, e.rs[s-1])
-			}
-		}
-	}
-	return e
+	return migrated
 }
 
 // assume builds the assumption literals encoding the (S, R) budget over
@@ -674,6 +626,10 @@ func (e *sessionEncoding) prefixRegister(steps int) *pb.Totalizer {
 type SessionPool struct {
 	backend SessionBackend
 	cap     int
+	// templates shares Stage-0 routing templates across every session of
+	// the pool: families with the same (topology, step horizon) reuse one
+	// derivation instead of each re-deriving identical substructure.
+	templates *TemplateCache
 
 	mu       sync.Mutex
 	closed   bool
@@ -681,6 +637,13 @@ type SessionPool struct {
 	order    []string // LRU order, oldest first
 	hits     uint64
 	misses   uint64
+}
+
+// templateCached is implemented by sessions that can share a pool-level
+// Stage-0 template cache (the CDCL session does; the SMT-LIB session has
+// no CDCL encode and does not).
+type templateCached interface {
+	setTemplateCache(*TemplateCache)
 }
 
 // defaultSessionPoolCap bounds how many per-family solvers a pool keeps
@@ -694,7 +657,12 @@ func NewSessionPool(backend SessionBackend, cap int) *SessionPool {
 	if cap <= 0 {
 		cap = defaultSessionPoolCap
 	}
-	return &SessionPool{backend: backend, cap: cap, sessions: map[string]Session{}}
+	return &SessionPool{
+		backend:   backend,
+		cap:       cap,
+		templates: NewTemplateCache(),
+		sessions:  map[string]Session{},
+	}
 }
 
 // Session returns the pooled session for the family, creating (and, past
@@ -729,6 +697,9 @@ func (p *SessionPool) sessionForKey(f Family, opts Options, key string) (Session
 	s, err := p.backend.NewSession(f, opts)
 	if err != nil {
 		return nil, err
+	}
+	if tc, ok := s.(templateCached); ok {
+		tc.setTemplateCache(p.templates)
 	}
 	var evicted []Session
 	p.mu.Lock()
@@ -767,6 +738,9 @@ func (p *SessionPool) touch(key string) {
 		}
 	}
 }
+
+// Cap returns the pool's session capacity.
+func (p *SessionPool) Cap() int { return p.cap }
 
 // Len returns the number of live sessions.
 func (p *SessionPool) Len() int {

@@ -15,114 +15,25 @@ import (
 // semantically mirroring constraints C1–C6 of the paper — the exact form
 // SCCL hands to Z3. The script can be discharged to an external solver via
 // smt.RunExternal to cross-check the built-in SAT backend.
+//
+// The document is produced by the staged emitter in bound mode (Stage 2
+// flattened: C2 and C6 asserted inline); see StagedEncoder and
+// smtStageSink. The emission is byte-for-byte the historical one-shot
+// script (pinned by TestStagedEncoderGoldens).
 func EmitSMTLIB(in Instance) (*smt.Script, error) {
 	if err := in.Validate(); err != nil {
 		return nil, err
 	}
-	s := smt.NewScript()
-	coll, topo := in.Coll, in.Topo
-	S, G := in.Steps, coll.G
-	edges := topo.Edges()
-
-	timeName := func(c, n int) string { return fmt.Sprintf("time_c%d_n%d", c, n) }
-	sndName := func(c int, src, dst int) string { return fmt.Sprintf("snd_n%d_c%d_n%d", src, c, dst) }
-	rName := func(st int) string { return fmt.Sprintf("r_%d", st) }
-
-	for c := 0; c < G; c++ {
-		for n := 0; n < coll.P; n++ {
-			s.DeclareInt(timeName(c, n), 0, S+1)
-		}
-	}
-	for c := 0; c < G; c++ {
-		for _, l := range edges {
-			s.DeclareBool(sndName(c, int(l.Src), int(l.Dst)))
-		}
-	}
-	for st := 0; st < S; st++ {
-		s.DeclareInt(rName(st), 1, in.Round-S+1)
-	}
-
-	// C1: pre chunks available at time 0.
-	for c := 0; c < G; c++ {
-		for n := 0; n < coll.P; n++ {
-			if coll.Pre[c][n] {
-				s.Assertf("(= %s 0)", timeName(c, n))
-			}
-		}
-	}
-	// C2: post chunks arrive within S steps.
-	for c := 0; c < G; c++ {
-		for n := 0; n < coll.P; n++ {
-			if coll.Post[c][n] {
-				s.Assertf("(<= %s %d)", timeName(c, n), S)
-			}
-		}
-	}
-	// C3: arriving non-pre chunks are received exactly once.
-	for c := 0; c < G; c++ {
-		for n := 0; n < coll.P; n++ {
-			if coll.Pre[c][n] {
-				continue
-			}
-			var terms []string
-			for _, l := range edges {
-				if int(l.Dst) == n {
-					terms = append(terms, fmt.Sprintf("(ite %s 1 0)", sndName(c, int(l.Src), n)))
-				}
-			}
-			if len(terms) == 0 {
-				s.Assertf("(= %s %d)", timeName(c, n), S+1)
-				continue
-			}
-			sum := terms[0]
-			if len(terms) > 1 {
-				sum = "(+ " + strings.Join(terms, " ") + ")"
-			}
-			s.Assertf("(=> (<= %s %d) (= %s 1))", timeName(c, n), S, sum)
-			s.Assertf("(<= %s 1)", sum)
-		}
-	}
-	// C4: causality.
-	for c := 0; c < G; c++ {
-		for _, l := range edges {
-			s.Assertf("(=> %s (< %s %s))",
-				sndName(c, int(l.Src), int(l.Dst)),
-				timeName(c, int(l.Src)), timeName(c, int(l.Dst)))
-			s.Assertf("(=> %s (<= %s %d))",
-				sndName(c, int(l.Src), int(l.Dst)), timeName(c, int(l.Dst)), S)
-		}
-	}
-	// C5: bandwidth per step and relation.
-	for st := 1; st <= S; st++ {
-		for _, rel := range topo.Relations {
-			var terms []string
-			for _, l := range rel.Links {
-				for c := 0; c < G; c++ {
-					terms = append(terms, fmt.Sprintf("(ite (and %s (= %s %d)) 1 0)",
-						sndName(c, int(l.Src), int(l.Dst)), timeName(c, int(l.Dst)), st))
-				}
-			}
-			if len(terms) == 0 {
-				continue
-			}
-			sum := terms[0]
-			if len(terms) > 1 {
-				sum = "(+ " + strings.Join(terms, " ") + ")"
-			}
-			s.Assertf("(<= %s (* %d %s))", sum, rel.Bandwidth, rName(st-1))
-		}
-	}
-	// C6: total rounds.
-	var rTerms []string
-	for st := 0; st < S; st++ {
-		rTerms = append(rTerms, rName(st))
-	}
-	if len(rTerms) == 1 {
-		s.Assertf("(= %s %d)", rTerms[0], in.Round)
-	} else {
-		s.Assertf("(= (+ %s) %d)", strings.Join(rTerms, " "), in.Round)
-	}
-	return s, nil
+	enc := NewStagedEncoder(EncodePlan{
+		Coll:    in.Coll,
+		Topo:    in.Topo,
+		Window:  in.Steps,
+		RoundHi: in.Round - in.Steps + 1,
+		Budget:  &BudgetSpec{Steps: in.Steps, Rounds: in.Round},
+	})
+	sink := newSMTStageSink(enc)
+	enc.Emit(sink)
+	return sink.script, nil
 }
 
 // EmitSMTLIBBase renders the budget-independent base formula of a session
@@ -132,6 +43,10 @@ func EmitSMTLIB(in Instance) (*smt.Script, error) {
 // are left out — EmitSMTLIBBudget supplies them per probe inside a
 // (push)/(pop) bracket. Sends arriving after a probe's S are permitted by
 // the base and ignored by the probe, mirroring the CDCL session layering.
+//
+// The document is the staged emitter in window mode — the same walker
+// and sink as EmitSMTLIB with Stage 2 withheld; the historical
+// hand-mirrored fork is gone.
 func EmitSMTLIBBase(f Family, horizon int) (*smt.Script, error) {
 	if err := f.Validate(); err != nil {
 		return nil, err
@@ -139,92 +54,15 @@ func EmitSMTLIBBase(f Family, horizon int) (*smt.Script, error) {
 	if horizon < 1 || horizon > f.MaxSteps {
 		return nil, fmt.Errorf("synth: session horizon %d outside [1, %d]", horizon, f.MaxSteps)
 	}
-	s := smt.NewScript()
-	coll, topo := f.Coll, f.Topo
-	H, G := horizon, coll.G
-	edges := topo.Edges()
-
-	timeName := func(c, n int) string { return fmt.Sprintf("time_c%d_n%d", c, n) }
-	sndName := func(c int, src, dst int) string { return fmt.Sprintf("snd_n%d_c%d_n%d", src, c, dst) }
-	rName := func(st int) string { return fmt.Sprintf("r_%d", st) }
-
-	for c := 0; c < G; c++ {
-		for n := 0; n < coll.P; n++ {
-			s.DeclareInt(timeName(c, n), 0, H+1)
-		}
-	}
-	for c := 0; c < G; c++ {
-		for _, l := range edges {
-			s.DeclareBool(sndName(c, int(l.Src), int(l.Dst)))
-		}
-	}
-	for st := 0; st < H; st++ {
-		s.DeclareInt(rName(st), 1, f.MaxExtraRounds+1)
-	}
-
-	// C1: pre chunks available at time 0.
-	for c := 0; c < G; c++ {
-		for n := 0; n < coll.P; n++ {
-			if coll.Pre[c][n] {
-				s.Assertf("(= %s 0)", timeName(c, n))
-			}
-		}
-	}
-	// C3 at the horizon: arriving non-pre chunks are received exactly once.
-	for c := 0; c < G; c++ {
-		for n := 0; n < coll.P; n++ {
-			if coll.Pre[c][n] {
-				continue
-			}
-			var terms []string
-			for _, l := range edges {
-				if int(l.Dst) == n {
-					terms = append(terms, fmt.Sprintf("(ite %s 1 0)", sndName(c, int(l.Src), n)))
-				}
-			}
-			if len(terms) == 0 {
-				s.Assertf("(= %s %d)", timeName(c, n), H+1)
-				continue
-			}
-			sum := terms[0]
-			if len(terms) > 1 {
-				sum = "(+ " + strings.Join(terms, " ") + ")"
-			}
-			s.Assertf("(=> (<= %s %d) (= %s 1))", timeName(c, n), H, sum)
-			s.Assertf("(<= %s 1)", sum)
-		}
-	}
-	// C4: causality, with arrival bounded by the horizon.
-	for c := 0; c < G; c++ {
-		for _, l := range edges {
-			s.Assertf("(=> %s (< %s %s))",
-				sndName(c, int(l.Src), int(l.Dst)),
-				timeName(c, int(l.Src)), timeName(c, int(l.Dst)))
-			s.Assertf("(=> %s (<= %s %d))",
-				sndName(c, int(l.Src), int(l.Dst)), timeName(c, int(l.Dst)), H)
-		}
-	}
-	// C5 for every step in the horizon.
-	for st := 1; st <= H; st++ {
-		for _, rel := range topo.Relations {
-			var terms []string
-			for _, l := range rel.Links {
-				for c := 0; c < G; c++ {
-					terms = append(terms, fmt.Sprintf("(ite (and %s (= %s %d)) 1 0)",
-						sndName(c, int(l.Src), int(l.Dst)), timeName(c, int(l.Dst)), st))
-				}
-			}
-			if len(terms) == 0 {
-				continue
-			}
-			sum := terms[0]
-			if len(terms) > 1 {
-				sum = "(+ " + strings.Join(terms, " ") + ")"
-			}
-			s.Assertf("(<= %s (* %d %s))", sum, rel.Bandwidth, rName(st-1))
-		}
-	}
-	return s, nil
+	enc := NewStagedEncoder(EncodePlan{
+		Coll:    f.Coll,
+		Topo:    f.Topo,
+		Window:  horizon,
+		RoundHi: f.MaxExtraRounds + 1,
+	})
+	sink := newSMTStageSink(enc)
+	enc.Emit(sink)
+	return sink.script, nil
 }
 
 // Assertion names of the named budget layer (EmitSMTLIBBudgetNamed):
@@ -273,16 +111,16 @@ func emitSMTLIBBudget(f Family, horizon, steps, rounds int, named bool) ([]strin
 		for n := 0; n < coll.P; n++ {
 			if coll.Post[c][n] && !coll.Pre[c][n] {
 				out = append(out, assert(
-					fmt.Sprintf("(<= time_c%d_n%d %d)", c, n, steps),
+					fmt.Sprintf("(<= %s %d)", smtTimeName(c, n), steps),
 					fmt.Sprintf("%sc%d_n%d", smtPostPrefix, c, n)))
 			}
 		}
 	}
-	sum := "r_0"
+	sum := smtRName(0)
 	if steps > 1 {
 		terms := make([]string, steps)
 		for st := 0; st < steps; st++ {
-			terms[st] = fmt.Sprintf("r_%d", st)
+			terms[st] = smtRName(st)
 		}
 		sum = "(+ " + strings.Join(terms, " ") + ")"
 	}
@@ -347,6 +185,17 @@ func (b *SMTLIBBackend) NewSession(f Family, opts Options) (Session, error) {
 }
 
 func (s *smtlibSession) Family() Family { return s.fam }
+
+// Prime mirrors the CDCL session's batch hint: enough expected probes
+// skip lazy adoption so the first probe launches the interactive
+// process.
+func (s *smtlibSession) Prime(expected int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if expected > sessionAdoptProbes && s.probes < sessionAdoptProbes {
+		s.probes = sessionAdoptProbes
+	}
+}
 
 func (s *smtlibSession) Close() error {
 	s.mu.Lock()

@@ -117,6 +117,105 @@ func TestSMTLIBSessionFallsBackOneShot(t *testing.T) {
 	}
 }
 
+// degradedSMTSolver writes a fake z3 whose interactive mode is broken in
+// a configurable way, while its one-shot file mode still answers unsat —
+// the shape of a real solver build missing an optional capability.
+func degradedSMTSolver(t *testing.T, interactiveCase string) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "z3")
+	script := `#!/bin/sh
+for a in "$@"; do
+  if [ -f "$a" ]; then
+    echo unsat
+    exit 0
+  fi
+done
+while read line; do
+  case "$line" in
+` + interactiveCase + `
+    *exit*) exit 0 ;;
+  esac
+done
+`
+	if err := os.WriteFile(path, []byte(script), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// TestSMTLIBSessionPushUnsupported drives the session against a solver
+// whose interactive mode rejects (push): every probe must degrade to a
+// coreless one-shot answer — never a wrong result, never a phantom core.
+func TestSMTLIBSessionPushUnsupported(t *testing.T) {
+	topo := topology.Ring(4)
+	coll, err := collective.New(collective.Allgather, topo.P, 1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bin := degradedSMTSolver(t, `    *push*) echo '(error "push unsupported")' ;;
+    *check-sat*) echo unsat ;;`)
+	b := &SMTLIBBackend{Binary: bin}
+	sess, err := b.NewSession(Family{Coll: coll, Topo: topo, MaxSteps: 4, MaxExtraRounds: 2}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sess.Close()
+	for i := 0; i < sessionAdoptProbes+3; i++ {
+		res, err := sess.Solve(context.Background(), 2, 2, Options{})
+		if err != nil {
+			t.Fatalf("probe %d: %v", i, err)
+		}
+		if res.Status != sat.Unsat {
+			t.Fatalf("probe %d: status %v, want Unsat", i, res.Status)
+		}
+		if res.SessionProbe {
+			t.Errorf("probe %d: claimed an incremental solve on a push-less solver", i)
+		}
+		if res.Core != nil {
+			t.Errorf("probe %d: phantom core %v from a degraded solver", i, res.Core)
+		}
+	}
+}
+
+// TestSMTLIBSessionCoresUnsupported drives the session against a solver
+// that answers (check-sat) interactively but errors on (get-unsat-core):
+// the Unsat answers must be kept — coreless — and the process recycled
+// so later probes still run incrementally.
+func TestSMTLIBSessionCoresUnsupported(t *testing.T) {
+	topo := topology.Ring(4)
+	coll, err := collective.New(collective.Allgather, topo.P, 1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bin := degradedSMTSolver(t, `    *get-unsat-core*) echo '(error "cores unsupported")' ;;
+    *check-sat*) echo unsat ;;`)
+	b := &SMTLIBBackend{Binary: bin}
+	sess, err := b.NewSession(Family{Coll: coll, Topo: topo, MaxSteps: 4, MaxExtraRounds: 2}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sess.Close()
+	incremental := 0
+	for i := 0; i < sessionAdoptProbes+3; i++ {
+		res, err := sess.Solve(context.Background(), 2, 2, Options{})
+		if err != nil {
+			t.Fatalf("probe %d: %v", i, err)
+		}
+		if res.Status != sat.Unsat {
+			t.Fatalf("probe %d: status %v, want Unsat", i, res.Status)
+		}
+		if res.Core != nil {
+			t.Errorf("probe %d: core %v despite the solver refusing (get-unsat-core)", i, res.Core)
+		}
+		if res.SessionProbe {
+			incremental++
+		}
+	}
+	if incremental == 0 {
+		t.Error("no probe ran incrementally; a core-less solver should still session")
+	}
+}
+
 // TestEmitSMTLIBBaseBudget pins the shape of the layered emission: the
 // base carries no budget constraints, and the budget layer asserts one
 // post-arrival bound per placement plus the round total.

@@ -1,0 +1,322 @@
+package synth
+
+import (
+	"fmt"
+
+	"repro/internal/sat"
+	"repro/internal/smt"
+)
+
+// cdclStageSink lowers the staged constraint stream into the built-in
+// CDCL solver through the order-encoding layer. It emits eagerly: solver
+// variables are allocated and clauses added the moment each stage op
+// arrives, so the walk order of StagedEncoder.Emit is the clause order —
+// the property the pinned goldens depend on.
+//
+// In bound mode (plan.Budget non-nil) the sink reproduces the historical
+// one-shot encoding exactly: post-arrival domains are tightened to S
+// (C2) and the round total R is asserted (C6). In window mode it
+// reproduces the layered session base: wide domains, no C2/C6 — those
+// arrive per probe as assumption literals (sessionEncoding.assume).
+type cdclStageSink struct {
+	e   *StagedEncoder
+	ctx *smt.Context
+	// dist[c] / distToPost[c]: the Stage-0 per-chunk distance maps the
+	// pruning and minimality rules read (materialized at construction —
+	// only this sink needs them).
+	dist       [][]int
+	distToPost [][]int
+	// times[c][n]; nil where the chunk can never reach n within the
+	// window and is not required.
+	times [][]*smt.IntVar
+	// snds[c][edgeIndex]: 0 means the variable was pruned away.
+	snds [][]sat.Lit
+	rs   []*smt.IntVar
+	// infeasible marks an instance (or, in window mode, a whole session
+	// window) proven unsatisfiable by pruning alone.
+	infeasible bool
+	// arrival-literal cache for C5, keyed (c, edgeIndex, s): a literal
+	// may appear in multiple relations.
+	arrivals map[[3]int]sat.Lit
+}
+
+func newCDCLStageSink(e *StagedEncoder, ctx *smt.Context) *cdclStageSink {
+	k := &cdclStageSink{e: e, ctx: ctx, arrivals: map[[3]int]sat.Lit{}}
+	k.dist, k.distToPost = e.distances()
+	G := e.Plan.Coll.G
+	k.times = make([][]*smt.IntVar, G)
+	k.snds = make([][]sat.Lit, G)
+	for c := 0; c < G; c++ {
+		k.times[c] = make([]*smt.IntVar, e.Plan.Coll.P)
+		k.snds[c] = make([]sat.Lit, len(e.Template.Edges))
+	}
+	k.rs = make([]*smt.IntVar, 0, e.Plan.Window)
+	return k
+}
+
+// TimeVar allocates time(c, n) with the plan's domain policy. Integer
+// domains encode C1 (pre nodes pinned to 0) and, in bound mode, C2
+// (post nodes bounded by S); Window+1 encodes "never arrives".
+func (k *cdclStageSink) TimeVar(c, n int) bool {
+	coll, B := k.e.Plan.Coll, k.e.Plan.Window
+	name := fmt.Sprintf("time_c%d_n%d", c, n)
+	d := k.dist[c][n]
+	switch {
+	case coll.Pre[c][n]:
+		k.times[c][n] = k.ctx.NewIntVar(name, 0, 0)
+	case d < 0 || d > B:
+		if coll.Post[c][n] {
+			// Required but unreachable within the window: the instance
+			// (bound mode) or every budget in the window (window mode)
+			// is unsatisfiable.
+			k.infeasible = true
+			return false
+		}
+		// Unreachable and not required: chunk never there.
+		k.times[c][n] = nil
+	default:
+		hi := B + 1
+		if k.e.bound() && coll.Post[c][n] {
+			// Stage 2 flattened: post arrival within S via the domain.
+			hi = B
+		}
+		k.times[c][n] = k.ctx.NewIntVar(name, d, hi)
+	}
+	return true
+}
+
+// OrderSymmetric orders the group's arrival times at witness node w:
+// a <= b as, for every threshold t, a>=t -> b>=t.
+func (k *cdclStageSink) OrderSymmetric(group []int, w int) {
+	ctx := k.ctx
+	for i := 0; i+1 < len(group); i++ {
+		a, b := k.times[group[i]][w], k.times[group[i+1]][w]
+		if a == nil || b == nil {
+			continue
+		}
+		for t := b.Lo + 1; t <= a.Hi; t++ {
+			la, okA := a.GeLit(t)
+			if !okA {
+				if !a.TriviallyGe(t) {
+					continue
+				}
+				// a always >= t: force b >= t.
+				ctx.AssertGe(b, t)
+				continue
+			}
+			if lb, okB := b.GeLit(t); okB {
+				ctx.AddClause(la.Neg(), lb)
+			} else if !b.TriviallyGe(t) {
+				ctx.AddClause(la.Neg())
+			}
+		}
+	}
+}
+
+// SendVar allocates snd(c, edge) unless pruning rules it out: the source
+// must be able to hold the chunk strictly before the window's last step
+// and the destination must be able to accept it.
+func (k *cdclStageSink) SendVar(c, ei int) {
+	coll, B := k.e.Plan.Coll, k.e.Plan.Window
+	l := k.e.Template.Edges[ei]
+	src, dst := int(l.Src), int(l.Dst)
+	if k.times[c][src] == nil || k.times[c][dst] == nil {
+		return
+	}
+	if coll.Pre[c][dst] {
+		return // never send a chunk to a node that starts with it
+	}
+	if k.dist[c][src] > B-1 {
+		return // source can never usefully hold the chunk
+	}
+	k.snds[c][ei] = k.ctx.BoolVar()
+}
+
+// Minimality emits the minimal-solution refinements for chunk c. Any
+// valid algorithm can be stripped of wasteful sends without violating
+// C1–C6, so restricting the search to minimal solutions preserves
+// SAT/UNSAT:
+//
+//	(m1) a chunk received at a non-post node must be forwarded at least
+//	     once (otherwise the receive was wasteful);
+//	(m2) a chunk with a single post node travels a simple path, so each
+//	     node sends it at most once;
+//	(m3) in a minimal solution every holder of a chunk has a post node
+//	     downstream, so time(c,n) <= B - dist(n, post(c)); nodes that
+//	     cannot reach any post node never usefully receive the chunk.
+func (k *cdclStageSink) Minimality(c int) {
+	ctx, coll, B := k.ctx, k.e.Plan.Coll, k.e.Plan.Window
+	edges := k.e.Template.Edges
+	singlePost := len(coll.Post.Nodes(c)) == 1
+	for n := 0; n < coll.P; n++ {
+		tv := k.times[c][n]
+		if tv == nil || coll.Post[c][n] {
+			continue
+		}
+		var outgoing []sat.Lit
+		for ei, l := range edges {
+			if int(l.Src) == n && k.snds[c][ei] != 0 {
+				outgoing = append(outgoing, k.snds[c][ei])
+			}
+		}
+		d := k.distToPost[c][n]
+		if d < 0 || len(outgoing) == 0 {
+			// (m3) dead end: never usefully holds the chunk.
+			if coll.Pre[c][n] {
+				continue // pre holders may simply keep their copy
+			}
+			ctx.AssertEq(tv, B+1)
+			continue
+		}
+		// (m3) arrival leaves enough steps to reach a post node.
+		if ub := B - d; ub < tv.Hi && !coll.Pre[c][n] {
+			if leS, ok := tv.LeLit(B); ok {
+				if leUB, ok2 := tv.LeLit(ub); ok2 {
+					ctx.AddClause(leS.Neg(), leUB)
+				} else if !tv.TriviallyLe(ub) {
+					ctx.AddClause(leS.Neg()) // can only be "never"
+				}
+			}
+		}
+		// (m1) received => forwards at least once.
+		if !coll.Pre[c][n] {
+			if leS, ok := tv.LeLit(B); ok {
+				cl := append([]sat.Lit{leS.Neg()}, outgoing...)
+				ctx.AddClause(cl...)
+			} else if tv.TriviallyLe(B) {
+				ctx.AddClause(outgoing...)
+			}
+		}
+		// (m2) single-destination chunks form paths.
+		if singlePost {
+			atMostOne(ctx, outgoing)
+		}
+	}
+	// (m2) also applies to the chunk's source(s).
+	if singlePost {
+		for n := 0; n < coll.P; n++ {
+			if !coll.Pre[c][n] || coll.Post[c][n] {
+				continue
+			}
+			var outgoing []sat.Lit
+			for ei, l := range edges {
+				if int(l.Src) == n && k.snds[c][ei] != 0 {
+					outgoing = append(outgoing, k.snds[c][ei])
+				}
+			}
+			atMostOne(ctx, outgoing)
+		}
+	}
+}
+
+// RoundVar allocates r_s over the plan's round domain.
+func (k *cdclStageSink) RoundVar(s int) {
+	k.rs = append(k.rs, k.ctx.NewIntVar(fmt.Sprintf("r_%d", s), 1, k.e.Plan.RoundHi))
+}
+
+// RoundTotal asserts C6 in bound mode; in window mode the round total is
+// a per-probe assumption over prefix-sum registers (Stage 2).
+func (k *cdclStageSink) RoundTotal() {
+	if k.e.bound() {
+		k.ctx.AssertSumEquals(k.rs, k.e.Plan.Budget.Rounds)
+	}
+}
+
+// Receive emits C3 for the non-pre (c, n): at most one incoming send,
+// and arrival within the window implies at least one.
+func (k *cdclStageSink) Receive(c, n int) bool {
+	ctx, coll, B := k.ctx, k.e.Plan.Coll, k.e.Plan.Window
+	tv := k.times[c][n]
+	if tv == nil {
+		return true
+	}
+	var incoming []sat.Lit
+	for ei, l := range k.e.Template.Edges {
+		if int(l.Dst) == n && k.snds[c][ei] != 0 {
+			incoming = append(incoming, k.snds[c][ei])
+		}
+	}
+	if len(incoming) == 0 {
+		// No way to receive: if required, UNSAT; else pin "never".
+		if coll.Post[c][n] {
+			k.infeasible = true
+			return false
+		}
+		ctx.AssertEq(tv, B+1)
+		return true
+	}
+	// At most one receive always (paper's optimality refinement).
+	atMostOne(ctx, incoming)
+	// time <= B -> at least one incoming send.
+	if leLit, ok := tv.LeLit(B); ok {
+		cl := append([]sat.Lit{leLit.Neg()}, incoming...)
+		ctx.AddClause(cl...)
+	} else if tv.TriviallyLe(B) {
+		ctx.AddClause(incoming...)
+	}
+	return true
+}
+
+// Causality emits C4: snd -> time(src) < time(dst), with arrival bounded
+// by the window.
+func (k *cdclStageSink) Causality(c, ei int) {
+	snd := k.snds[c][ei]
+	if snd == 0 {
+		return
+	}
+	l := k.e.Template.Edges[ei]
+	src, dst := k.times[c][int(l.Src)], k.times[c][int(l.Dst)]
+	k.ctx.ImplyLess(snd, src, dst)
+	k.ctx.ImplyLe(snd, dst, k.e.Plan.Window)
+}
+
+// arrival reifies "chunk c arrives over edge ei at step s":
+// snd(c, edge) ∧ time(c, dst) == s.
+func (k *cdclStageSink) arrival(c, ei, s int) (sat.Lit, bool) {
+	snd := k.snds[c][ei]
+	if snd == 0 {
+		return 0, false
+	}
+	dst := k.times[c][int(k.e.Template.Edges[ei].Dst)]
+	conj, possible := dst.EqClauses(s)
+	if !possible {
+		return 0, false
+	}
+	lits := append([]sat.Lit{snd}, conj...)
+	return k.ctx.AndLit(lits...), true
+}
+
+// Bandwidth emits C5 for (step s, relation ri): the number of arrivals
+// over the relation's links at step s is bounded by bandwidth * r_s.
+func (k *cdclStageSink) Bandwidth(s, ri int) {
+	rel := k.e.Plan.Topo.Relations[ri]
+	G := k.e.Plan.Coll.G
+	var lits []sat.Lit
+	for _, l := range rel.Links {
+		ei, ok := k.e.Template.EdgeIndex[l]
+		if !ok {
+			continue
+		}
+		for c := 0; c < G; c++ {
+			key := [3]int{c, ei, s}
+			al, cached := k.arrivals[key]
+			if !cached {
+				var okA bool
+				al, okA = k.arrival(c, ei, s)
+				if !okA {
+					k.arrivals[key] = 0
+					continue
+				}
+				k.arrivals[key] = al
+			}
+			if al != 0 {
+				lits = append(lits, al)
+			}
+		}
+	}
+	if len(lits) > 0 {
+		k.ctx.CountLeScaled(lits, rel.Bandwidth, k.rs[s-1])
+	}
+}
+
+func (k *cdclStageSink) Finish() {}

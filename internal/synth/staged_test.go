@@ -1,0 +1,234 @@
+package synth
+
+import (
+	"context"
+	"testing"
+
+	"repro/internal/collective"
+	"repro/internal/sat"
+	"repro/internal/topology"
+)
+
+// TestStage0TemplateDistances cross-checks the template's all-pairs
+// distance reductions against the direct BFS helpers the encoders used
+// before Stage 0 was shared.
+func TestStage0TemplateDistances(t *testing.T) {
+	for _, topo := range []*topology.Topology{
+		topology.Ring(5), topology.Line(4), topology.BidirRing(6), topology.DGX1(),
+	} {
+		tmpl := NewStage0Template(topo)
+		for _, kind := range []collective.Kind{collective.Allgather, collective.Broadcast} {
+			coll, err := collective.New(kind, topo.P, 2, 0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for c := 0; c < coll.G; c++ {
+				wantSrc := multiSourceDistances(topo, coll.Pre.Nodes(c))
+				gotSrc := tmpl.sourceDistances(coll.Pre.Nodes(c))
+				wantPost := distancesToSet(topo, coll.Post, c)
+				gotPost := tmpl.distancesToSet(coll.Post, c)
+				for n := 0; n < topo.P; n++ {
+					if gotSrc[n] != wantSrc[n] {
+						t.Errorf("%s %v c=%d n=%d: template source dist %d, BFS %d",
+							topo.Name, kind, c, n, gotSrc[n], wantSrc[n])
+					}
+					if gotPost[n] != wantPost[n] {
+						t.Errorf("%s %v c=%d n=%d: template post dist %d, BFS %d",
+							topo.Name, kind, c, n, gotPost[n], wantPost[n])
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestTemplateCacheSharing checks the Stage-0 cache contract: the first
+// lookup of a topology derives, later ones share (the content is
+// step-count-independent, so every horizon shares one entry), and
+// distinct topologies stay separate.
+func TestTemplateCacheSharing(t *testing.T) {
+	tc := NewTemplateCache()
+	ring := topology.Ring(4)
+	a, hit := tc.Get(ring)
+	if hit {
+		t.Error("first lookup reported a hit")
+	}
+	b, hit := tc.Get(ring)
+	if !hit || a != b {
+		t.Error("second lookup did not share the derived template")
+	}
+	if _, hit := tc.Get(topology.Ring(5)); hit {
+		t.Error("different topology shared a template")
+	}
+	if hits, misses := tc.Stats(); hits != 1 || misses != 2 {
+		t.Errorf("hits=%d misses=%d, want 1/2", hits, misses)
+	}
+}
+
+// TestParetoTemplateHits runs a session sweep whose candidate set holds
+// several families at each step count and checks that Stage-0 templates
+// were actually shared across them — the cross-family encode-wall win
+// the staged refactor exists for.
+func TestParetoTemplateHits(t *testing.T) {
+	var stats ParetoStats
+	_, err := ParetoSynthesize(collective.Broadcast, topology.BidirRing(6), 0, ParetoOptions{
+		K: 2, MaxSteps: 6, MaxChunks: 6, Stats: &stats,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.TemplateHits == 0 {
+		t.Errorf("no Stage-0 template shares in a multi-family sweep: %+v", stats)
+	}
+}
+
+// TestSessionRebaseMigratesLearnts drives one family through step
+// budgets that repeatedly outgrow the encoded window, forcing re-bases,
+// and checks that (a) learnt clauses survive at least one of them and
+// (b) every probe — including the ones solved on a solver carrying
+// migrated clauses — answers exactly like an independent one-shot solve.
+func TestSessionRebaseMigratesLearnts(t *testing.T) {
+	topo := topology.BidirRing(8)
+	coll, err := collective.New(collective.Broadcast, topo.P, 3, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fam := Family{Coll: coll, Topo: topo, MaxSteps: 8, MaxExtraRounds: 3}
+	sess, err := NewCDCLBackend().(SessionBackend).NewSession(fam, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sess.Close()
+	ctx := context.Background()
+	migrated := 0
+	for s := 1; s <= 7; s++ {
+		for r := s; r <= s+3; r++ {
+			res, err := sess.Solve(ctx, s, r, Options{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			migrated += res.MigratedLearnts
+			one, err := Synthesize(Instance{Coll: coll, Topo: topo, Steps: s, Round: r}, Options{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.Status != one.Status {
+				t.Fatalf("s=%d r=%d: session %v, one-shot %v (after %d migrated learnts)",
+					s, r, res.Status, one.Status, migrated)
+			}
+		}
+	}
+	if migrated == 0 {
+		t.Error("no learnt clause survived any re-base; migration is dead")
+	}
+}
+
+// TestStageVarMapCoverage pins the stage variable map's shape between
+// two bases of the same family: every carried time threshold, send
+// Boolean, and round threshold of the narrow base maps into the wide
+// one, and nothing else does.
+func TestStageVarMapCoverage(t *testing.T) {
+	topo := topology.Ring(5)
+	coll, err := collective.New(collective.Broadcast, topo.P, 2, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fam := Family{Coll: coll, Topo: topo, MaxSteps: 7, MaxExtraRounds: 2}
+	old := encodeSessionBase(fam, Options{}, 4, nil)
+	fresh := encodeSessionBase(fam, Options{}, 6, nil)
+	if old.infeasible || fresh.infeasible {
+		t.Fatal("bases unexpectedly infeasible")
+	}
+	vm := stageVarMap(old, fresh)
+	want := 0
+	for c := range old.times {
+		for n := range old.times[c] {
+			if old.times[c][n] == nil || fresh.times[c][n] == nil {
+				continue
+			}
+			ov, nv := old.times[c][n], fresh.times[c][n]
+			for i, ol := range ov.GeLits() {
+				tthr := ov.Lo + 1 + i
+				nl, ok := nv.GeLit(tthr)
+				if !ok {
+					continue
+				}
+				want++
+				if got := vm[ol.Var()]; got != nl {
+					t.Fatalf("time c=%d n=%d threshold %d maps to %v, want %v", c, n, tthr, got, nl)
+				}
+			}
+		}
+	}
+	for c := range old.snds {
+		for ei, ol := range old.snds[c] {
+			if ol == 0 {
+				continue
+			}
+			if fresh.snds[c][ei] == 0 {
+				if _, mapped := vm[ol.Var()]; mapped {
+					t.Fatalf("send c=%d ei=%d mapped despite missing in the wide base", c, ei)
+				}
+				continue
+			}
+			want++
+			if vm[ol.Var()] != fresh.snds[c][ei] {
+				t.Fatalf("send c=%d ei=%d mapped wrong", c, ei)
+			}
+		}
+	}
+	for s := range old.rs {
+		for i, ol := range old.rs[s].GeLits() {
+			thr := old.rs[s].Lo + 1 + i
+			if nl, ok := fresh.rs[s].GeLit(thr); ok {
+				want++
+				if vm[ol.Var()] != nl {
+					t.Fatalf("round s=%d threshold %d mapped wrong", s, thr)
+				}
+			}
+		}
+	}
+	if len(vm) != want {
+		t.Errorf("stage variable map has %d entries, want %d (auxiliary variables must stay unmapped)", len(vm), want)
+	}
+}
+
+// TestEntailedAndAddLearnt covers the sat-layer migration primitives:
+// the failed-literal entailment test and the vetted learnt import.
+func TestEntailedAndAddLearnt(t *testing.T) {
+	s := sat.NewSolver()
+	a, b, c := s.NewVar(), s.NewVar(), s.NewVar()
+	la, lb, lc := sat.PosLit(a), sat.PosLit(b), sat.PosLit(c)
+	s.AddClause(la.Neg(), lb) // a -> b
+	s.AddClause(lb.Neg(), lc) // b -> c
+	if !s.Entailed(la.Neg(), lc) {
+		t.Error("(-a or c) is propagation-entailed but not detected")
+	}
+	if s.Entailed(lc) {
+		t.Error("unit c is not entailed but reported so")
+	}
+	before := s.LearntClauses()
+	if imported, ok := s.AddLearnt(la.Neg(), lc); !imported || !ok {
+		t.Fatal("AddLearnt of an entailed clause failed")
+	}
+	if s.LearntClauses() != before+1 {
+		t.Errorf("learnt count %d, want %d", s.LearntClauses(), before+1)
+	}
+	// A clause already satisfied at the top level is dropped, not
+	// counted as imported.
+	s.AddClause(lb)
+	if imported, ok := s.AddLearnt(lb, lc); imported || !ok {
+		t.Error("top-level-satisfied clause reported as imported")
+	}
+	got := s.LearntClauseLits()
+	if len(got) != 1 || len(got[0]) != 2 {
+		t.Fatalf("LearntClauseLits = %v, want one binary clause", got)
+	}
+	if st := s.Solve(); st != sat.Sat {
+		t.Fatalf("formula with imported lemma: %v", st)
+	}
+	// The solver must be reusable after an Entailed probe (state undone).
+	if st := s.Solve(la); st != sat.Sat || !s.ValueLit(lc) {
+		t.Error("assumption solve after Entailed/AddLearnt broken")
+	}
+}
