@@ -98,6 +98,11 @@ common flags: -topology dgx1|dgx2|amd|ring:N|bidir-ring:N|line:N|fc:N|
               -collective Allgather|Allreduce|Broadcast|...  -root N
               -backend cdcl|smtlib[:binary]
               -workers N    engine worker pool (0 = all cores)
+              -portfolio N  race N diversified CDCL workers per slow solve
+                            (frontiers stay byte-identical; 0/1 = off)
+              -portfolio-threshold D  solo-solve grace before the race
+                            escalates (default 100ms)
+              -cube-depth N also cube-and-conquer on N Stage-2 literals
               -library FILE warm the cache from FILE, save updates back
               -v            print engine and probe progress`)
 }
@@ -117,6 +122,9 @@ func parseCommon(fs *flag.FlagSet, args []string) (*common, error) {
 	root := fs.Int("root", 0, "root node for rooted collectives")
 	backendSpec := fs.String("backend", "cdcl", "solver backend: cdcl|smtlib[:binary]")
 	workers := fs.Int("workers", 0, "engine worker pool (0 = all cores)")
+	portfolio := fs.Int("portfolio", 0, "diversified CDCL workers raced per slow solve (0/1 = off)")
+	portfolioThreshold := fs.Duration("portfolio-threshold", 0, "solo-solve grace before a portfolio race escalates (0 = default 100ms)")
+	cubeDepth := fs.Int("cube-depth", 0, "Stage-2 literals to cube-and-conquer on during a race (0 = off)")
 	library := fs.String("library", "", "algorithm library JSON to load and save back")
 	verbose := fs.Bool("v", false, "print engine and probe progress")
 	if err := fs.Parse(args); err != nil {
@@ -144,6 +152,8 @@ func parseCommon(fs *flag.FlagSet, args []string) (*common, error) {
 		topo: topo, kind: kind, root: *root, libPath: *library,
 		eng: sccl.NewEngine(sccl.EngineOptions{
 			Backend: backend, Workers: *workers, Progress: progress,
+			Portfolio: *portfolio, PortfolioThreshold: *portfolioThreshold,
+			CubeDepth: *cubeDepth,
 		}),
 	}
 	if cm.libPath != "" {
@@ -303,11 +313,15 @@ func cmdPareto(args []string) error {
 			s.CoreSolves, s.PrunedProbes, pruneRate)
 		fmt.Fprintf(statsOut, "staged encoder: %d Stage-0 template shares, %d learnt clauses migrated across re-bases\n",
 			s.TemplateHits, s.MigratedLearnts)
+		fmt.Fprintf(statsOut, "portfolio: %d solves escalated to races, %d learnt clauses shared across workers, %d cubes split\n",
+			s.PortfolioSolves, s.SharedLearnts, s.CubeSplits)
 		cs := cm.eng.CacheStats()
 		fmt.Fprintf(statsOut, "engine: %d pooled sessions (%d pool hits, %d misses), %d cached algorithms, %d core solves / %d pruned probes lifetime\n",
 			cs.Sessions, cs.SessionHits, cs.SessionMisses, cs.Algorithms, cs.CoreSolves, cs.PrunedProbes)
 		fmt.Fprintf(statsOut, "engine: %d template hits / %d migrated learnts lifetime\n",
 			cs.TemplateHits, cs.MigratedLearnts)
+		fmt.Fprintf(statsOut, "engine: %d portfolio races / %d shared learnts / %d cube splits lifetime\n",
+			cs.PortfolioSolves, cs.SharedLearnts, cs.CubeSplits)
 	}
 	return cm.finish()
 }

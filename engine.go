@@ -49,6 +49,20 @@ type EngineOptions struct {
 	// probed chunk count, so on topologies where 2*P exceeds this cap
 	// raise it (or sessions thrash the pool and never warm up).
 	SessionPoolSize int
+	// Portfolio, when > 1, enables intra-instance parallelism by default
+	// for every solve the engine runs — sweep probes and one-shot
+	// requests alike: a solve whose wall crosses PortfolioThreshold
+	// escalates into a race of that many CDCL solvers (canonical leader
+	// plus diversified replicas with vetted learnt sharing). Results and
+	// frontiers stay byte-identical; see SynthOptions.Portfolio.
+	// Per-request overrides go through Request.Options.
+	Portfolio int
+	// PortfolioThreshold is the default escalation threshold (0 selects
+	// the built-in default of 100ms).
+	PortfolioThreshold time.Duration
+	// CubeDepth, with Portfolio > 1, switches escalated races to
+	// cube-and-conquer over 2^CubeDepth lookahead-chosen cubes.
+	CubeDepth int
 }
 
 const defaultCacheSize = 4096
@@ -86,6 +100,11 @@ type Engine struct {
 	cacheCap   int
 	cacheOff   bool
 	noSessions bool
+	// Portfolio defaults applied to sweeps that do not override them
+	// through Request.Options (see EngineOptions.Portfolio).
+	portfolio          int
+	portfolioThreshold time.Duration
+	cubeDepth          int
 	// sessions pools per-family incremental solver sessions across Pareto
 	// sweeps (nil when the backend cannot session or sessions are off).
 	sessions *synth.SessionPool
@@ -105,6 +124,13 @@ type Engine struct {
 	// session re-bases (see ParetoStats and Stage0Template).
 	templateHits    uint64
 	migratedLearnts uint64
+	// portfolioSolves / sharedLearnts / cubeSplits aggregate the
+	// intra-instance parallelism counters of every sweep (see
+	// ParetoStats); merged under mu after each sweep returns, never
+	// touched by probe or replica workers.
+	portfolioSolves uint64
+	sharedLearnts   uint64
+	cubeSplits      uint64
 }
 
 // NewEngine builds an Engine from options; the zero EngineOptions value
@@ -129,6 +155,10 @@ func NewEngine(opts EngineOptions) *Engine {
 		noSessions: opts.NoSessions || opts.SessionPoolSize < 0,
 		algs:       map[string]*cacheEntry{},
 		frontiers:  map[string][]ParetoPoint{},
+
+		portfolio:          opts.Portfolio,
+		portfolioThreshold: opts.PortfolioThreshold,
+		cubeDepth:          opts.CubeDepth,
 	}
 	if !opts.NoSessions && opts.SessionPoolSize >= 0 {
 		resolved := e.backend
@@ -179,6 +209,19 @@ func (e *Engine) solveOptions(timeout time.Duration, override *SynthOptions) Syn
 		o.Timeout = timeout
 	} else if o.Timeout == 0 {
 		o.Timeout = e.timeout
+	}
+	// Engine portfolio defaults, applied to one-shot requests and sweeps
+	// alike. Cache fingerprints exclude these fields (like Workers):
+	// portfolio races are leader-anchored, so results and frontiers are
+	// byte-identical with and without them.
+	if o.Portfolio == 0 {
+		o.Portfolio = e.portfolio
+	}
+	if o.PortfolioThreshold == 0 {
+		o.PortfolioThreshold = e.portfolioThreshold
+	}
+	if o.CubeDepth == 0 {
+		o.CubeDepth = e.cubeDepth
 	}
 	return o
 }
@@ -323,6 +366,13 @@ type CacheStats struct {
 	// into a rebuilt session solver across re-bases instead of dropped.
 	TemplateHits    uint64
 	MigratedLearnts uint64
+	// PortfolioSolves, SharedLearnts and CubeSplits aggregate the
+	// intra-instance parallelism counters of every sweep: probes that
+	// escalated into a solver race, vetted learnt clauses the replicas
+	// imported, and cubes raced by cube-and-conquer (see ParetoStats).
+	PortfolioSolves uint64
+	SharedLearnts   uint64
+	CubeSplits      uint64
 }
 
 // CacheStats returns a snapshot of the cache counters.
@@ -337,6 +387,9 @@ func (e *Engine) CacheStats() CacheStats {
 		PrunedProbes:    e.prunedProbes,
 		TemplateHits:    e.templateHits,
 		MigratedLearnts: e.migratedLearnts,
+		PortfolioSolves: e.portfolioSolves,
+		SharedLearnts:   e.sharedLearnts,
+		CubeSplits:      e.cubeSplits,
 	}
 	e.mu.Unlock()
 	if e.sessions != nil {
@@ -497,6 +550,9 @@ func (e *Engine) Pareto(ctx context.Context, req ParetoRequest) (*ParetoResult, 
 	e.prunedProbes += uint64(stats.PrunedProbes)
 	e.templateHits += uint64(stats.TemplateHits)
 	e.migratedLearnts += uint64(stats.MigratedLearnts)
+	e.portfolioSolves += uint64(stats.PortfolioSolves)
+	e.sharedLearnts += uint64(stats.SharedLearnts)
+	e.cubeSplits += uint64(stats.CubeSplits)
 	e.mu.Unlock()
 	res := &ParetoResult{Points: pts, Stats: stats, Wall: time.Since(t0), Fingerprint: fp}
 	if err != nil {

@@ -12,6 +12,22 @@ import (
 // step. Combining collectives are handled through their duals (see
 // EffectiveLowerBounds). Returns -1 if some requirement is unreachable.
 func LatencyLowerBound(s *Spec, t *topology.Topology) int {
+	return latencyLowerBound(s, func(m, n int) int {
+		return t.Distance(topology.Node(m), topology.Node(n))
+	})
+}
+
+// LatencyLowerBoundDist is LatencyLowerBound over precomputed all-pairs
+// hop distances (dist[src][dst], negative = unreachable) — e.g. the BFS
+// matrix a staged-encoder Stage-0 template already derived — so bound
+// computations stop re-walking the topology per (pre, post) pair.
+func LatencyLowerBoundDist(s *Spec, dist [][]int) int {
+	return latencyLowerBound(s, func(m, n int) int { return dist[m][n] })
+}
+
+// latencyLowerBound is the shared implementation over an abstract hop
+// distance (negative = unreachable).
+func latencyLowerBound(s *Spec, dist func(from, to int) int) int {
 	max := 0
 	for c := 0; c < s.G; c++ {
 		for n := 0; n < s.P; n++ {
@@ -23,7 +39,7 @@ func LatencyLowerBound(s *Spec, t *topology.Topology) int {
 				if !s.Pre[c][m] {
 					continue
 				}
-				d := t.Distance(topology.Node(m), topology.Node(n))
+				d := dist(m, n)
 				if d >= 0 && (best == -1 || d < best) {
 					best = d
 				}
@@ -126,33 +142,54 @@ type Bounds struct {
 //     the bandwidth bound per its own C divides by P (its C is the dual
 //     instance's G).
 func EffectiveLowerBounds(kind Kind, p, c int, root topology.Node, t *topology.Topology) (Bounds, error) {
-	probe := func(k Kind, cc int, tt *topology.Topology) (Bounds, error) {
+	return EffectiveLowerBoundsDist(kind, p, c, root, t, nil)
+}
+
+// EffectiveLowerBoundsDist is EffectiveLowerBounds with an optional
+// precomputed all-pairs distance matrix of t (dist[src][dst], negative =
+// unreachable); nil falls back to per-pair topology BFS. Probes on the
+// reversed topology read the matrix transposed, so one forward matrix —
+// the staged encoder's Stage-0 template BFS — serves every dual route.
+func EffectiveLowerBoundsDist(kind Kind, p, c int, root topology.Node, t *topology.Topology, dist [][]int) (Bounds, error) {
+	if dist != nil && len(dist) != p {
+		dist = nil // foreign matrix: ignore rather than misindex
+	}
+	latency := func(sp *Spec, tt *topology.Topology, transposed bool) int {
+		if dist == nil {
+			return LatencyLowerBound(sp, tt)
+		}
+		if transposed {
+			return latencyLowerBound(sp, func(m, n int) int { return dist[n][m] })
+		}
+		return LatencyLowerBoundDist(sp, dist)
+	}
+	probe := func(k Kind, cc int, tt *topology.Topology, transposed bool) (Bounds, error) {
 		sp, err := New(k, p, cc, root)
 		if err != nil {
 			return Bounds{}, err
 		}
 		return Bounds{
-			Steps:     LatencyLowerBound(sp, tt),
+			Steps:     latency(sp, tt, transposed),
 			Bandwidth: BandwidthLowerBound(sp, tt),
 		}, nil
 	}
 	switch kind {
 	case Gather, Allgather, Alltoall, Broadcast, Scatter:
-		return probe(kind, c, t)
+		return probe(kind, c, t, false)
 	case Reduce:
-		return probe(Broadcast, c, t.Reverse())
+		return probe(Broadcast, c, t.Reverse(), true)
 	case Reducescatter:
-		return probe(Allgather, c, t.Reverse())
+		return probe(Allgather, c, t.Reverse(), true)
 	case Allreduce:
 		if c%p != 0 {
 			c = p * c // interpret c as the dual's per-node count if not divisible
 		}
 		cd := c / p
-		rs, err := probe(Allgather, cd, t.Reverse())
+		rs, err := probe(Allgather, cd, t.Reverse(), true)
 		if err != nil {
 			return Bounds{}, err
 		}
-		ag, err := probe(Allgather, cd, t)
+		ag, err := probe(Allgather, cd, t, false)
 		if err != nil {
 			return Bounds{}, err
 		}

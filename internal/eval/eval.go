@@ -148,6 +148,10 @@ var paperTable5 = []rowSpec{
 // the table order regardless.
 func synthesisTable(topo *topology.Topology, rows []rowSpec, opts Options) ([]TableRow, error) {
 	opts.defaults()
+	// One Stage-0 template BFS serves every row's optimality label; the
+	// per-row bound computation used to re-walk the topology per
+	// (pre, post) pair.
+	dist := synth.NewStage0Template(topo).Dist
 	workers := opts.Workers
 	if workers > len(rows) {
 		workers = len(rows)
@@ -157,7 +161,7 @@ func synthesisTable(topo *topology.Topology, rows []rowSpec, opts Options) ([]Ta
 		// on the first error.
 		var out []TableRow
 		for _, spec := range rows {
-			row, err := synthesizeRow(context.Background(), topo, spec, opts, opts.Progress)
+			row, err := synthesizeRow(context.Background(), topo, dist, spec, opts, opts.Progress)
 			if err != nil {
 				return out, err
 			}
@@ -192,7 +196,7 @@ func synthesisTable(topo *topology.Topology, rows []rowSpec, opts Options) ([]Ta
 					slots[i].err = ctx.Err()
 					continue
 				}
-				slots[i].row, slots[i].err = synthesizeRow(ctx, topo, rows[i], opts, progress)
+				slots[i].row, slots[i].err = synthesizeRow(ctx, topo, dist, rows[i], opts, progress)
 				if slots[i].err != nil {
 					once.Do(func() {
 						firstErr = slots[i].err
@@ -218,10 +222,10 @@ func synthesisTable(topo *topology.Topology, rows []rowSpec, opts Options) ([]Ta
 }
 
 // synthesizeRow produces one verified table row.
-func synthesizeRow(ctx context.Context, topo *topology.Topology, spec rowSpec, opts Options, progress func(format string, args ...any)) (TableRow, error) {
+func synthesizeRow(ctx context.Context, topo *topology.Topology, dist [][]int, spec rowSpec, opts Options, progress func(format string, args ...any)) (TableRow, error) {
 	row := TableRow{Collective: spec.kind.String()}
 	row.C, row.S, row.R = spec.c, spec.s, spec.r
-	opt, err := optimalityLabel(spec, topo)
+	opt, err := optimalityLabel(spec, topo, dist)
 	if err != nil {
 		return row, err
 	}
@@ -271,8 +275,10 @@ func Table5(opts Options) ([]TableRow, error) {
 
 // optimalityLabel computes the paper's Optimality column from lower
 // bounds rather than hard-coding it.
-func optimalityLabel(spec rowSpec, topo *topology.Topology) (string, error) {
-	bounds, err := collective.EffectiveLowerBounds(spec.kind, topo.P, refChunks(spec.kind, topo.P), 0, topo)
+// dist optionally carries topo's precomputed all-pairs BFS matrix (a
+// Stage-0 template's); nil re-derives distances per pair.
+func optimalityLabel(spec rowSpec, topo *topology.Topology, dist [][]int) (string, error) {
+	bounds, err := collective.EffectiveLowerBoundsDist(spec.kind, topo.P, refChunks(spec.kind, topo.P), 0, topo, dist)
 	if err != nil {
 		return "", err
 	}

@@ -42,7 +42,7 @@ func TestTable4OptimalityLabelsMatchPaper(t *testing.T) {
 	}
 	topo := topology.DGX1()
 	for _, tc := range cases {
-		got, err := optimalityLabel(rowSpec{tc.kind, tc.c, tc.s, tc.r, false}, topo)
+		got, err := optimalityLabel(rowSpec{tc.kind, tc.c, tc.s, tc.r, false}, topo, nil)
 		if err != nil {
 			t.Fatalf("%v: %v", tc.kind, err)
 		}
@@ -73,7 +73,7 @@ func TestTable5OptimalityLabelsMatchPaper(t *testing.T) {
 	}
 	topo := topology.AMDZ52()
 	for _, tc := range cases {
-		got, err := optimalityLabel(rowSpec{tc.kind, tc.c, tc.s, tc.r, false}, topo)
+		got, err := optimalityLabel(rowSpec{tc.kind, tc.c, tc.s, tc.r, false}, topo, nil)
 		if err != nil {
 			t.Fatalf("%v: %v", tc.kind, err)
 		}

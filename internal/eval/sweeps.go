@@ -25,6 +25,15 @@ type SweepSpec struct {
 	K         int
 	MaxSteps  int
 	MaxChunks int
+	// Workers overrides the runner's worker count for this spec; 0 keeps
+	// the caller's value. Portfolio specs pin Workers so the paired
+	// plain/portfolio rows measure the same dispatch budget.
+	Workers int
+	// Portfolio marks an intra-instance parallelism spec: the runner emits
+	// a plain row and a portfolio row (both with sessions on, at the same
+	// worker count) so the benchmark tracks the portfolio's solve-wall win
+	// against its own-run baseline instead of a stale calibration.
+	Portfolio bool
 }
 
 // SessionSweeps returns the default benchmark sweep suite. The bidir-ring
@@ -38,6 +47,12 @@ func SessionSweeps() []SweepSpec {
 		{Name: "bidir-ring10-broadcast-k3", Kind: collective.Broadcast, Topo: topology.BidirRing(10), K: 3, MaxSteps: 7, MaxChunks: 12},
 		{Name: "ring10-broadcast-k2", Kind: collective.Broadcast, Topo: topology.Ring(10), K: 2, MaxSteps: 12, MaxChunks: 18},
 		{Name: "dgx1-allgather-k2", Kind: collective.Allgather, Topo: topology.DGX1(), K: 2, MaxSteps: 7, MaxChunks: 16},
+		// The intra-instance parallelism benchmark: the same DGX-1 sweep at
+		// four dispatch workers, plain vs portfolio. The sweep is dominated
+		// by one slow Sat probe per family, so speculative across-probe
+		// breadth at w4 wastes most of the solver time it dispatches;
+		// trading it for intra-instance depth is the measured win.
+		{Name: "dgx1-allgather-k2-w4", Kind: collective.Allgather, Topo: topology.DGX1(), K: 2, MaxSteps: 7, MaxChunks: 16, Workers: 4, Portfolio: true},
 	}
 }
 
@@ -60,6 +75,7 @@ type SweepRow struct {
 	MaxChunks      int          `json:"maxChunks"`
 	Workers        int          `json:"workers"`
 	Sessions       bool         `json:"sessions"`
+	Portfolio      bool         `json:"portfolio"`
 	Points         []SweepPoint `json:"points"`
 	Probes         int          `json:"probes"`
 	Pruned         int          `json:"pruned"`
@@ -77,6 +93,13 @@ type SweepRow struct {
 	// clauses carried across session re-bases instead of dropped.
 	TemplateHits    int   `json:"templateHits"`
 	MigratedLearnts int64 `json:"migratedLearnts"`
+	// PortfolioSolves, SharedLearnts and CubeSplits track intra-instance
+	// parallelism: probes that escalated into a race, learnt clauses
+	// imported across portfolio workers, and cubes raced by
+	// cube-and-conquer workers.
+	PortfolioSolves int   `json:"portfolioSolves"`
+	SharedLearnts   int64 `json:"sharedLearnts"`
+	CubeSplits      int   `json:"cubeSplits"`
 	EncodeWallNs    int64 `json:"encodeWallNs"`
 	SolveWallNs     int64 `json:"solveWallNs"`
 	WallNs          int64 `json:"wallNs"`
@@ -84,13 +107,21 @@ type SweepRow struct {
 
 // RunSweep executes one spec with sessions on or off and renders its
 // row. backend selects the solver backend for every probe; nil uses the
-// built-in CDCL solver.
-func RunSweep(spec SweepSpec, backend synth.Backend, sessions bool, workers int, timeout time.Duration) (SweepRow, error) {
+// built-in CDCL solver. portfolio enables intra-instance parallelism
+// (a 4-worker diversified race per slow probe) for the run.
+func RunSweep(spec SweepSpec, backend synth.Backend, sessions, portfolio bool, workers int, timeout time.Duration) (SweepRow, error) {
+	if spec.Workers > 0 {
+		workers = spec.Workers
+	}
+	inst := synth.Options{Timeout: timeout, Backend: backend}
+	if portfolio {
+		inst.Portfolio = 4
+	}
 	var stats synth.ParetoStats
 	pts, err := synth.ParetoSynthesize(spec.Kind, spec.Topo, spec.Root, synth.ParetoOptions{
 		K: spec.K, MaxSteps: spec.MaxSteps, MaxChunks: spec.MaxChunks,
 		Workers: workers, Stats: &stats, NoSessions: !sessions,
-		Instance: synth.Options{Timeout: timeout, Backend: backend},
+		Instance: inst,
 	})
 	if err != nil {
 		return SweepRow{}, fmt.Errorf("eval: sweep %s (sessions=%v): %w", spec.Name, sessions, err)
@@ -106,6 +137,7 @@ func RunSweep(spec SweepSpec, backend synth.Backend, sessions bool, workers int,
 		K:          spec.K, MaxSteps: spec.MaxSteps, MaxChunks: spec.MaxChunks,
 		Workers:         workers,
 		Sessions:        sessions,
+		Portfolio:       portfolio,
 		Probes:          stats.Probes,
 		Pruned:          stats.Pruned,
 		Families:        stats.Families,
@@ -116,6 +148,9 @@ func RunSweep(spec SweepSpec, backend synth.Backend, sessions bool, workers int,
 		PrunedProbes:    stats.PrunedProbes,
 		TemplateHits:    stats.TemplateHits,
 		MigratedLearnts: stats.MigratedLearnts,
+		PortfolioSolves: stats.PortfolioSolves,
+		SharedLearnts:   stats.SharedLearnts,
+		CubeSplits:      stats.CubeSplits,
 		EncodeWallNs:    int64(stats.EncodeTime),
 		SolveWallNs:     int64(stats.SolveTime),
 		WallNs:          int64(stats.Wall),
@@ -126,21 +161,30 @@ func RunSweep(spec SweepSpec, backend synth.Backend, sessions bool, workers int,
 	return row, nil
 }
 
-// RunSessionSweeps runs every spec twice — one-shot then sessions — and
-// returns the paired rows; progress (if non-nil) receives a line per run.
+// RunSessionSweeps runs every spec's comparison pair and returns the
+// rows; progress (if non-nil) receives a line per run. Plain specs run
+// one-shot then sessions (both without portfolio); portfolio specs run
+// sessions-on plain then sessions-on portfolio at the spec's worker
+// count, so the pair isolates the intra-instance parallelism effect in
+// one process on one machine.
 func RunSessionSweeps(specs []SweepSpec, backend synth.Backend, workers int, timeout time.Duration, progress func(format string, args ...any)) ([]SweepRow, error) {
 	if progress == nil {
 		progress = func(string, ...any) {}
 	}
 	var rows []SweepRow
 	for _, spec := range specs {
-		for _, sessions := range []bool{false, true} {
-			row, err := RunSweep(spec, backend, sessions, workers, timeout)
+		type run struct{ sessions, portfolio bool }
+		runs := []run{{false, false}, {true, false}}
+		if spec.Portfolio {
+			runs = []run{{true, false}, {true, true}}
+		}
+		for _, r := range runs {
+			row, err := RunSweep(spec, backend, r.sessions, r.portfolio, workers, timeout)
 			if err != nil {
 				return rows, err
 			}
-			progress("sweep %-28s sessions=%-5v probes=%-3d pruned=%-3d families=%-2d reuses=%-3d encode=%.3fs solve=%.3fs wall=%.3fs",
-				spec.Name, sessions, row.Probes, row.PrunedProbes, row.Families, row.SessionReuses,
+			progress("sweep %-28s sessions=%-5v portfolio=%-5v probes=%-3d pruned=%-3d families=%-2d reuses=%-3d encode=%.3fs solve=%.3fs wall=%.3fs",
+				spec.Name, r.sessions, r.portfolio, row.Probes, row.PrunedProbes, row.Families, row.SessionReuses,
 				time.Duration(row.EncodeWallNs).Seconds(), time.Duration(row.SolveWallNs).Seconds(),
 				time.Duration(row.WallNs).Seconds())
 			rows = append(rows, row)

@@ -1,0 +1,224 @@
+package sat
+
+import (
+	"fmt"
+	"testing"
+)
+
+// TestCloneIndependent checks the deep-copy contract: a clone answers
+// the same query as the original, and mutating the clone's clause
+// database (to the point of unsatisfiability) leaves the original
+// untouched.
+func TestCloneIndependent(t *testing.T) {
+	s := pigeonhole(4)
+	c := s.Clone()
+	if c == nil {
+		t.Fatal("Clone returned nil at level 0")
+	}
+	if got := c.Solve(); got != Unsat {
+		t.Fatalf("clone solve = %v, want Unsat", got)
+	}
+
+	// A Sat formula: clone, poison the clone, original survives.
+	s2 := NewSolver()
+	a, b := s2.NewVar(), s2.NewVar()
+	s2.AddClause(PosLit(a), PosLit(b))
+	c2 := s2.Clone()
+	c2.AddClause(PosLit(a))
+	c2.AddClause(NegLit(a))
+	c2.AddClause(PosLit(b))
+	c2.AddClause(NegLit(b))
+	if got := c2.Solve(); got != Unsat {
+		t.Fatalf("poisoned clone = %v, want Unsat", got)
+	}
+	if got := s2.Solve(); got != Sat {
+		t.Fatalf("original after clone poisoning = %v, want Sat", got)
+	}
+}
+
+// TestCloneAfterSolve clones a solver that already carries learnt
+// clauses and a saved trail, then solves both under assumptions — the
+// answers must agree.
+func TestCloneAfterSolve(t *testing.T) {
+	s := pigeonhole(5)
+	s.SetBudget(200, 0)
+	s.Solve() // Unknown or Unsat; either way the solver now has learnts.
+	s.SetBudget(0, 0)
+	c := s.Clone()
+	if c == nil {
+		t.Fatal("Clone returned nil between solves")
+	}
+	if got, want := c.Solve(), s.Solve(); got != want {
+		t.Fatalf("clone = %v, original = %v", got, want)
+	}
+}
+
+// TestDiversifyPreservesAnswers applies every diversification flavor the
+// portfolio rotation uses and checks the perturbed solver still answers
+// exactly what the canonical one does, on both a Sat and an Unsat
+// formula.
+func TestDiversifyPreservesAnswers(t *testing.T) {
+	divs := []Diversification{
+		{},
+		{Seed: 1},
+		{InvertPolarity: true, Seed: 2},
+		{GeometricRestart: true, Seed: 3},
+		{VarDecay: 0.90, Seed: 4},
+		{LubyUnit: 64, Seed: 5},
+		{VarDecay: 0.99, GeometricRestart: true, Seed: 6},
+	}
+	for i, d := range divs {
+		t.Run(fmt.Sprintf("div%d", i), func(t *testing.T) {
+			u := pigeonhole(5)
+			u.Diversify(d)
+			if got := u.Solve(); got != Unsat {
+				t.Fatalf("diversified PHP(5) = %v, want Unsat", got)
+			}
+			sSat := NewSolver()
+			var lits []Lit
+			for j := 0; j < 8; j++ {
+				lits = append(lits, PosLit(sSat.NewVar()))
+			}
+			for j := 0; j < 8; j++ {
+				sSat.AddClause(lits[j], lits[(j+1)%8].Neg())
+			}
+			sSat.Diversify(d)
+			if got := sSat.Solve(); got != Sat {
+				t.Fatalf("diversified implication cycle = %v, want Sat", got)
+			}
+		})
+	}
+}
+
+// TestExchangeRing pins the bounded lossy buffer semantics: per-consumer
+// cursors, registration at the oldest buffered clause, overwrite drops,
+// and batch-capped draining.
+func TestExchangeRing(t *testing.T) {
+	e := NewExchange(4)
+	early := e.Register()
+	for i := 0; i < 10; i++ {
+		e.publish([]Lit{MkLit(Var(i+1), false)})
+	}
+	late := e.Register()
+
+	// The early consumer slept through six overwrites: it gets only the
+	// four clauses still buffered (7..10), not the ten published.
+	got := e.drain(early, 100)
+	if len(got) != 4 {
+		t.Fatalf("early consumer drained %d clauses, want 4", len(got))
+	}
+	for i, cls := range got {
+		if want := Var(i + 7); cls[0].Var() != want {
+			t.Fatalf("early clause %d is var %d, want %d (oldest-surviving order)", i, cls[0].Var(), want)
+		}
+	}
+	// A late-registering consumer starts at the oldest buffered clause —
+	// the backlog guarantee replicas joining an escalated race rely on.
+	if got := e.drain(late, 100); len(got) != 4 {
+		t.Fatalf("late consumer drained %d clauses, want 4", len(got))
+	}
+	// Drained means consumed: nothing left for either.
+	if got := e.drain(early, 100); len(got) != 0 {
+		t.Fatalf("early consumer re-drained %d clauses, want 0", len(got))
+	}
+	// Batch cap honored, remainder preserved.
+	for i := 0; i < 3; i++ {
+		e.publish([]Lit{MkLit(Var(20+i), false)})
+	}
+	if got := e.drain(early, 2); len(got) != 2 {
+		t.Fatalf("capped drain returned %d, want 2", len(got))
+	}
+	if got := e.drain(early, 2); len(got) != 1 {
+		t.Fatalf("follow-up drain returned %d, want 1", len(got))
+	}
+
+	st := e.Stats()
+	if st.Published != 13 {
+		t.Fatalf("Published = %d, want 13", st.Published)
+	}
+	if st.Dropped == 0 {
+		t.Fatal("overwrites before any drain must count as Dropped")
+	}
+}
+
+// TestExchangeImportVetting wires a publisher/consumer pair over one
+// pigeonhole formula and checks the consumer-side contract: imports are
+// recorded, every import passed the entailment vetting, and a published
+// clause over variables the consumer does not have is vetoed rather
+// than adopted.
+func TestExchangeImportVetting(t *testing.T) {
+	e := NewExchange(0)
+
+	pub := pigeonhole(6)
+	pub.AttachExchange(e, -1)
+	if got := pub.Solve(); got != Unsat {
+		t.Fatalf("publisher PHP(6) = %v, want Unsat", got)
+	}
+	if st := e.Stats(); st.Published == 0 {
+		t.Fatal("publisher shared nothing")
+	}
+	// A clause over a variable the consumer does not know: must be vetoed
+	// by the bounds check, never adopted.
+	e.publish([]Lit{MkLit(Var(4000), false)})
+
+	consumer := e.Register()
+	con := pigeonhole(6)
+	con.Diversify(Diversification{InvertPolarity: true, Seed: 9, LubyUnit: 16})
+	con.AttachExchange(e, consumer)
+	if got := con.Solve(); got != Unsat {
+		t.Fatalf("consumer PHP(6) = %v, want Unsat", got)
+	}
+	st := e.Stats()
+	if st.Imported == 0 {
+		t.Fatal("consumer imported nothing despite frequent restarts")
+	}
+	if st.Vetoed == 0 {
+		t.Fatal("out-of-range clause was not vetoed")
+	}
+	if got := uint64(len(con.SharedImports())); got != st.Imported {
+		t.Fatalf("SharedImports has %d clauses, exchange counted %d", got, st.Imported)
+	}
+	for _, cls := range con.SharedImports() {
+		for _, l := range cls {
+			if l.Var() >= 4000 {
+				t.Fatalf("out-of-range clause %v was adopted", cls)
+			}
+		}
+	}
+	if con.Stats().SharedIn != int64(st.Imported) {
+		t.Fatalf("solver SharedIn = %d, exchange Imported = %d", con.Stats().SharedIn, st.Imported)
+	}
+}
+
+// TestProbeLiteralLookahead checks the cube-splitting primitive: implied
+// counts, conflict detection, and full trail restoration.
+func TestProbeLiteralLookahead(t *testing.T) {
+	s := NewSolver()
+	a, b, c, d := s.NewVar(), s.NewVar(), s.NewVar(), s.NewVar()
+	s.AddClause(NegLit(a), PosLit(b)) // a -> b
+	s.AddClause(NegLit(b), PosLit(c)) // b -> c
+	s.AddClause(PosLit(d), PosLit(a)) // ¬d -> a
+
+	implied, conflict := s.ProbeLiteral(PosLit(a))
+	if conflict || implied != 3 {
+		t.Fatalf("probe a: implied=%d conflict=%v, want 3,false", implied, conflict)
+	}
+	// The probe must leave no residue: a second identical probe agrees,
+	// and a full solve still works.
+	implied2, conflict2 := s.ProbeLiteral(PosLit(a))
+	if implied2 != implied || conflict2 != conflict {
+		t.Fatalf("re-probe diverged: %d,%v vs %d,%v", implied2, conflict2, implied, conflict)
+	}
+	// ¬d forces a, b, c: 4 assignments.
+	if implied, conflict = s.ProbeLiteral(NegLit(d)); conflict || implied != 4 {
+		t.Fatalf("probe ¬d: implied=%d conflict=%v, want 4,false", implied, conflict)
+	}
+	// A literal that closes a contradiction: a -> b -> c with ¬c forced.
+	s.AddClause(NegLit(c)) // now a conflicts
+	if _, conflict = s.ProbeLiteral(PosLit(a)); !conflict {
+		t.Fatal("probe a after ¬c: want conflict")
+	}
+	if got := s.Solve(); got != Sat {
+		t.Fatalf("formula after probes = %v, want Sat (¬a,¬b,¬c,d)", got)
+	}
+}

@@ -16,6 +16,10 @@ type Stats struct {
 	Learnt       int64
 	Removed      int64
 	MaxLBD       int64
+	// SharedOut / SharedIn count learnt clauses exported to and imported
+	// (after entailment vetting) from a portfolio exchange.
+	SharedOut int64
+	SharedIn  int64
 }
 
 // Options tunes solver behaviour. The zero value selects sensible defaults
@@ -64,6 +68,13 @@ type Solver struct {
 	analyzeToClear []Lit
 	deadline       time.Time
 	proof          *Proof
+
+	// Portfolio state (see portfolio.go). geomGrowth > 1 selects geometric
+	// restarts; zero keeps the Luby schedule, preserving canonical search.
+	geomGrowth    float64
+	exch          *Exchange
+	exchConsumer  int
+	sharedImports [][]Lit
 }
 
 // NewSolver constructs an empty solver with default options.
@@ -768,6 +779,7 @@ func (s *Solver) SolveContext(ctx context.Context, assumptions ...Lit) Status {
 			s.recordProof(learnt)
 			s.backtrack(btLevel)
 			if len(learnt) == 1 {
+				s.exportLearnt(learnt, 0)
 				s.enqueue(learnt[0], nilClause)
 			} else {
 				ref := s.pushClause(learnt, true)
@@ -776,6 +788,7 @@ func (s *Solver) SolveContext(ctx context.Context, assumptions ...Lit) Status {
 				if int64(c.lbd) > s.stats.MaxLBD {
 					s.stats.MaxLBD = int64(c.lbd)
 				}
+				s.exportLearnt(learnt, c.lbd)
 				s.attachClause(ref)
 				s.bumpClause(ref)
 				s.enqueue(learnt[0], ref)
@@ -793,12 +806,24 @@ func (s *Solver) SolveContext(ctx context.Context, assumptions ...Lit) Status {
 		if conflictsThisRestart >= conflictBudget {
 			s.stats.Restarts++
 			restartIdx++
-			conflictBudget = s.opts.LubyUnit * luby(restartIdx)
+			if s.geomGrowth > 1 {
+				// Diversified portfolio replicas may run a geometric
+				// schedule; the canonical configuration stays Luby.
+				conflictBudget = int64(float64(conflictBudget) * s.geomGrowth)
+			} else {
+				conflictBudget = s.opts.LubyUnit * luby(restartIdx)
+			}
 			conflictsThisRestart = 0
 			s.backtrack(0)
 			sincePoll = 0
 			if interrupted() {
 				return Unknown
+			}
+			// Portfolio import point: the solver is at decision level 0, so
+			// vetted lemmas from the exchange enter exactly like its own
+			// top-level derivations.
+			if !s.importShared() {
+				return Unsat
 			}
 			continue
 		}

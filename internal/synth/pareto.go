@@ -33,7 +33,9 @@ type ParetoOptions struct {
 	// select a single worker. The per-S candidate probes are speculated
 	// out of order across the pool and merged deterministically in
 	// (S, bandwidth-cost) rank, so the returned frontier is identical for
-	// every worker count.
+	// every worker count. With Instance.Portfolio > 1 the pool is divided
+	// by the portfolio width: probes dispatch (mostly) sequentially and
+	// the parallelism moves inside each escalated solve.
 	Workers int
 	// Context, if non-nil, cancels the whole sweep early; in-flight
 	// probes are aborted at the solver's next restart/conflict boundary.
@@ -101,6 +103,16 @@ type ParetoStats struct {
 	// stage variable map into rebuilt session solvers when probes stepped
 	// past their encoded window — lemmas a re-base used to drop.
 	MigratedLearnts int64
+	// PortfolioSolves counts probes whose solve wall crossed the
+	// portfolio threshold and escalated into an intra-instance race of
+	// diversified solvers (see Options.Portfolio).
+	PortfolioSolves int
+	// SharedLearnts sums the learnt clauses portfolio replicas imported
+	// from the race exchange after entailment vetting.
+	SharedLearnts int64
+	// CubeSplits sums the cubes raced by cube-and-conquer escalations
+	// (see Options.CubeDepth).
+	CubeSplits int
 }
 
 // Speedup returns the aggregate parallel speedup: summed probe time over
@@ -334,11 +346,64 @@ func ParetoSynthesize(kind collective.Kind, topo *topology.Topology, root topolo
 	if workers < 1 {
 		workers = 1
 	}
+	if opts.Instance.Portfolio > 1 {
+		// Intra-instance mode: the pool's parallelism goes into each
+		// probe's portfolio race instead of speculative across-probe
+		// dispatch. Speculation pays when many independent probes are
+		// plausible; the sweeps that want a portfolio are dominated by
+		// one hard instance, where speculative siblings only burn solver
+		// time that cancellation then discards. The frontier is identical
+		// either way — only the schedule changes.
+		workers = workers / opts.Instance.Portfolio
+		if workers < 1 {
+			workers = 1
+		}
+	}
 	ctx := opts.Context
 	if ctx == nil {
 		ctx = context.Background()
 	}
-	bounds, err := collective.EffectiveLowerBounds(kind, topo.P, 1, root, topo)
+	// Session affinity: same-family probes share one incremental solver.
+	// The caller's pool (usually an Engine's) keeps sessions across
+	// sweeps; otherwise a transient pool lives for this sweep only. Set
+	// up before the lower bounds so their latency computation can reuse
+	// the pool's cached Stage-0 BFS distances.
+	var pool, transientPool *SessionPool
+	if !opts.NoSessions {
+		backend := opts.Instance.Backend
+		if backend == nil {
+			backend = NewCDCLBackend()
+		}
+		if sb, ok := backend.(SessionBackend); ok {
+			pool = opts.Pool
+			if pool == nil {
+				// A sweep has one family per probed chunk count, so size
+				// the transient pool exactly: an undersized pool would
+				// evict families between visits and never adopt them.
+				transientPool = NewSessionPool(sb, opts.MaxChunks)
+				pool = transientPool
+			}
+		}
+	}
+	defer func() {
+		if transientPool != nil {
+			transientPool.Close()
+		}
+	}()
+	// Lower bounds over the Stage-0 template's all-pairs BFS matrix: from
+	// the pool's shared cache when sessions are on (derived at most once
+	// per topology across sweeps), otherwise derived here — still one
+	// walk for the whole sweep instead of one per (pre, post) pair.
+	var tmplDist [][]int
+	if pool != nil {
+		if tmpl, _ := pool.Templates().Get(topo); tmpl != nil {
+			tmplDist = tmpl.Dist
+		}
+	}
+	if tmplDist == nil {
+		tmplDist = NewStage0Template(topo).Dist
+	}
+	bounds, err := collective.EffectiveLowerBoundsDist(kind, topo.P, 1, root, topo, tmplDist)
 	if err != nil {
 		return nil, err
 	}
@@ -362,31 +427,7 @@ func ParetoSynthesize(kind collective.Kind, topo *topology.Topology, root topolo
 		stepKill:  map[int]int{},
 		roundKill: map[[2]int]int{},
 	}
-	// Session affinity: same-family probes share one incremental solver.
-	// The caller's pool (usually an Engine's) keeps sessions across
-	// sweeps; otherwise a transient pool lives for this sweep only.
-	var transientPool *SessionPool
-	if !opts.NoSessions {
-		backend := opts.Instance.Backend
-		if backend == nil {
-			backend = NewCDCLBackend()
-		}
-		if sb, ok := backend.(SessionBackend); ok {
-			w.pool = opts.Pool
-			if w.pool == nil {
-				// A sweep has one family per probed chunk count, so size
-				// the transient pool exactly: an undersized pool would
-				// evict families between visits and never adopt them.
-				transientPool = NewSessionPool(sb, opts.MaxChunks)
-				w.pool = transientPool
-			}
-		}
-	}
-	defer func() {
-		if transientPool != nil {
-			transientPool.Close()
-		}
-	}()
+	w.pool = pool
 	for S := al; S <= opts.MaxSteps; S++ {
 		cands := enumerateCandidates(S, opts.K, opts.MaxChunks, bl)
 		w.steps = append(w.steps, &stepSchedule{
@@ -609,6 +650,12 @@ func (w *paretoSweep) account(out *probeOutcome) {
 	w.stats.SolveTime += out.res.Solve
 	w.stats.TemplateHits += out.res.TemplateHits
 	w.stats.MigratedLearnts += int64(out.res.MigratedLearnts)
+	// Portfolio counters ride the Result of each probe and merge here, on
+	// the coordinator goroutine — the scheduler's single merge point — so
+	// replica workers never touch shared counters directly.
+	w.stats.PortfolioSolves += out.res.PortfolioSolves
+	w.stats.SharedLearnts += out.res.SharedLearnts
+	w.stats.CubeSplits += out.res.CubeSplits
 	if out.res.SessionProbe {
 		w.stats.SessionProbes++
 		if out.res.SessionWarm {

@@ -1,0 +1,357 @@
+package synth
+
+import (
+	"context"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/sat"
+)
+
+// This file is the synthesis-side of intra-instance parallelism: the
+// escalation policy that turns a long-running one-shot probe into a race
+// of CDCL solvers, and the two race flavors — a diversified portfolio
+// with vetted learnt-clause sharing, and cube-and-conquer over Stage-2
+// literals. Determinism contract: the race is leader-anchored. The
+// canonical solver (the exact configuration the sequential path runs)
+// starts immediately, never imports shared clauses, and is the only
+// solver whose model is ever extracted — replicas can only short-circuit
+// the race by proving Unsat, which carries no output bytes. A probe that
+// finishes under the escalation threshold never pays any portfolio cost.
+
+// defaultPortfolioThreshold is the solve wall clock after which an
+// eligible one-shot probe escalates into a race. High enough that the
+// sub-millisecond Unsat chains of a Pareto sweep never escalate; low
+// enough that the one dominant instance of a hard sweep does.
+const defaultPortfolioThreshold = 100 * time.Millisecond
+
+// portfolioEligible gates escalation: the built-in paper-encoding
+// pipeline only, and never under proof recording (a refutation must come
+// from a single solver's recorded trace).
+func portfolioEligible(opts Options) bool {
+	return opts.Portfolio > 1 && opts.Encoding == EncodingPaper && !opts.ProveUnsat
+}
+
+// helperDiversification fixes replica i's perturbation. The rotation
+// starts with the mildest changes (seeded tie-breaking) and moves toward
+// the most aggressive (restart and decay overrides); every configuration
+// is deterministic in i, so a race with the same worker count explores
+// the same portfolio.
+func helperDiversification(i int) sat.Diversification {
+	seed := uint64(i) + 1
+	switch i % 6 {
+	case 0:
+		return sat.Diversification{Seed: seed}
+	case 1:
+		return sat.Diversification{InvertPolarity: true, Seed: seed}
+	case 2:
+		return sat.Diversification{GeometricRestart: true, Seed: seed}
+	case 3:
+		return sat.Diversification{VarDecay: 0.90, Seed: seed}
+	case 4:
+		return sat.Diversification{LubyUnit: 64, Seed: seed}
+	default:
+		return sat.Diversification{VarDecay: 0.99, GeometricRestart: true, Seed: seed}
+	}
+}
+
+// portfolioOutcome is what a race reports back into the one-shot
+// pipeline.
+type portfolioOutcome struct {
+	status sat.Status
+	// escalated is true when the threshold fired and replicas launched;
+	// a leader that finished alone reports false and zero counters.
+	escalated bool
+	shared    sat.ExchangeStats
+	cubes     int
+}
+
+// portfolioSolve runs the solve phase of one eligible one-shot probe.
+// The leader — e's own solver, exactly as the sequential path would run
+// it — starts immediately; if it finishes within the threshold the race
+// never forms. Otherwise Portfolio-1 replica workers launch: diversified
+// racers importing the leader's published lemmas (CubeDepth == 0) or
+// cube-and-conquer workers (CubeDepth > 0). The first replica Unsat
+// cancels everyone and wins; a replica Sat is recorded but never wins,
+// because witness extraction is the leader's alone.
+func portfolioSolve(ctx context.Context, e *encoded, in Instance, opts Options, tmpl *Stage0Template) portfolioOutcome {
+	leader := e.ctx.Solver
+	threshold := opts.PortfolioThreshold
+	if threshold <= 0 {
+		threshold = defaultPortfolioThreshold
+	}
+	exch := sat.NewExchange(0)
+	// Publish-only: the leader exports its lemmas for late-joining
+	// replicas but must not import — imports would steer the canonical
+	// search and change the witness bytes.
+	leader.AttachExchange(exch, -1)
+	lctx, lcancel := context.WithCancel(ctx)
+	defer lcancel()
+	leaderDone := make(chan sat.Status, 1)
+	go func() { leaderDone <- e.ctx.SolveContext(lctx) }()
+
+	timer := time.NewTimer(threshold)
+	defer timer.Stop()
+	// An already-expired timer must win over a leader that also finished:
+	// a sub-threshold threshold means "always escalate" (the tests force
+	// the race machinery onto every probe this way), and without the
+	// priority check a microsecond solve usually beats the timer wakeup
+	// to the select.
+	select {
+	case <-timer.C:
+	default:
+		select {
+		case st := <-leaderDone:
+			return portfolioOutcome{status: st}
+		case <-timer.C:
+		}
+	}
+
+	out := portfolioOutcome{escalated: true}
+	hctx, hcancel := context.WithCancel(ctx)
+	defer hcancel()
+	var wg sync.WaitGroup
+	// Buffered to the worker count: a replica finishing after the race is
+	// decided parks its verdict here and exits instead of leaking.
+	replicaDone := make(chan sat.Status, opts.Portfolio)
+	if opts.CubeDepth > 0 {
+		out.cubes = launchCubeWorkers(hctx, &wg, replicaDone, in, opts, tmpl)
+	} else {
+		launchDiverseReplicas(hctx, &wg, replicaDone, exch, in, opts, tmpl)
+	}
+	for {
+		select {
+		case st := <-leaderDone:
+			// Leader finished: Sat and Unknown are its to report, and a
+			// leader Unsat needs no help. Stop the replicas and collect
+			// the sharing counters.
+			hcancel()
+			wg.Wait()
+			out.status = st
+			out.shared = exch.Stats()
+			return out
+		case st := <-replicaDone:
+			if st == sat.Unsat {
+				// A replica refuted the formula. Unsat carries no witness
+				// bytes, so short-circuiting preserves byte-identity. The
+				// leader must be joined before returning: the caller reads
+				// its Stats() afterwards.
+				lcancel()
+				hcancel()
+				<-leaderDone
+				wg.Wait()
+				out.status = sat.Unsat
+				out.shared = exch.Stats()
+				return out
+			}
+			// Sat or Unknown from a replica: only the leader's model is
+			// canonical, so keep waiting for it.
+		}
+	}
+}
+
+// launchDiverseReplicas starts Portfolio-1 diversified racers on
+// deterministic re-encodings of the instance. Each registers as an
+// exchange consumer before solving, so it drains the leader's backlog of
+// published lemmas at its first restart; every import is entailment-
+// vetted by the replica itself (sat.Solver.importShared).
+func launchDiverseReplicas(ctx context.Context, wg *sync.WaitGroup, done chan<- sat.Status, exch *sat.Exchange, in Instance, opts Options, tmpl *Stage0Template) {
+	for i := 0; i < opts.Portfolio-1; i++ {
+		consumer := exch.Register()
+		div := helperDiversification(i)
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if ctx.Err() != nil {
+				done <- sat.Unknown
+				return
+			}
+			henc := encodePaperTemplate(in, opts, tmpl)
+			if !henc.feasible {
+				done <- sat.Unsat
+				return
+			}
+			s := henc.ctx.Solver
+			applySolverOpts(s, opts)
+			s.Diversify(div)
+			s.AttachExchange(exch, consumer)
+			done <- henc.ctx.SolveContext(ctx)
+		}()
+	}
+}
+
+// maxSplitCandidates bounds the literal pool the cube lookahead scores;
+// two unit propagations per candidate keep the selection well under the
+// escalation threshold that already elapsed.
+const maxSplitCandidates = 192
+
+// chooseSplitLits ranks Stage-2 literals of the encoded instance by a
+// failed-literal lookahead and returns the best depth split points. The
+// pool mixes the per-step round-budget thresholds (rs) with the
+// chunk-placement arrival thresholds (time(c,n)), one mid-domain literal
+// per (chunk, node) so the pool spans the instance. A literal scores by
+// the weaker of its two propagation branches — balanced splits shrink
+// both halves — and literals with a forced branch are skipped (they
+// partition nothing).
+func chooseSplitLits(e *encoded, depth int) []sat.Lit {
+	var cands []sat.Lit
+	add := func(l sat.Lit) {
+		if l != 0 && len(cands) < maxSplitCandidates {
+			cands = append(cands, l)
+		}
+	}
+	for _, rv := range e.rs {
+		for _, l := range rv.GeLits() {
+			add(l)
+		}
+	}
+	for _, row := range e.times {
+		for _, tv := range row {
+			if tv == nil {
+				continue
+			}
+			if ls := tv.GeLits(); len(ls) > 0 {
+				add(ls[len(ls)/2])
+			}
+		}
+	}
+	s := e.ctx.Solver
+	type scored struct {
+		l     sat.Lit
+		score int
+	}
+	var ranked []scored
+	for _, l := range cands {
+		posImp, posConf := s.ProbeLiteral(l)
+		if posConf {
+			continue
+		}
+		negImp, negConf := s.ProbeLiteral(l.Neg())
+		if negConf {
+			continue
+		}
+		score := posImp
+		if negImp < score {
+			score = negImp
+		}
+		if score > 0 {
+			ranked = append(ranked, scored{l, score})
+		}
+	}
+	sort.SliceStable(ranked, func(i, j int) bool { return ranked[i].score > ranked[j].score })
+	if depth > len(ranked) {
+		depth = len(ranked)
+	}
+	out := make([]sat.Lit, depth)
+	for i := range out {
+		out[i] = ranked[i].l
+	}
+	return out
+}
+
+// enumerateCubes expands split literals into all 2^len sign
+// combinations. By construction the cubes partition the assignment
+// space: any total assignment satisfies exactly one cube (the one whose
+// signs agree with it), which is what lets all-Unsat cubes combine into
+// a formula-level Unsat.
+func enumerateCubes(split []sat.Lit) [][]sat.Lit {
+	n := 1 << len(split)
+	out := make([][]sat.Lit, n)
+	for mask := 0; mask < n; mask++ {
+		cube := make([]sat.Lit, len(split))
+		for i, l := range split {
+			if mask&(1<<i) != 0 {
+				l = l.Neg()
+			}
+			cube[i] = l
+		}
+		out[mask] = cube
+	}
+	return out
+}
+
+// launchCubeWorkers starts the cube-and-conquer flavor: one base solver
+// is re-encoded, the split literals are chosen by lookahead, and
+// Portfolio-1 workers race the 2^CubeDepth cubes on clones of the base.
+// All cubes Unsat combines — via the partition property plus the union
+// of their assumption cores — into a single formula-level Unsat verdict
+// on done; an Unsat cube whose core is empty proves the formula Unsat
+// outright and short-circuits. The first Sat cube stops the remaining
+// cube work (the leader still owns the witness). Returns the cube count
+// raced (0 when splitting found no usable literals).
+func launchCubeWorkers(ctx context.Context, wg *sync.WaitGroup, done chan<- sat.Status, in Instance, opts Options, tmpl *Stage0Template) int {
+	base := encodePaperTemplate(in, opts, tmpl)
+	if !base.feasible {
+		done <- sat.Unsat
+		return 0
+	}
+	applySolverOpts(base.ctx.Solver, opts)
+	split := chooseSplitLits(base, opts.CubeDepth)
+	if len(split) == 0 {
+		// Nothing worth splitting on (tiny or fully propagated formula):
+		// decline quietly and leave the race to the leader.
+		return 0
+	}
+	cubes := enumerateCubes(split)
+	workers := opts.Portfolio - 1
+	if workers > len(cubes) {
+		workers = len(cubes)
+	}
+	cubeCh := make(chan []sat.Lit, len(cubes))
+	for _, c := range cubes {
+		cubeCh <- c
+	}
+	close(cubeCh)
+	var unsatCubes atomic.Int64
+	var satSeen atomic.Bool
+	var cwg sync.WaitGroup
+	for i := 0; i < workers; i++ {
+		cl := base.ctx.Solver.Clone()
+		if cl == nil {
+			continue
+		}
+		wg.Add(1)
+		cwg.Add(1)
+		go func(cl *sat.Solver) {
+			defer wg.Done()
+			defer cwg.Done()
+			for cube := range cubeCh {
+				if ctx.Err() != nil || satSeen.Load() {
+					return
+				}
+				switch cl.SolveContext(ctx, cube...) {
+				case sat.Unsat:
+					if len(cl.FailedAssumptions()) == 0 {
+						// The refutation never touched the cube: the
+						// formula itself is Unsat, regardless of the
+						// remaining cubes.
+						done <- sat.Unsat
+						return
+					}
+					unsatCubes.Add(1)
+				case sat.Sat:
+					satSeen.Store(true)
+					done <- sat.Sat
+					return
+				default:
+					// Cancelled or out of budget: this cube is unresolved,
+					// so the all-Unsat combination can no longer form.
+					return
+				}
+			}
+		}(cl)
+	}
+	// Combiner: once every worker drains, all cubes Unsat means the
+	// partition is exhaustively refuted — formula-level Unsat.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		cwg.Wait()
+		if int(unsatCubes.Load()) == len(cubes) {
+			done <- sat.Unsat
+		}
+	}()
+	return len(cubes)
+}

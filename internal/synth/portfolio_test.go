@@ -1,0 +1,303 @@
+package synth
+
+import (
+	"context"
+	"fmt"
+	"testing"
+	"time"
+
+	"repro/internal/collective"
+	"repro/internal/sat"
+	"repro/internal/topology"
+)
+
+// forcedThreshold makes every probe escalate: the race machinery runs on
+// each solve, so the byte-identity claim is exercised on every probe of
+// every sweep, not only on the rare slow ones.
+const forcedThreshold = time.Nanosecond
+
+// TestPortfolioFrontierByteIdentical is the determinism acceptance check
+// for intra-instance parallelism: sweeps with portfolio escalation forced
+// on every probe — diversified replicas and cube-and-conquer alike —
+// return byte-identical frontiers to the plain one-shot sweep, for
+// Workers 1 and 4 and with sessions on and off.
+func TestPortfolioFrontierByteIdentical(t *testing.T) {
+	cases := []struct {
+		name string
+		kind collective.Kind
+		topo *topology.Topology
+		k    int
+		// wantCubes: whether the sweep has at least one probe the cube
+		// lookahead can split. The ring4 k=1 sweep collapses to a single
+		// fully-propagated probe (every candidate literal is forced), and
+		// declining to cube there is the correct behavior — so only the
+		// richer sweep asserts the cube counter.
+		wantCubes bool
+	}{
+		{"ring4-allgather", collective.Allgather, topology.Ring(4), 1, false},
+		{"bidirring6-broadcast", collective.Broadcast, topology.BidirRing(6), 2, true},
+	}
+	for _, tc := range cases {
+		plain := ParetoOptions{K: tc.k, MaxSteps: 6, MaxChunks: 6, NoSessions: true}
+		want, err := ParetoSynthesize(tc.kind, tc.topo, 0, plain)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wantBytes := frontierBytes(t, want)
+		for _, workers := range []int{1, 4} {
+			for _, sessions := range []bool{false, true} {
+				for _, cubeDepth := range []int{0, 2} {
+					name := fmt.Sprintf("%s/w%d/sessions=%v/cube=%d", tc.name, workers, sessions, cubeDepth)
+					opts := ParetoOptions{
+						K: tc.k, MaxSteps: 6, MaxChunks: 6,
+						Workers:    workers,
+						NoSessions: !sessions,
+						Instance: Options{
+							Portfolio:          4,
+							PortfolioThreshold: forcedThreshold,
+							CubeDepth:          cubeDepth,
+						},
+					}
+					var stats ParetoStats
+					opts.Stats = &stats
+					got, err := ParetoSynthesize(tc.kind, tc.topo, 0, opts)
+					if err != nil {
+						t.Fatalf("%s: %v", name, err)
+					}
+					if gotBytes := frontierBytes(t, got); string(gotBytes) != string(wantBytes) {
+						t.Errorf("%s: portfolio frontier differs from plain sweep\n got: %s\nwant: %s",
+							name, gotBytes, wantBytes)
+					}
+					if stats.PortfolioSolves == 0 {
+						t.Errorf("%s: threshold forced but no probe escalated", name)
+					}
+					if cubeDepth > 0 && tc.wantCubes && stats.CubeSplits == 0 {
+						t.Errorf("%s: cube depth set but no cubes raced", name)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestPortfolioOffMatchesBaseline pins the non-escalation path: with
+// Portfolio unset the solve line is exactly the historical sequential
+// one, and the Result carries no portfolio counters.
+func TestPortfolioOffMatchesBaseline(t *testing.T) {
+	topo := topology.BidirRing(5)
+	coll, err := collective.New(collective.Broadcast, topo.P, 2, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := Instance{Coll: coll, Topo: topo, Steps: 3, Round: 4}
+	res, err := Synthesize(in, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.PortfolioSolves != 0 || res.SharedLearnts != 0 || res.CubeSplits != 0 {
+		t.Errorf("portfolio counters nonzero without Portfolio: %+v", res)
+	}
+}
+
+// TestPortfolioLearntSharingSound runs a publisher/consumer pair on the
+// same formula through an Exchange and then re-verifies a sample of the
+// clauses the consumer imported with a complete entailment check on an
+// independent, freshly encoded solver: formula ∧ ¬clause must be Unsat.
+// The in-solver vetting (failed-literal Entailed) is sound but
+// incomplete; this test confirms the stronger property the soundness
+// argument rests on. Both workers run under a conflict budget — they
+// only need to exchange clauses, not finish the (hard Unsat) instance —
+// and each re-verification gets a budget far above the observed cost so
+// a genuine non-entailment (Sat or budget blowup) fails loudly instead
+// of hanging the suite.
+func TestPortfolioLearntSharingSound(t *testing.T) {
+	const (
+		workerConflicts = 20000
+		verifyConflicts = 500000
+		maxVerified     = 64
+	)
+	topo := topology.DGX1()
+	coll, err := collective.New(collective.Allgather, topo.P, 4, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := Instance{Coll: coll, Topo: topo, Steps: 3, Round: 4}
+	exch := sat.NewExchange(0)
+
+	pub := encodePaperTemplate(in, Options{}, nil)
+	if !pub.feasible {
+		t.Fatal("publisher encode infeasible")
+	}
+	pub.ctx.Solver.SetBudget(workerConflicts, 0)
+	pub.ctx.Solver.AttachExchange(exch, -1)
+	if st := pub.ctx.SolveContext(context.Background()); st == sat.Sat {
+		t.Fatalf("publisher solve: %v on an Unsat instance", st)
+	}
+	if exch.Stats().Published == 0 {
+		t.Fatal("publisher shared no learnt clauses; instance too easy for the test")
+	}
+
+	consumer := exch.Register()
+	con := encodePaperTemplate(in, Options{}, nil)
+	con.ctx.Solver.SetBudget(workerConflicts, 0)
+	// Short Luby unit → frequent restarts → the exchange drains early and
+	// often, so the import set is large even under the conflict budget.
+	con.ctx.Solver.Diversify(sat.Diversification{InvertPolarity: true, Seed: 7, LubyUnit: 32})
+	con.ctx.Solver.AttachExchange(exch, consumer)
+	if st := con.ctx.SolveContext(context.Background()); st == sat.Sat {
+		t.Fatalf("consumer solve: %v on an Unsat instance", st)
+	}
+	imports := con.ctx.Solver.SharedImports()
+	if len(imports) == 0 {
+		t.Fatal("consumer imported nothing; restart boundaries never drained the exchange")
+	}
+
+	verified := 0
+	for i, cls := range imports {
+		if verified >= maxVerified {
+			break
+		}
+		fresh := encodePaperTemplate(in, Options{}, nil)
+		if !fresh.feasible {
+			t.Fatal("fresh encode infeasible")
+		}
+		neg := make([]sat.Lit, len(cls))
+		for j, l := range cls {
+			neg[j] = l.Neg()
+		}
+		fresh.ctx.Solver.SetBudget(verifyConflicts, 0)
+		if st := fresh.ctx.Solver.SolveContext(context.Background(), neg...); st != sat.Unsat {
+			t.Fatalf("imported clause %d/%d is not entailed: formula ∧ ¬clause is %v (clause %v)",
+				i+1, len(imports), st, cls)
+		}
+		verified++
+	}
+	t.Logf("re-verified %d of %d imported clauses (exchange: %+v)", verified, len(imports), exch.Stats())
+}
+
+// TestCubePartitionExhaustive checks the cube generator's partition
+// property directly: for every assignment over the split variables,
+// exactly one cube is satisfied — so an all-cubes-Unsat combination
+// covers the whole assignment space and is a formula-level Unsat.
+func TestCubePartitionExhaustive(t *testing.T) {
+	for _, k := range []int{1, 2, 3, 4} {
+		split := make([]sat.Lit, k)
+		for i := range split {
+			// Mixed polarities: the generator must honor signs, not vars.
+			split[i] = sat.MkLit(sat.Var(i+1), i%2 == 0)
+		}
+		cubes := enumerateCubes(split)
+		if len(cubes) != 1<<k {
+			t.Fatalf("k=%d: %d cubes, want %d", k, len(cubes), 1<<k)
+		}
+		for assign := 0; assign < 1<<k; assign++ {
+			// assign bit i gives variable i+1's value.
+			value := func(l sat.Lit) bool {
+				bit := assign&(1<<(int(l.Var())-1)) != 0
+				if l.Sign() {
+					return !bit
+				}
+				return bit
+			}
+			matches := 0
+			for _, cube := range cubes {
+				all := true
+				for _, l := range cube {
+					if !value(l) {
+						all = false
+						break
+					}
+				}
+				if all {
+					matches++
+				}
+			}
+			if matches != 1 {
+				t.Fatalf("k=%d assignment %b satisfies %d cubes, want exactly 1", k, assign, matches)
+			}
+		}
+	}
+}
+
+// TestCubeSolveConsistent solves a Sat and an Unsat instance cube-by-cube
+// over lookahead-chosen split literals and checks the combination rule:
+// a Sat formula has at least one Sat cube, an Unsat formula refutes every
+// cube.
+func TestCubeSolveConsistent(t *testing.T) {
+	topo := topology.DGX1()
+	cases := []struct {
+		c, s, r int
+		want    sat.Status
+	}{
+		{2, 2, 3, sat.Sat},
+		{4, 3, 4, sat.Unsat},
+		{3, 2, 4, sat.Unsat},
+	}
+	for _, tc := range cases {
+		coll, err := collective.New(collective.Allgather, topo.P, tc.c, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		in := Instance{Coll: coll, Topo: topo, Steps: tc.s, Round: tc.r}
+		base := encodePaperTemplate(in, Options{}, nil)
+		if !base.feasible {
+			if tc.want != sat.Unsat {
+				t.Fatalf("(%d,%d,%d): pruning says infeasible but want %v", tc.c, tc.s, tc.r, tc.want)
+			}
+			continue
+		}
+		split := chooseSplitLits(base, 3)
+		if len(split) == 0 {
+			t.Fatalf("(%d,%d,%d): lookahead chose no split literals", tc.c, tc.s, tc.r)
+		}
+		satCubes, unsatCubes := 0, 0
+		for _, cube := range enumerateCubes(split) {
+			cl := base.ctx.Solver.Clone()
+			if cl == nil {
+				t.Fatal("clone failed at level 0")
+			}
+			switch st := cl.SolveContext(context.Background(), cube...); st {
+			case sat.Sat:
+				satCubes++
+			case sat.Unsat:
+				unsatCubes++
+			default:
+				t.Fatalf("(%d,%d,%d) cube %v: %v", tc.c, tc.s, tc.r, cube, st)
+			}
+		}
+		total := 1 << len(split)
+		switch tc.want {
+		case sat.Sat:
+			if satCubes == 0 {
+				t.Errorf("(%d,%d,%d): Sat formula but no Sat cube", tc.c, tc.s, tc.r)
+			}
+		case sat.Unsat:
+			if unsatCubes != total {
+				t.Errorf("(%d,%d,%d): Unsat formula but only %d/%d cubes refuted",
+					tc.c, tc.s, tc.r, unsatCubes, total)
+			}
+		}
+	}
+}
+
+// TestPortfolioEngineStats checks the engine-level aggregation: a sweep
+// with forced escalation surfaces PortfolioSolves in CacheStats, merged
+// at the engine's single post-sweep merge point.
+func TestPortfolioEngineStats(t *testing.T) {
+	var stats ParetoStats
+	opts := ParetoOptions{
+		K: 2, MaxSteps: 6, MaxChunks: 6,
+		Workers: 4,
+		Stats:   &stats,
+		Instance: Options{
+			Portfolio:          2,
+			PortfolioThreshold: forcedThreshold,
+		},
+	}
+	if _, err := ParetoSynthesize(collective.Broadcast, topology.BidirRing(6), 0, opts); err != nil {
+		t.Fatal(err)
+	}
+	if stats.PortfolioSolves == 0 {
+		t.Fatal("no escalations recorded with a forced threshold")
+	}
+}

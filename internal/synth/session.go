@@ -235,7 +235,12 @@ func (s *cdclSession) Solve(ctx context.Context, steps, rounds int, opts Options
 	// the Unsat chain the sweep walks before each frontier point. This
 	// solve builds its own solver and runs outside the family lock, so
 	// concurrent same-family probes are not serialized behind it.
-	canon, err := s.oneShotSolve(ctx, in, opts)
+	// Portfolio escalation is disabled here: the budget is already known
+	// Sat, so replicas could never short-circuit (only an Unsat wins a
+	// race) and would burn workers against an irreducible witness solve.
+	canonOpts := opts
+	canonOpts.Portfolio = 0
+	canon, err := s.oneShotSolve(ctx, in, canonOpts)
 	if err != nil {
 		return res, err
 	}
@@ -664,6 +669,11 @@ func NewSessionPool(backend SessionBackend, cap int) *SessionPool {
 		sessions:  map[string]Session{},
 	}
 }
+
+// Templates exposes the pool's shared Stage-0 template cache, so sweep
+// setup (lower-bound computation) can reuse the cached BFS distance
+// matrix instead of re-walking the topology per sweep.
+func (p *SessionPool) Templates() *TemplateCache { return p.templates }
 
 // Session returns the pooled session for the family, creating (and, past
 // capacity, evicting) as needed.
