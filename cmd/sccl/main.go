@@ -60,6 +60,8 @@ func main() {
 		err = cmdTrace(args)
 	case "library":
 		err = cmdLibrary(args)
+	case "serve":
+		err = cmdServe(args)
 	case "help", "-h", "--help":
 		usage()
 	default:
@@ -91,6 +93,9 @@ commands:
   xml         emit the MSCCL-runtime XML for a synthesized algorithm
   trace       emit a chrome://tracing timeline of the simulated schedule
   library     save/show persisted algorithm libraries (save | show)
+  serve       run the synthesis daemon: HTTP/JSON endpoints over a
+              long-lived engine with request coalescing, a sharded
+              response cache, admission control, and library snapshots
 
 common flags: -topology dgx1|dgx2|amd|ring:N|bidir-ring:N|line:N|fc:N|
               star:N|hypercube:D|torus:RxC|bus:N:BW|
@@ -116,17 +121,58 @@ type common struct {
 	libPath string
 }
 
+// engineFlags holds the shared engine-configuration flags; every
+// subcommand that drives an engine — one-shot commands through
+// parseCommon, the serve daemon directly — registers the same set, so
+// flag names and semantics never drift between them.
+type engineFlags struct {
+	backendSpec        *string
+	workers            *int
+	portfolio          *int
+	portfolioThreshold *time.Duration
+	cubeDepth          *int
+	verbose            *bool
+}
+
+func addEngineFlags(fs *flag.FlagSet) *engineFlags {
+	return &engineFlags{
+		backendSpec:        fs.String("backend", "cdcl", "solver backend: cdcl|smtlib[:binary]"),
+		workers:            fs.Int("workers", 0, "engine worker pool (0 = all cores)"),
+		portfolio:          fs.Int("portfolio", 0, "diversified CDCL workers raced per slow solve (0/1 = off)"),
+		portfolioThreshold: fs.Duration("portfolio-threshold", 0, "solo-solve grace before a portfolio race escalates (0 = default 100ms)"),
+		cubeDepth:          fs.Int("cube-depth", 0, "Stage-2 literals to cube-and-conquer on during a race (0 = off)"),
+		verbose:            fs.Bool("v", false, "print engine and probe progress"),
+	}
+}
+
+// build constructs the engine the parsed flags describe. It does not
+// touch any library file — one-shot commands load eagerly via
+// parseCommon, while serve hands the path to the daemon for warm start
+// and snapshots.
+func (ef *engineFlags) build() (*sccl.Engine, error) {
+	backend, err := sccl.ParseBackend(*ef.backendSpec)
+	if err != nil {
+		return nil, err
+	}
+	var progress func(format string, args ...any)
+	if *ef.verbose {
+		progress = func(format string, a ...any) {
+			fmt.Fprintf(os.Stderr, format+"\n", a...)
+		}
+	}
+	return sccl.NewEngine(sccl.EngineOptions{
+		Backend: backend, Workers: *ef.workers, Progress: progress,
+		Portfolio: *ef.portfolio, PortfolioThreshold: *ef.portfolioThreshold,
+		CubeDepth: *ef.cubeDepth,
+	}), nil
+}
+
 func parseCommon(fs *flag.FlagSet, args []string) (*common, error) {
 	topoSpec := fs.String("topology", "dgx1", "topology spec")
 	collName := fs.String("collective", "Allgather", "collective kind")
 	root := fs.Int("root", 0, "root node for rooted collectives")
-	backendSpec := fs.String("backend", "cdcl", "solver backend: cdcl|smtlib[:binary]")
-	workers := fs.Int("workers", 0, "engine worker pool (0 = all cores)")
-	portfolio := fs.Int("portfolio", 0, "diversified CDCL workers raced per slow solve (0/1 = off)")
-	portfolioThreshold := fs.Duration("portfolio-threshold", 0, "solo-solve grace before a portfolio race escalates (0 = default 100ms)")
-	cubeDepth := fs.Int("cube-depth", 0, "Stage-2 literals to cube-and-conquer on during a race (0 = off)")
 	library := fs.String("library", "", "algorithm library JSON to load and save back")
-	verbose := fs.Bool("v", false, "print engine and probe progress")
+	ef := addEngineFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return nil, err
 	}
@@ -138,24 +184,11 @@ func parseCommon(fs *flag.FlagSet, args []string) (*common, error) {
 	if err != nil {
 		return nil, err
 	}
-	backend, err := sccl.ParseBackend(*backendSpec)
+	eng, err := ef.build()
 	if err != nil {
 		return nil, err
 	}
-	var progress func(format string, args ...any)
-	if *verbose {
-		progress = func(format string, a ...any) {
-			fmt.Fprintf(os.Stderr, format+"\n", a...)
-		}
-	}
-	cm := &common{
-		topo: topo, kind: kind, root: *root, libPath: *library,
-		eng: sccl.NewEngine(sccl.EngineOptions{
-			Backend: backend, Workers: *workers, Progress: progress,
-			Portfolio: *portfolio, PortfolioThreshold: *portfolioThreshold,
-			CubeDepth: *cubeDepth,
-		}),
-	}
+	cm := &common{topo: topo, kind: kind, root: *root, libPath: *library, eng: eng}
 	if cm.libPath != "" {
 		if err := loadLibraryIfExists(cm.eng, cm.libPath); err != nil {
 			return nil, err

@@ -1,0 +1,304 @@
+// Command scclload replays a mixed hit/miss workload against a running
+// `sccl serve` daemon and reports what the serving layer is for:
+//
+//   - coalescing: K clients fire the same cold request at the same
+//     instant; the daemon must run exactly one engine solve (verified
+//     against the sccl_serve_solves_total counter) and hand every
+//     client byte-identical response bodies;
+//   - hit latency: the same request replayed against the warm cache,
+//     reported as exact client-side p50/p99 and lookups/sec;
+//   - mixed traffic: fresh budgets (misses) interleaved with replays
+//     (hits), reporting the observed hit ratio.
+//
+// With -check it exits non-zero unless the acceptance bar holds:
+// exactly one solve for the herd, identical bodies, and repeated-hit
+// p99 at least -min-speedup times below the cold solve wall. The
+// report is written as JSON to -out (or stdout).
+//
+// Usage:
+//
+//	sccl serve -addr localhost:7333 -library lib.json &
+//	scclload -addr localhost:7333 -clients 8 -hits 200 -check
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	sccl "repro"
+)
+
+type coalesceReport struct {
+	Clients         int            `json:"clients"`
+	Solves          uint64         `json:"solves"`
+	IdenticalBodies bool           `json:"identicalBodies"`
+	ColdWallNs      int64          `json:"coldWallNs"`
+	Sources         map[string]int `json:"sources"`
+}
+
+type hitReport struct {
+	Requests      int     `json:"requests"`
+	P50Ns         int64   `json:"p50Ns"`
+	P99Ns         int64   `json:"p99Ns"`
+	LookupsPerSec float64 `json:"lookupsPerSec"`
+	AllHits       bool    `json:"allHits"`
+}
+
+type mixedReport struct {
+	Requests int     `json:"requests"`
+	Hits     int     `json:"hits"`
+	Misses   int     `json:"misses"`
+	HitRatio float64 `json:"hitRatio"`
+}
+
+type report struct {
+	Addr       string         `json:"addr"`
+	Topology   string         `json:"topology"`
+	Collective string         `json:"collective"`
+	Budget     string         `json:"budget"`
+	Coalesce   coalesceReport `json:"coalesce"`
+	Hit        hitReport      `json:"hit"`
+	Mixed      mixedReport    `json:"mixed"`
+	// SpeedupHitVsCold is coldWall / hit p99 — the factor the response
+	// cache saves over re-solving.
+	SpeedupHitVsCold float64 `json:"speedupHitVsCold"`
+	Pass             bool    `json:"pass"`
+}
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "scclload:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	addr := flag.String("addr", "localhost:7333", "daemon address (host:port)")
+	topoSpec := flag.String("topology", "bidir-ring:10", "topology spec")
+	// The default instance is deliberately hard: Allgather at C=6 on a
+	// 10-node bidirectional ring solves cold in seconds, so the report's
+	// hit-vs-cold speedup measures the cache against a real solve, not
+	// against HTTP overhead.
+	collName := flag.String("collective", "Allgather", "collective kind")
+	c := flag.Int("c", 6, "chunks per node")
+	s := flag.Int("s", 6, "steps")
+	r := flag.Int("r", 27, "rounds")
+	timeout := flag.Duration("timeout", 2*time.Minute, "per-request solver timeout")
+	clients := flag.Int("clients", 8, "concurrent identical clients in the coalesce phase")
+	hits := flag.Int("hits", 200, "replays in the hit-latency phase")
+	mixed := flag.Int("mixed", 12, "requests in the mixed phase (even split fresh/replayed)")
+	minSpeedup := flag.Float64("min-speedup", 100, "-check: required coldWall / hit-p99 factor")
+	check := flag.Bool("check", false, "exit non-zero unless the acceptance bar holds")
+	out := flag.String("out", "", "write the JSON report here (default stdout)")
+	flag.Parse()
+
+	topo, err := sccl.ParseTopology(*topoSpec)
+	if err != nil {
+		return err
+	}
+	kind, err := sccl.ParseKind(*collName)
+	if err != nil {
+		return err
+	}
+	makeBody := func(c, s, r int) ([]byte, error) {
+		return sccl.EncodeRequest(sccl.Request{
+			Kind: kind, Topo: topo,
+			Budget:  sccl.Budget{C: c, S: s, R: r},
+			Timeout: *timeout,
+		})
+	}
+	body, err := makeBody(*c, *s, *r)
+	if err != nil {
+		return err
+	}
+	base := "http://" + *addr
+	client := &http.Client{Timeout: *timeout + 30*time.Second}
+
+	rep := report{
+		Addr: *addr, Topology: *topoSpec, Collective: *collName,
+		Budget: fmt.Sprintf("C=%d S=%d R=%d", *c, *s, *r),
+	}
+
+	// Phase 1: thundering herd on one cold fingerprint.
+	solvesBefore, err := scrapeCounter(client, base, "sccl_serve_solves_total")
+	if err != nil {
+		return fmt.Errorf("scraping /metrics: %w", err)
+	}
+	type shot struct {
+		body   []byte
+		source string
+		wall   time.Duration
+		err    error
+	}
+	shots := make([]shot, *clients)
+	start := make(chan struct{})
+	var wg sync.WaitGroup
+	for i := range shots {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			<-start
+			t0 := time.Now()
+			b, src, err := post(client, base+"/v1/synthesize", body)
+			shots[i] = shot{body: b, source: src, wall: time.Since(t0), err: err}
+		}(i)
+	}
+	close(start)
+	wg.Wait()
+	rep.Coalesce.Clients = *clients
+	rep.Coalesce.Sources = map[string]int{}
+	rep.Coalesce.IdenticalBodies = true
+	for i, sh := range shots {
+		if sh.err != nil {
+			return fmt.Errorf("coalesce client %d: %w", i, sh.err)
+		}
+		rep.Coalesce.Sources[sh.source]++
+		if !bytes.Equal(sh.body, shots[0].body) {
+			rep.Coalesce.IdenticalBodies = false
+		}
+		if ns := sh.wall.Nanoseconds(); ns > rep.Coalesce.ColdWallNs {
+			rep.Coalesce.ColdWallNs = ns
+		}
+	}
+	solvesAfter, err := scrapeCounter(client, base, "sccl_serve_solves_total")
+	if err != nil {
+		return err
+	}
+	rep.Coalesce.Solves = solvesAfter - solvesBefore
+
+	// Phase 2: warm-cache replay latency.
+	lat := make([]time.Duration, 0, *hits)
+	rep.Hit.AllHits = true
+	tPhase := time.Now()
+	for i := 0; i < *hits; i++ {
+		t0 := time.Now()
+		_, src, err := post(client, base+"/v1/synthesize", body)
+		if err != nil {
+			return fmt.Errorf("hit replay %d: %w", i, err)
+		}
+		lat = append(lat, time.Since(t0))
+		if src != "hit" {
+			rep.Hit.AllHits = false
+		}
+	}
+	phaseWall := time.Since(tPhase)
+	sort.Slice(lat, func(i, j int) bool { return lat[i] < lat[j] })
+	rep.Hit.Requests = len(lat)
+	if n := len(lat); n > 0 {
+		rep.Hit.P50Ns = lat[n/2].Nanoseconds()
+		rep.Hit.P99Ns = lat[min(n-1, n*99/100)].Nanoseconds()
+		rep.Hit.LookupsPerSec = float64(n) / phaseWall.Seconds()
+	}
+
+	// Phase 3: mixed traffic — fresh budgets force misses, replays hit.
+	for i := 0; i < *mixed; i++ {
+		var b []byte
+		if i%2 == 0 {
+			// A fresh fingerprint: grow the round budget past anything
+			// requested so far (larger budgets stay satisfiable once the
+			// base budget is).
+			b, err = makeBody(*c, *s, *r+1+i/2)
+		} else {
+			b = body
+		}
+		if err != nil {
+			return err
+		}
+		_, src, err := post(client, base+"/v1/synthesize", b)
+		if err != nil {
+			return fmt.Errorf("mixed request %d: %w", i, err)
+		}
+		rep.Mixed.Requests++
+		if src == "hit" {
+			rep.Mixed.Hits++
+		} else {
+			rep.Mixed.Misses++
+		}
+	}
+	if rep.Mixed.Requests > 0 {
+		rep.Mixed.HitRatio = float64(rep.Mixed.Hits) / float64(rep.Mixed.Requests)
+	}
+
+	if rep.Hit.P99Ns > 0 {
+		rep.SpeedupHitVsCold = float64(rep.Coalesce.ColdWallNs) / float64(rep.Hit.P99Ns)
+	}
+	rep.Pass = rep.Coalesce.Solves == 1 &&
+		rep.Coalesce.IdenticalBodies &&
+		rep.Hit.AllHits &&
+		rep.Mixed.Hits > 0 &&
+		rep.SpeedupHitVsCold >= *minSpeedup
+
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if *out != "" {
+		if err := os.WriteFile(*out, data, 0o644); err != nil {
+			return err
+		}
+	} else {
+		os.Stdout.Write(data)
+	}
+	fmt.Fprintf(os.Stderr,
+		"coalesce: %d clients -> %d solve(s), identical=%v, cold %.1fms | hits: p50 %.2fms p99 %.2fms (%.0f lookups/s) | speedup %.0fx | pass=%v\n",
+		rep.Coalesce.Clients, rep.Coalesce.Solves, rep.Coalesce.IdenticalBodies,
+		float64(rep.Coalesce.ColdWallNs)/1e6, float64(rep.Hit.P50Ns)/1e6,
+		float64(rep.Hit.P99Ns)/1e6, rep.Hit.LookupsPerSec, rep.SpeedupHitVsCold, rep.Pass)
+	if *check && !rep.Pass {
+		return fmt.Errorf("acceptance check failed (solves=%d identical=%v allHits=%v mixedHits=%d speedup=%.1f < %.0f)",
+			rep.Coalesce.Solves, rep.Coalesce.IdenticalBodies, rep.Hit.AllHits,
+			rep.Mixed.Hits, rep.SpeedupHitVsCold, *minSpeedup)
+	}
+	return nil
+}
+
+// post sends one JSON document and returns the response body and the
+// X-SCCL-Cache header ("hit", "miss", or "coalesced").
+func post(client *http.Client, url string, body []byte) ([]byte, string, error) {
+	resp, err := client.Post(url, "application/json", bytes.NewReader(body))
+	if err != nil {
+		return nil, "", err
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, "", err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return nil, "", fmt.Errorf("%s: %s: %s", url, resp.Status, strings.TrimSpace(string(data)))
+	}
+	return data, resp.Header.Get("X-SCCL-Cache"), nil
+}
+
+// scrapeCounter reads one counter from the daemon's /metrics text.
+func scrapeCounter(client *http.Client, base, name string) (uint64, error) {
+	resp, err := client.Get(base + "/metrics")
+	if err != nil {
+		return 0, err
+	}
+	defer resp.Body.Close()
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		if rest, ok := strings.CutPrefix(line, name+" "); ok {
+			return strconv.ParseUint(strings.TrimSpace(rest), 10, 64)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return 0, err
+	}
+	return 0, fmt.Errorf("metric %s not found at %s/metrics", name, base)
+}

@@ -263,6 +263,80 @@ func (e *Engine) requestFingerprint(req Request, o SynthOptions) string {
 	return fingerprintKey(parts...)
 }
 
+// Fingerprint returns the canonical fingerprint of a request under the
+// engine's resolved solver options — the key Engine.Synthesize caches
+// its outcome under and Engine.CachedEntry looks up. Serving layers use
+// it to coalesce concurrent identical requests and to key response
+// caches without solving anything.
+func (e *Engine) Fingerprint(req Request) (string, error) {
+	if err := req.Validate(); err != nil {
+		return "", err
+	}
+	o := e.solveOptions(req.Timeout, req.Options)
+	return e.requestFingerprint(req, o), nil
+}
+
+// paretoKey resolves a sweep request's enumeration defaults and solver
+// options and returns its canonical frontier-cache fingerprint — shared
+// by Engine.Pareto and Engine.ParetoFingerprint so the two can never
+// disagree on the key.
+func (e *Engine) paretoKey(req ParetoRequest) (fp string, o SynthOptions, maxSteps, maxChunks int) {
+	maxSteps = req.MaxSteps
+	if maxSteps == 0 {
+		maxSteps = req.Topo.P + 2
+	}
+	maxChunks = req.MaxChunks
+	if maxChunks == 0 {
+		maxChunks = 2 * req.Topo.P
+	}
+	o = e.solveOptions(req.Timeout, req.Options)
+	parts := append([]string{
+		"pareto/v1",
+		req.Kind.String(),
+		req.Topo.Fingerprint(),
+		strconv.Itoa(int(req.Root)),
+		strconv.Itoa(req.K),
+		strconv.Itoa(maxSteps),
+		strconv.Itoa(maxChunks),
+	}, optionParts(o)...)
+	fp = fingerprintKey(parts...)
+	return fp, o, maxSteps, maxChunks
+}
+
+// ParetoFingerprint returns the canonical frontier-cache fingerprint of
+// a sweep request under the engine's resolved solver options. Workers
+// and NoSessions are excluded: they change scheduling, never the
+// frontier.
+func (e *Engine) ParetoFingerprint(req ParetoRequest) (string, error) {
+	if err := req.Validate(); err != nil {
+		return "", err
+	}
+	fp, _, _, _ := e.paretoKey(req)
+	return fp, nil
+}
+
+// CachedEntry returns the engine's cached outcome for a canonical
+// request fingerprint as a library entry, or ok == false when the
+// fingerprint is unknown (or the cache is off). The lookup does not
+// touch the hit/miss counters — serving layers keep their own — and the
+// embedded algorithm is shared with the cache, so it must be treated as
+// immutable.
+func (e *Engine) CachedEntry(fp string) (LibraryEntry, bool) {
+	ent := e.peekAlg(fp)
+	if ent == nil {
+		return LibraryEntry{}, false
+	}
+	return LibraryEntry{
+		Fingerprint: fp,
+		Kind:        ent.kind,
+		Topology:    ent.topoName,
+		Root:        ent.root,
+		Budget:      ent.budget,
+		Status:      ent.status.String(),
+		Algorithm:   ent.alg,
+	}, true
+}
+
 func (e *Engine) lookupAlg(key string) *cacheEntry {
 	if e.cacheOff {
 		return nil
@@ -373,6 +447,39 @@ type CacheStats struct {
 	PortfolioSolves uint64
 	SharedLearnts   uint64
 	CubeSplits      uint64
+}
+
+// Delta returns the counter movement from an earlier snapshot prev of
+// the same engine to s: monotonic counters (hits, misses, session and
+// solver counters) are subtracted, while the point-in-time gauges
+// (Algorithms, Frontiers, Sessions) keep s's current value. A metrics
+// exporter can therefore report windowed rates from two CacheStats
+// calls without holding any engine lock across the window. Counters
+// that appear to have moved backwards (prev from a different engine, or
+// taken later than s) clamp to zero rather than underflowing.
+func (s CacheStats) Delta(prev CacheStats) CacheStats {
+	sub := func(cur, old uint64) uint64 {
+		if cur < old {
+			return 0
+		}
+		return cur - old
+	}
+	return CacheStats{
+		Algorithms:      s.Algorithms,
+		Frontiers:       s.Frontiers,
+		Sessions:        s.Sessions,
+		Hits:            sub(s.Hits, prev.Hits),
+		Misses:          sub(s.Misses, prev.Misses),
+		SessionHits:     sub(s.SessionHits, prev.SessionHits),
+		SessionMisses:   sub(s.SessionMisses, prev.SessionMisses),
+		CoreSolves:      sub(s.CoreSolves, prev.CoreSolves),
+		PrunedProbes:    sub(s.PrunedProbes, prev.PrunedProbes),
+		TemplateHits:    sub(s.TemplateHits, prev.TemplateHits),
+		MigratedLearnts: sub(s.MigratedLearnts, prev.MigratedLearnts),
+		PortfolioSolves: sub(s.PortfolioSolves, prev.PortfolioSolves),
+		SharedLearnts:   sub(s.SharedLearnts, prev.SharedLearnts),
+		CubeSplits:      sub(s.CubeSplits, prev.CubeSplits),
+	}
 }
 
 // CacheStats returns a snapshot of the cache counters.
@@ -494,25 +601,7 @@ func (e *Engine) Pareto(ctx context.Context, req ParetoRequest) (*ParetoResult, 
 	if err := req.Validate(); err != nil {
 		return nil, err
 	}
-	maxSteps := req.MaxSteps
-	if maxSteps == 0 {
-		maxSteps = req.Topo.P + 2
-	}
-	maxChunks := req.MaxChunks
-	if maxChunks == 0 {
-		maxChunks = 2 * req.Topo.P
-	}
-	o := e.solveOptions(req.Timeout, req.Options)
-	parts := append([]string{
-		"pareto/v1",
-		req.Kind.String(),
-		req.Topo.Fingerprint(),
-		strconv.Itoa(int(req.Root)),
-		strconv.Itoa(req.K),
-		strconv.Itoa(maxSteps),
-		strconv.Itoa(maxChunks),
-	}, optionParts(o)...)
-	fp := fingerprintKey(parts...)
+	fp, o, maxSteps, maxChunks := e.paretoKey(req)
 	if pts, ok := e.lookupFrontier(fp); ok {
 		e.progress("engine: frontier cache hit %v on %s [%s]", req.Kind, req.Topo.Name, fp)
 		// Return a copied slice so callers cannot corrupt the cached

@@ -1,0 +1,92 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+)
+
+// ErrOverloaded reports that a request was rejected at admission: its
+// family's queue is full. The HTTP layer maps it to 429 Too Many
+// Requests with a Retry-After hint. Cache-hit lookups never enter
+// admission at all, so a backlogged family slows only its own solves.
+var ErrOverloaded = errors.New("serve: solve queue full for this request family")
+
+// Admission bounds the solver work a daemon accepts: a global
+// concurrency semaphore caps how many solves run at once (engine solves
+// are CPU-bound; more in flight than cores just thrashes), and a
+// per-family bound caps how many solves may be queued or running for
+// one (collective, topology) family — so a pathological Pareto sweep,
+// however many clients retry it, occupies a bounded slice of the queue
+// while other families and all cache hits proceed.
+type Admission struct {
+	slots     chan struct{}
+	perFamily int
+
+	mu     sync.Mutex
+	queued map[string]int
+}
+
+// NewAdmission builds an admission controller with slots concurrent
+// solves (< 1 selects 1) and at most perFamily queued-or-running solves
+// per family (< 1 selects 16).
+func NewAdmission(slots, perFamily int) *Admission {
+	if slots < 1 {
+		slots = 1
+	}
+	if perFamily < 1 {
+		perFamily = 16
+	}
+	return &Admission{
+		slots:     make(chan struct{}, slots),
+		perFamily: perFamily,
+		queued:    make(map[string]int),
+	}
+}
+
+// Acquire admits one solve for family, blocking until a global solve
+// slot frees up or ctx ends. It fails fast with ErrOverloaded when the
+// family's queue is already full — overload never blocks. On success
+// the caller must call release exactly once when the solve finishes.
+func (a *Admission) Acquire(ctx context.Context, family string) (release func(), err error) {
+	a.mu.Lock()
+	if a.queued[family] >= a.perFamily {
+		a.mu.Unlock()
+		return nil, fmt.Errorf("%w (family %s)", ErrOverloaded, family)
+	}
+	a.queued[family]++
+	a.mu.Unlock()
+	leave := func() {
+		a.mu.Lock()
+		if a.queued[family]--; a.queued[family] == 0 {
+			delete(a.queued, family)
+		}
+		a.mu.Unlock()
+	}
+	select {
+	case a.slots <- struct{}{}:
+		return func() {
+			<-a.slots
+			leave()
+		}, nil
+	case <-ctx.Done():
+		leave()
+		return nil, ctx.Err()
+	}
+}
+
+// Depth returns the total queued-or-running solve count — the basis of
+// the Retry-After hint and the queue-depth gauge.
+func (a *Admission) Depth() int {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	n := 0
+	for _, q := range a.queued {
+		n += q
+	}
+	return n
+}
+
+// Slots returns the global solve-concurrency cap.
+func (a *Admission) Slots() int { return cap(a.slots) }

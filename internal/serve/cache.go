@@ -1,0 +1,111 @@
+package serve
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// ShardedCache is a fingerprint-keyed response-byte cache striped over N
+// independently locked shards, so concurrent cache-hit lookups contend
+// only 1/N of the time instead of serializing on one mutex (and never
+// touch the engine lock at all). Values are the exact serialized
+// response bodies, stored immutably: a hit is one map lookup plus one
+// write to the socket.
+//
+// Each shard evicts oldest-inserted first once it reaches its per-shard
+// capacity — the same policy as the engine's algorithm cache, kept
+// per-shard so eviction never takes a global lock either.
+type ShardedCache struct {
+	shards       []cacheShard
+	perShardCap  int
+	hits, misses atomic.Uint64
+}
+
+type cacheShard struct {
+	mu      sync.Mutex
+	entries map[string][]byte
+	order   []string
+}
+
+// NewShardedCache builds a cache striped over shards locks holding at
+// most capacity entries in total; shards < 1 selects 64, capacity < 1
+// selects 65536. Capacity is rounded up to a whole number of entries
+// per shard.
+func NewShardedCache(shards, capacity int) *ShardedCache {
+	if shards < 1 {
+		shards = 64
+	}
+	if capacity < 1 {
+		capacity = 1 << 16
+	}
+	perShard := (capacity + shards - 1) / shards
+	c := &ShardedCache{shards: make([]cacheShard, shards), perShardCap: perShard}
+	for i := range c.shards {
+		c.shards[i].entries = make(map[string][]byte)
+	}
+	return c
+}
+
+// shard picks the stripe for a key. Keys are engine fingerprints —
+// hex of a cryptographic hash, already uniform — but an FNV-1a pass
+// keeps the striping sound for arbitrary keys too.
+func (c *ShardedCache) shard(key string) *cacheShard {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for i := 0; i < len(key); i++ {
+		h ^= uint64(key[i])
+		h *= prime64
+	}
+	return &c.shards[h%uint64(len(c.shards))]
+}
+
+// Get returns the cached bytes for key. The returned slice is shared
+// and must be treated as immutable.
+func (c *ShardedCache) Get(key string) ([]byte, bool) {
+	s := c.shard(key)
+	s.mu.Lock()
+	val, ok := s.entries[key]
+	s.mu.Unlock()
+	if ok {
+		c.hits.Add(1)
+	} else {
+		c.misses.Add(1)
+	}
+	return val, ok
+}
+
+// Put stores val under key, evicting the shard's oldest entries if the
+// shard is full. The caller must not mutate val afterwards.
+func (c *ShardedCache) Put(key string, val []byte) {
+	s := c.shard(key)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, exists := s.entries[key]; !exists {
+		for len(s.entries) >= c.perShardCap && len(s.order) > 0 {
+			oldest := s.order[0]
+			s.order = s.order[1:]
+			delete(s.entries, oldest)
+		}
+		s.order = append(s.order, key)
+	}
+	s.entries[key] = val
+}
+
+// Len returns the total number of cached entries across all shards.
+func (c *ShardedCache) Len() int {
+	n := 0
+	for i := range c.shards {
+		c.shards[i].mu.Lock()
+		n += len(c.shards[i].entries)
+		c.shards[i].mu.Unlock()
+	}
+	return n
+}
+
+// Stats returns the lifetime hit and miss counts.
+func (c *ShardedCache) Stats() (hits, misses uint64) {
+	return c.hits.Load(), c.misses.Load()
+}

@@ -112,14 +112,20 @@ func portfolioSolve(ctx context.Context, e *encoded, in Instance, opts Options, 
 	out := portfolioOutcome{escalated: true}
 	hctx, hcancel := context.WithCancel(ctx)
 	defer hcancel()
+	// Lease replica slots against the process-wide headroom: overlapping
+	// races share the machine instead of each launching a full portfolio
+	// (see replicas.go). Released by the deferred call after every return
+	// path below has joined the replica goroutines.
+	replicas, releaseReplicas := acquireReplicas(opts.Portfolio - 1)
+	defer releaseReplicas()
 	var wg sync.WaitGroup
 	// Buffered to the worker count: a replica finishing after the race is
 	// decided parks its verdict here and exits instead of leaking.
-	replicaDone := make(chan sat.Status, opts.Portfolio)
+	replicaDone := make(chan sat.Status, replicas+1)
 	if opts.CubeDepth > 0 {
-		out.cubes = launchCubeWorkers(hctx, &wg, replicaDone, in, opts, tmpl)
+		out.cubes = launchCubeWorkers(hctx, &wg, replicaDone, in, opts, tmpl, replicas)
 	} else {
-		launchDiverseReplicas(hctx, &wg, replicaDone, exch, in, opts, tmpl)
+		launchDiverseReplicas(hctx, &wg, replicaDone, exch, in, opts, tmpl, replicas)
 	}
 	for {
 		select {
@@ -152,13 +158,13 @@ func portfolioSolve(ctx context.Context, e *encoded, in Instance, opts Options, 
 	}
 }
 
-// launchDiverseReplicas starts Portfolio-1 diversified racers on
-// deterministic re-encodings of the instance. Each registers as an
+// launchDiverseReplicas starts the granted number of diversified racers
+// on deterministic re-encodings of the instance. Each registers as an
 // exchange consumer before solving, so it drains the leader's backlog of
 // published lemmas at its first restart; every import is entailment-
 // vetted by the replica itself (sat.Solver.importShared).
-func launchDiverseReplicas(ctx context.Context, wg *sync.WaitGroup, done chan<- sat.Status, exch *sat.Exchange, in Instance, opts Options, tmpl *Stage0Template) {
-	for i := 0; i < opts.Portfolio-1; i++ {
+func launchDiverseReplicas(ctx context.Context, wg *sync.WaitGroup, done chan<- sat.Status, exch *sat.Exchange, in Instance, opts Options, tmpl *Stage0Template, replicas int) {
+	for i := 0; i < replicas; i++ {
 		consumer := exch.Register()
 		div := helperDiversification(i)
 		wg.Add(1)
@@ -273,15 +279,15 @@ func enumerateCubes(split []sat.Lit) [][]sat.Lit {
 }
 
 // launchCubeWorkers starts the cube-and-conquer flavor: one base solver
-// is re-encoded, the split literals are chosen by lookahead, and
-// Portfolio-1 workers race the 2^CubeDepth cubes on clones of the base.
+// is re-encoded, the split literals are chosen by lookahead, and the
+// granted workers race the 2^CubeDepth cubes on clones of the base.
 // All cubes Unsat combines — via the partition property plus the union
 // of their assumption cores — into a single formula-level Unsat verdict
 // on done; an Unsat cube whose core is empty proves the formula Unsat
 // outright and short-circuits. The first Sat cube stops the remaining
 // cube work (the leader still owns the witness). Returns the cube count
 // raced (0 when splitting found no usable literals).
-func launchCubeWorkers(ctx context.Context, wg *sync.WaitGroup, done chan<- sat.Status, in Instance, opts Options, tmpl *Stage0Template) int {
+func launchCubeWorkers(ctx context.Context, wg *sync.WaitGroup, done chan<- sat.Status, in Instance, opts Options, tmpl *Stage0Template, replicas int) int {
 	base := encodePaperTemplate(in, opts, tmpl)
 	if !base.feasible {
 		done <- sat.Unsat
@@ -295,7 +301,7 @@ func launchCubeWorkers(ctx context.Context, wg *sync.WaitGroup, done chan<- sat.
 		return 0
 	}
 	cubes := enumerateCubes(split)
-	workers := opts.Portfolio - 1
+	workers := replicas
 	if workers > len(cubes) {
 		workers = len(cubes)
 	}

@@ -1,0 +1,61 @@
+package synth
+
+import (
+	"runtime"
+	"sync/atomic"
+)
+
+// Portfolio races are CPU-bound: a replica that cannot get a core does
+// not diversify the search, it just preempts the leader it is supposed
+// to be helping. When several solves escalate at once — the serve
+// daemon admits concurrent solves, and a Pareto sweep can escalate
+// probes on multiple workers — each race therefore clamps its replica
+// count to the process's available parallelism instead of multiplying
+// opts.Portfolio by the number of concurrent races.
+//
+// The clamp is deliberately one-sided: a race that escalates while no
+// other race is running keeps its full configured breadth even on a
+// single-core box, because diversification wins come from exploring
+// different orderings, not from true parallelism — replicas time-slice
+// and the first Unsat still short-circuits. Only when races overlap is
+// breadth traded for headroom. Either way the replica set stays
+// deterministic in its size, and witness bytes are leader-anchored
+// regardless of how many replicas run (see portfolio.go).
+
+// replicaLease counts replicas currently running across all races in
+// the process. It is advisory — grants read it without a lock-step
+// reservation, so two races escalating in the same microsecond may both
+// see the old value — but an over-grant of a few goroutines is
+// harmless, while a mutex here would serialize every escalation.
+var replicaLease atomic.Int64
+
+// grantReplicas decides how many replicas a race gets: all of want when
+// no other race holds replicas (inUse == 0), otherwise want clamped to
+// the remaining headroom, but always at least one — an escalated race
+// with zero replicas would be a race in name only.
+func grantReplicas(want, headroom, inUse int) int {
+	if want <= 0 {
+		return 0
+	}
+	if inUse <= 0 {
+		return want
+	}
+	free := headroom - inUse
+	if free < 1 {
+		free = 1
+	}
+	if want < free {
+		return want
+	}
+	return free
+}
+
+// acquireReplicas leases up to want replica slots against GOMAXPROCS-1
+// headroom (the leader itself occupies the remaining core). The caller
+// must call release exactly once, after its replica goroutines have
+// been joined.
+func acquireReplicas(want int) (granted int, release func()) {
+	granted = grantReplicas(want, runtime.GOMAXPROCS(0)-1, int(replicaLease.Load()))
+	replicaLease.Add(int64(granted))
+	return granted, func() { replicaLease.Add(-int64(granted)) }
+}

@@ -1,0 +1,51 @@
+package synth
+
+import "testing"
+
+func TestGrantReplicas(t *testing.T) {
+	cases := []struct {
+		name                  string
+		want, headroom, inUse int
+		grant                 int
+	}{
+		{"no demand", 0, 8, 0, 0},
+		{"negative demand", -3, 8, 0, 0},
+		{"lone race keeps full breadth", 7, 3, 0, 7},
+		{"lone race on single core keeps full breadth", 5, 0, 0, 5},
+		{"overlapping race clamps to headroom", 7, 8, 3, 5},
+		{"overlapping race under demand", 2, 8, 3, 2},
+		{"exhausted headroom still grants one", 7, 2, 6, 1},
+		{"single-core overlap still grants one", 4, 0, 2, 1},
+	}
+	for _, c := range cases {
+		if got := grantReplicas(c.want, c.headroom, c.inUse); got != c.grant {
+			t.Errorf("%s: grantReplicas(%d, %d, %d) = %d, want %d",
+				c.name, c.want, c.headroom, c.inUse, got, c.grant)
+		}
+	}
+}
+
+func TestAcquireReplicasLease(t *testing.T) {
+	if n := replicaLease.Load(); n != 0 {
+		t.Fatalf("lease not idle at test start: %d", n)
+	}
+	// First race: full breadth regardless of headroom.
+	g1, rel1 := acquireReplicas(7)
+	if g1 != 7 {
+		t.Fatalf("lone acquire granted %d, want 7", g1)
+	}
+	// Second, overlapping race: clamped (inUse=7 exceeds any headroom
+	// this container has), but never starved.
+	g2, rel2 := acquireReplicas(7)
+	if g2 < 1 || g2 > 7 {
+		t.Fatalf("overlapping acquire granted %d, want 1..7", g2)
+	}
+	if n := replicaLease.Load(); n != int64(g1+g2) {
+		t.Fatalf("lease = %d after two acquires, want %d", n, g1+g2)
+	}
+	rel2()
+	rel1()
+	if n := replicaLease.Load(); n != 0 {
+		t.Fatalf("lease not drained after release: %d", n)
+	}
+}

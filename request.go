@@ -247,6 +247,67 @@ type ParetoRequest struct {
 	NoSessions bool `json:"-"`
 }
 
+type paretoRequestJSON struct {
+	Version   int       `json:"version"`
+	Kind      string    `json:"kind"`
+	Topology  *Topology `json:"topology"`
+	Root      int       `json:"root"`
+	K         int       `json:"k"`
+	MaxSteps  int       `json:"maxSteps,omitempty"`
+	MaxChunks int       `json:"maxChunks,omitempty"`
+	TimeoutNs int64     `json:"timeoutNs,omitempty"`
+	Workers   int       `json:"workers,omitempty"`
+}
+
+// MarshalJSON renders the sweep request in the stable v1 wire format.
+// Progress, Options and NoSessions are engine-local and not serialized;
+// Workers travels as a scheduling hint (it never changes the frontier
+// and is excluded from the cache fingerprint).
+func (r ParetoRequest) MarshalJSON() ([]byte, error) {
+	return json.Marshal(paretoRequestJSON{
+		Version:   serializeVersion,
+		Kind:      r.Kind.String(),
+		Topology:  r.Topo,
+		Root:      int(r.Root),
+		K:         r.K,
+		MaxSteps:  r.MaxSteps,
+		MaxChunks: r.MaxChunks,
+		TimeoutNs: int64(r.Timeout),
+		Workers:   r.Workers,
+	})
+}
+
+// UnmarshalJSON decodes the v1 wire format and re-validates the sweep
+// request.
+func (r *ParetoRequest) UnmarshalJSON(data []byte) error {
+	var in paretoRequestJSON
+	if err := json.Unmarshal(data, &in); err != nil {
+		return err
+	}
+	if in.Version != serializeVersion {
+		return fmt.Errorf("sccl: unsupported pareto request JSON version %d (want %d)", in.Version, serializeVersion)
+	}
+	kind, err := ParseKind(in.Kind)
+	if err != nil {
+		return err
+	}
+	dec := ParetoRequest{
+		Kind:      kind,
+		Topo:      in.Topology,
+		Root:      Node(in.Root),
+		K:         in.K,
+		MaxSteps:  in.MaxSteps,
+		MaxChunks: in.MaxChunks,
+		Timeout:   time.Duration(in.TimeoutNs),
+		Workers:   in.Workers,
+	}
+	if err := dec.Validate(); err != nil {
+		return fmt.Errorf("sccl: decoded pareto request invalid: %w", err)
+	}
+	*r = dec
+	return nil
+}
+
 // Validate checks the sweep parameters.
 func (r *ParetoRequest) Validate() error {
 	if r.Topo == nil {

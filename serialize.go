@@ -17,13 +17,15 @@ import (
 // Document format tags. Bump a tag's version only together with a
 // decoder that still accepts older payloads.
 const (
-	FormatTopology   = "sccl.topology/v1"
-	FormatCollective = "sccl.collective/v1"
-	FormatAlgorithm  = "sccl.algorithm/v1"
-	FormatFrontier   = "sccl.frontier/v1"
-	FormatRequest    = "sccl.request/v1"
-	FormatResult     = "sccl.result/v1"
-	FormatLibrary    = "sccl.library/v1"
+	FormatTopology      = "sccl.topology/v1"
+	FormatCollective    = "sccl.collective/v1"
+	FormatAlgorithm     = "sccl.algorithm/v1"
+	FormatFrontier      = "sccl.frontier/v1"
+	FormatRequest       = "sccl.request/v1"
+	FormatResult        = "sccl.result/v1"
+	FormatLibrary       = "sccl.library/v1"
+	FormatParetoRequest = "sccl.pareto-request/v1"
+	FormatLibraryEntry  = "sccl.library-entry/v1"
 )
 
 type envelope struct {
@@ -158,6 +160,23 @@ func DecodeResult(data []byte) (Result, error) {
 	return r, err
 }
 
+// EncodeParetoRequest renders a sweep request as a stable, versioned
+// JSON document — the wire format of the serve daemon's /v1/pareto
+// endpoint. Engine-local fields (Progress, Options, NoSessions) are
+// omitted.
+func EncodeParetoRequest(r ParetoRequest) ([]byte, error) { return seal(FormatParetoRequest, r) }
+
+// DecodeParetoRequest parses and re-validates a sweep request document.
+func DecodeParetoRequest(data []byte) (ParetoRequest, error) {
+	var r ParetoRequest
+	payload, err := open(FormatParetoRequest, data)
+	if err != nil {
+		return r, err
+	}
+	err = json.Unmarshal(payload, &r)
+	return r, err
+}
+
 // LibraryEntry is one persisted synthesis outcome of an engine's
 // algorithm cache: the canonical request fingerprint, a human-readable
 // summary of the request, and the algorithm itself (absent for Unsat
@@ -198,28 +217,59 @@ func parseLibrary(data []byte) ([]LibraryEntry, []Status, error) {
 	}
 	statuses := make([]Status, len(in.Entries))
 	for i, ent := range in.Entries {
-		status, err := statusFromString(ent.Status)
+		status, err := validateLibraryEntry(ent)
 		if err != nil {
-			return nil, nil, fmt.Errorf("sccl: library entry %d: %w", i, err)
-		}
-		// Only settled verdicts belong in a library: an Unknown entry
-		// would be served as a cache hit forever, which the engine itself
-		// never allows.
-		switch status {
-		case Sat:
-			if ent.Algorithm == nil {
-				return nil, nil, fmt.Errorf("sccl: library entry %d is SAT but has no algorithm", i)
-			}
-		case Unsat:
-			if ent.Algorithm != nil {
-				return nil, nil, fmt.Errorf("sccl: library entry %d is UNSAT but carries an algorithm", i)
-			}
-		default:
-			return nil, nil, fmt.Errorf("sccl: library entry %d has status %q (only SAT and UNSAT persist)", i, ent.Status)
+			return nil, nil, fmt.Errorf("sccl: library entry %d %w", i, err)
 		}
 		statuses[i] = status
 	}
 	return in.Entries, statuses, nil
+}
+
+// validateLibraryEntry checks the status/algorithm coherence every
+// persisted entry must satisfy. Only settled verdicts belong in a
+// library: an Unknown entry would be served as a cache hit forever,
+// which the engine itself never allows.
+func validateLibraryEntry(ent LibraryEntry) (Status, error) {
+	status, err := statusFromString(ent.Status)
+	if err != nil {
+		return Unknown, err
+	}
+	switch status {
+	case Sat:
+		if ent.Algorithm == nil {
+			return Unknown, errors.New("is SAT but has no algorithm")
+		}
+	case Unsat:
+		if ent.Algorithm != nil {
+			return Unknown, errors.New("is UNSAT but carries an algorithm")
+		}
+	default:
+		return Unknown, fmt.Errorf("has status %q (only SAT and UNSAT persist)", ent.Status)
+	}
+	return status, nil
+}
+
+// EncodeLibraryEntry renders one cached synthesis outcome as a stable,
+// versioned JSON document — the response format of the serve daemon's
+// /v1/algorithms/{fingerprint} endpoint.
+func EncodeLibraryEntry(ent LibraryEntry) ([]byte, error) { return seal(FormatLibraryEntry, ent) }
+
+// DecodeLibraryEntry parses a library-entry document, re-validating the
+// embedded algorithm and the status/algorithm coherence.
+func DecodeLibraryEntry(data []byte) (LibraryEntry, error) {
+	var ent LibraryEntry
+	payload, err := open(FormatLibraryEntry, data)
+	if err != nil {
+		return ent, err
+	}
+	if err := json.Unmarshal(payload, &ent); err != nil {
+		return ent, err
+	}
+	if _, err := validateLibraryEntry(ent); err != nil {
+		return ent, fmt.Errorf("sccl: library entry %w", err)
+	}
+	return ent, nil
 }
 
 // SaveLibrary writes the engine's algorithm cache as a versioned JSON

@@ -1,0 +1,110 @@
+package sccl_test
+
+import (
+	"bytes"
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+
+	sccl "repro"
+)
+
+// TestJSONRoundTripParetoRequest covers the sweep-request wire format
+// the serve daemon's /v1/pareto endpoint speaks: encode, decode with
+// re-validation, compare, re-encode byte-identically.
+func TestJSONRoundTripParetoRequest(t *testing.T) {
+	req := sccl.ParetoRequest{
+		Kind: sccl.Broadcast, Topo: sccl.BidirRing(6), Root: 1,
+		K: 2, MaxSteps: 5, MaxChunks: 4,
+		Timeout: 45 * time.Second, Workers: 3,
+	}
+	data, err := sccl.EncodeParetoRequest(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), `"sccl.pareto-request/v1"`) {
+		t.Fatalf("envelope format missing: %s", data)
+	}
+	dec, err := sccl.DecodeParetoRequest(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dec.Kind != req.Kind || dec.Root != req.Root || dec.K != req.K ||
+		dec.MaxSteps != req.MaxSteps || dec.MaxChunks != req.MaxChunks ||
+		dec.Timeout != req.Timeout || dec.Workers != req.Workers ||
+		!reflect.DeepEqual(dec.Topo, req.Topo) {
+		t.Errorf("decoded sweep request differs: %+v vs %+v", dec, req)
+	}
+	again, err := sccl.EncodeParetoRequest(dec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(again, data) {
+		t.Error("re-encode not byte-identical")
+	}
+
+	// Decode re-validates: an absurd K must be rejected.
+	bad := req
+	bad.K = -1
+	if data, err := sccl.EncodeParetoRequest(bad); err == nil {
+		if _, err := sccl.DecodeParetoRequest(data); err == nil {
+			t.Error("decode accepted K = -1")
+		}
+	}
+}
+
+// TestJSONRoundTripLibraryEntry covers the single-entry document behind
+// GET /v1/algorithms/{fingerprint}: Sat entries round-trip with their
+// algorithm, and incoherent entries are rejected on decode.
+func TestJSONRoundTripLibraryEntry(t *testing.T) {
+	eng := sccl.NewEngine(sccl.EngineOptions{})
+	defer eng.Close()
+	topo := sccl.BidirRing(4)
+	req := sccl.Request{
+		Kind: sccl.Allgather, Topo: topo, Budget: sccl.Budget{C: 1, S: 2, R: 3},
+	}
+	res, err := eng.Synthesize(nil, req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Status != sccl.Sat {
+		t.Fatalf("status %v", res.Status)
+	}
+	ent, ok := eng.CachedEntry(res.Fingerprint)
+	if !ok {
+		t.Fatalf("no cached entry under %s", res.Fingerprint)
+	}
+	data, err := sccl.EncodeLibraryEntry(ent)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dec, err := sccl.DecodeLibraryEntry(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dec.Fingerprint != ent.Fingerprint || dec.Status != ent.Status ||
+		dec.Kind != ent.Kind || dec.Budget != ent.Budget {
+		t.Errorf("decoded entry differs: %+v vs %+v", dec, ent)
+	}
+	if dec.Algorithm == nil {
+		t.Fatal("Sat entry decoded without algorithm")
+	}
+	again, err := sccl.EncodeLibraryEntry(dec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(again, data) {
+		t.Error("re-encode not byte-identical")
+	}
+
+	// Coherence is enforced on decode: a Sat entry without an algorithm
+	// must not pass.
+	broken := ent
+	broken.Algorithm = nil
+	if data, err := sccl.EncodeLibraryEntry(broken); err == nil {
+		if _, err := sccl.DecodeLibraryEntry(data); err == nil {
+			t.Error("decode accepted a SAT entry with no algorithm")
+		}
+	}
+}
