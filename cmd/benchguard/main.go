@@ -11,7 +11,8 @@
 //	           -max-regress-pct 25 -max-encode-regress-pct 35 -min-wall 25ms
 //
 // Rows are matched by their sweep identity (topology, collective,
-// backend, k, maxSteps, maxChunks, workers, sessions, portfolio). Rows
+// backend, k, maxSteps, maxChunks, workers, sessions, portfolio,
+// megaBase). Rows
 // whose metric sits under -min-wall in both files are reported but never
 // fail the gate: at that scale scheduler noise outweighs solver work. A
 // baseline row missing from the fresh run fails the gate — the suite
@@ -22,7 +23,9 @@
 // count and scheduler load, not code quality. Instead, every fresh
 // portfolio row must beat its plain counterpart from the same run by
 // -min-portfolio-gain-pct on solve wall — a fresh-vs-fresh comparison
-// that needs no calibration and holds on any machine.
+// that needs no calibration and holds on any machine. Mega-base rows
+// get the same fresh-vs-fresh treatment on encode wall: each must beat
+// its per-family counterpart by -min-mega-encode-gain-pct.
 package main
 
 import (
@@ -37,8 +40,8 @@ import (
 )
 
 func rowKey(r eval.SweepRow) string {
-	return fmt.Sprintf("%s|%s|%s|k%d|s%d|c%d|w%d|sessions=%v|portfolio=%v",
-		r.Topology, r.Collective, r.Backend, r.K, r.MaxSteps, r.MaxChunks, r.Workers, r.Sessions, r.Portfolio)
+	return fmt.Sprintf("%s|%s|%s|k%d|s%d|c%d|w%d|sessions=%v|portfolio=%v|mega=%v",
+		r.Topology, r.Collective, r.Backend, r.K, r.MaxSteps, r.MaxChunks, r.Workers, r.Sessions, r.Portfolio, r.MegaBase)
 }
 
 func loadRows(path string) (map[string]eval.SweepRow, error) {
@@ -131,6 +134,42 @@ func gate(m metric, baseline, fresh map[string]eval.SweepRow, scale float64, min
 	return failures
 }
 
+// megaGate checks the mega-base's whole-sweep encode win fresh-vs-fresh:
+// every mega-base row must beat its per-family counterpart (same sweep
+// identity, mega off, from the same run) by at least minGainPct on
+// encode wall. Like the portfolio gate, both rows come from one process
+// on one machine, so no calibration or committed absolute time is
+// involved.
+func megaGate(fresh map[string]eval.SweepRow, minGainPct float64) int {
+	failures := 0
+	for _, key := range sortedKeys(fresh) {
+		row := fresh[key]
+		if !row.MegaBase {
+			continue
+		}
+		plain := row
+		plain.MegaBase = false
+		counterpart, ok := fresh[rowKey(plain)]
+		if !ok {
+			fmt.Printf("mega-encode-gain %-53s %12s FAIL (no per-family counterpart row)\n", key, fmtNs(row.EncodeWallNs))
+			failures++
+			continue
+		}
+		gainPct := 0.0
+		if counterpart.EncodeWallNs > 0 {
+			gainPct = 100 * float64(counterpart.EncodeWallNs-row.EncodeWallNs) / float64(counterpart.EncodeWallNs)
+		}
+		verdict := "ok"
+		if gainPct < minGainPct {
+			verdict = "FAIL"
+			failures++
+		}
+		fmt.Printf("mega-encode-gain %-53s per-family %s -> mega %s: %+.0f%% (need >= %.0f%%) %s\n",
+			key, fmtNs(counterpart.EncodeWallNs), fmtNs(row.EncodeWallNs), gainPct, minGainPct, verdict)
+	}
+	return failures
+}
+
 // portfolioGate checks the intra-instance parallelism win fresh-vs-fresh:
 // every portfolio row must beat its plain counterpart (same sweep
 // identity, portfolio off, from the same run) by at least minGainPct on
@@ -174,6 +213,7 @@ func main() {
 	minWall := flag.Duration("min-wall", 25*time.Millisecond, "rows faster than this in both files never fail the gate")
 	calibrate := flag.Bool("calibrate", false, "scale fresh rows by the one-shot rows' aggregate speed ratio, so a slower/faster machine than the baseline's does not trip the gate")
 	minPortfolioGain := flag.Float64("min-portfolio-gain-pct", 25, "required solve-wall improvement of each fresh portfolio row over its same-run plain counterpart, percent")
+	minMegaGain := flag.Float64("min-mega-encode-gain-pct", 20, "required encode-wall improvement of each fresh mega-base row over its same-run per-family counterpart, percent")
 	flag.Parse()
 
 	baseline, err := loadRows(*baselinePath)
@@ -201,6 +241,7 @@ func main() {
 	}
 	fmt.Println()
 	failures += portfolioGate(fresh, *minPortfolioGain)
+	failures += megaGate(fresh, *minMegaGain)
 	if failures > 0 {
 		fmt.Fprintf(os.Stderr, "benchguard: %d row-metric(s) regressed beyond their allowance (or went missing); "+
 			"if intentional, regenerate the baseline with `SCCL_BENCH_DIR= go test -bench=SessionSweeps -benchtime=1x -run '^$' .` "+

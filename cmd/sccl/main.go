@@ -83,8 +83,9 @@ commands:
   pareto      run the Pareto-Synthesize procedure (paper Algorithm 1);
               -stats prints scheduler + session/unsat-core counters,
               -no-sessions disables incremental sessions (and with them
-              unsat-core pruning), -json emits a deterministic frontier
-              document for diffing
+              unsat-core pruning), -mega pools the whole sweep on one
+              shared chunk-activation mega-base, -json emits a
+              deterministic frontier document for diffing
   bounds      print latency/bandwidth lower bounds
   simulate    run the discrete-event simulator across sizes
   cuda        emit CUDA-flavored C++ for a synthesized algorithm
@@ -287,6 +288,7 @@ func cmdPareto(args []string) error {
 	timeout := fs.Duration("timeout", 5*time.Minute, "per-instance solver timeout")
 	stats := fs.Bool("stats", false, "print scheduler and session-reuse statistics")
 	noSessions := fs.Bool("no-sessions", false, "disable incremental solver sessions (and unsat-core pruning)")
+	mega := fs.Bool("mega", false, "pool the whole sweep on one shared mega-base (chunk-activation Stage-1; frontier bytes unchanged)")
 	jsonOut := fs.Bool("json", false, "print the frontier as a deterministic JSON document (synthesis times zeroed)")
 	cm, err := parseCommon(fs, args)
 	if err != nil {
@@ -295,7 +297,7 @@ func cmdPareto(args []string) error {
 	res, err := cm.eng.Pareto(context.Background(), sccl.ParetoRequest{
 		Kind: cm.kind, Topo: cm.topo, Root: sccl.Node(cm.root),
 		K: *k, MaxSteps: *maxSteps, MaxChunks: *maxChunks,
-		Timeout: *timeout, NoSessions: *noSessions,
+		Timeout: *timeout, NoSessions: *noSessions, MegaBase: *mega,
 	})
 	if err != nil {
 		return err
@@ -348,6 +350,8 @@ func cmdPareto(args []string) error {
 			s.TemplateHits, s.MigratedLearnts)
 		fmt.Fprintf(statsOut, "portfolio: %d solves escalated to races, %d learnt clauses shared across workers, %d cubes split\n",
 			s.PortfolioSolves, s.SharedLearnts, s.CubeSplits)
+		fmt.Fprintf(statsOut, "mega-base: %d probes answered by activation selects, %d base encodes\n",
+			s.MegaProbes, s.MegaEncodes)
 		cs := cm.eng.CacheStats()
 		fmt.Fprintf(statsOut, "engine: %d pooled sessions (%d pool hits, %d misses), %d cached algorithms, %d core solves / %d pruned probes lifetime\n",
 			cs.Sessions, cs.SessionHits, cs.SessionMisses, cs.Algorithms, cs.CoreSolves, cs.PrunedProbes)

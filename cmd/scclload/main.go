@@ -9,6 +9,10 @@
 //     reported as exact client-side p50/p99 and lookups/sec;
 //   - mixed traffic: fresh budgets (misses) interleaved with replays
 //     (hits), reporting the observed hit ratio.
+//   - warm misses: by now the solve streak has tripped the daemon's
+//     per-topology mega-base warmer; fresh sweep-shaped budgets are
+//     answered by assumption pushes on the warm shared base, and the
+//     phase reports their p50/p99 plus the mega-select delta.
 //
 // With -check it exits non-zero unless the acceptance bar holds:
 // exactly one solve for the herd, identical bodies, and repeated-hit
@@ -62,6 +66,21 @@ type mixedReport struct {
 	HitRatio float64 `json:"hitRatio"`
 }
 
+// warmMissReport measures the daemon's warm mega-base: fresh
+// sweep-shaped budgets (unseen fingerprints, so guaranteed misses)
+// answered by assumption pushes on the base the solve streak warmed,
+// instead of fresh Stage-1 encodes.
+type warmMissReport struct {
+	Requests int   `json:"requests"`
+	P50Ns    int64 `json:"p50Ns"`
+	P99Ns    int64 `json:"p99Ns"`
+	// MegaLive reports whether sccl_engine_mega_sessions reached 1
+	// before the poll deadline; MegaSelectsDelta counts how many of the
+	// phase's probes the warm base actually answered.
+	MegaLive         bool   `json:"megaLive"`
+	MegaSelectsDelta uint64 `json:"megaSelectsDelta"`
+}
+
 type report struct {
 	Addr       string         `json:"addr"`
 	Topology   string         `json:"topology"`
@@ -70,6 +89,7 @@ type report struct {
 	Coalesce   coalesceReport `json:"coalesce"`
 	Hit        hitReport      `json:"hit"`
 	Mixed      mixedReport    `json:"mixed"`
+	WarmMiss   warmMissReport `json:"warmMiss"`
 	// SpeedupHitVsCold is coldWall / hit p99 — the factor the response
 	// cache saves over re-solving.
 	SpeedupHitVsCold float64 `json:"speedupHitVsCold"`
@@ -98,6 +118,7 @@ func run() error {
 	clients := flag.Int("clients", 8, "concurrent identical clients in the coalesce phase")
 	hits := flag.Int("hits", 200, "replays in the hit-latency phase")
 	mixed := flag.Int("mixed", 12, "requests in the mixed phase (even split fresh/replayed)")
+	warmMiss := flag.Int("warm-miss", 8, "requests in the warm-miss phase: fresh sweep-shaped budgets against the daemon's warmed mega-base (0 disables)")
 	minSpeedup := flag.Float64("min-speedup", 100, "-check: required coldWall / hit-p99 factor")
 	check := flag.Bool("check", false, "exit non-zero unless the acceptance bar holds")
 	out := flag.String("out", "", "write the JSON report here (default stdout)")
@@ -230,14 +251,78 @@ func run() error {
 		rep.Mixed.HitRatio = float64(rep.Mixed.Hits) / float64(rep.Mixed.Requests)
 	}
 
+	// Phase 4: warm-miss latency. By now the solve streak has tripped the
+	// daemon's per-topology mega-base warmer; wait for the base to come
+	// live, then issue fresh sweep-shaped budgets (small C and k, unseen
+	// fingerprints — the earlier phases only used C=c at S=s) whose cache
+	// misses are answered by assumption pushes on the warm base.
+	if *warmMiss > 0 {
+		deadline := time.Now().Add(30 * time.Second)
+		for {
+			live, err := scrapeCounter(client, base, "sccl_engine_mega_sessions")
+			if err != nil {
+				return fmt.Errorf("polling for mega-base warm: %w", err)
+			}
+			if live >= 1 {
+				rep.WarmMiss.MegaLive = true
+				break
+			}
+			if time.Now().After(deadline) {
+				break
+			}
+			time.Sleep(500 * time.Millisecond)
+		}
+		selBefore, err := scrapeCounter(client, base, "sccl_engine_mega_selects_total")
+		if err != nil {
+			return err
+		}
+		warmS := *s - 1
+		if warmS < 1 {
+			warmS = 1
+		}
+		wlat := make([]time.Duration, 0, *warmMiss)
+		for i := 0; i < *warmMiss; i++ {
+			// C cycles 1..4 and R grows every full cycle, so every
+			// fingerprint is fresh and stays inside the warmer's clamped
+			// (C<=4, k<=4) window.
+			b, err := makeBody(1+i%4, warmS, warmS+1+i/4)
+			if err != nil {
+				return err
+			}
+			t0 := time.Now()
+			_, src, err := post(client, base+"/v1/synthesize", b)
+			if err != nil {
+				return fmt.Errorf("warm-miss request %d: %w", i, err)
+			}
+			if src == "hit" {
+				return fmt.Errorf("warm-miss request %d unexpectedly hit the response cache", i)
+			}
+			wlat = append(wlat, time.Since(t0))
+		}
+		selAfter, err := scrapeCounter(client, base, "sccl_engine_mega_selects_total")
+		if err != nil {
+			return err
+		}
+		rep.WarmMiss.MegaSelectsDelta = selAfter - selBefore
+		sort.Slice(wlat, func(i, j int) bool { return wlat[i] < wlat[j] })
+		rep.WarmMiss.Requests = len(wlat)
+		if n := len(wlat); n > 0 {
+			rep.WarmMiss.P50Ns = wlat[n/2].Nanoseconds()
+			rep.WarmMiss.P99Ns = wlat[min(n-1, n*99/100)].Nanoseconds()
+		}
+	}
+
 	if rep.Hit.P99Ns > 0 {
 		rep.SpeedupHitVsCold = float64(rep.Coalesce.ColdWallNs) / float64(rep.Hit.P99Ns)
 	}
+	warmOK := *warmMiss == 0 ||
+		(rep.WarmMiss.MegaLive && rep.WarmMiss.MegaSelectsDelta > 0)
 	rep.Pass = rep.Coalesce.Solves == 1 &&
 		rep.Coalesce.IdenticalBodies &&
 		rep.Hit.AllHits &&
 		rep.Mixed.Hits > 0 &&
-		rep.SpeedupHitVsCold >= *minSpeedup
+		rep.SpeedupHitVsCold >= *minSpeedup &&
+		warmOK
 
 	data, err := json.MarshalIndent(rep, "", "  ")
 	if err != nil {
@@ -252,14 +337,17 @@ func run() error {
 		os.Stdout.Write(data)
 	}
 	fmt.Fprintf(os.Stderr,
-		"coalesce: %d clients -> %d solve(s), identical=%v, cold %.1fms | hits: p50 %.2fms p99 %.2fms (%.0f lookups/s) | speedup %.0fx | pass=%v\n",
+		"coalesce: %d clients -> %d solve(s), identical=%v, cold %.1fms | hits: p50 %.2fms p99 %.2fms (%.0f lookups/s) | warm-miss: mega=%v p50 %.2fms selects+%d | speedup %.0fx | pass=%v\n",
 		rep.Coalesce.Clients, rep.Coalesce.Solves, rep.Coalesce.IdenticalBodies,
 		float64(rep.Coalesce.ColdWallNs)/1e6, float64(rep.Hit.P50Ns)/1e6,
-		float64(rep.Hit.P99Ns)/1e6, rep.Hit.LookupsPerSec, rep.SpeedupHitVsCold, rep.Pass)
+		float64(rep.Hit.P99Ns)/1e6, rep.Hit.LookupsPerSec,
+		rep.WarmMiss.MegaLive, float64(rep.WarmMiss.P50Ns)/1e6, rep.WarmMiss.MegaSelectsDelta,
+		rep.SpeedupHitVsCold, rep.Pass)
 	if *check && !rep.Pass {
-		return fmt.Errorf("acceptance check failed (solves=%d identical=%v allHits=%v mixedHits=%d speedup=%.1f < %.0f)",
+		return fmt.Errorf("acceptance check failed (solves=%d identical=%v allHits=%v mixedHits=%d speedup=%.1f < %.0f megaLive=%v megaSelects+%d)",
 			rep.Coalesce.Solves, rep.Coalesce.IdenticalBodies, rep.Hit.AllHits,
-			rep.Mixed.Hits, rep.SpeedupHitVsCold, *minSpeedup)
+			rep.Mixed.Hits, rep.SpeedupHitVsCold, *minSpeedup,
+			rep.WarmMiss.MegaLive, rep.WarmMiss.MegaSelectsDelta)
 	}
 	return nil
 }

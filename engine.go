@@ -131,6 +131,11 @@ type Engine struct {
 	portfolioSolves uint64
 	sharedLearnts   uint64
 	cubeSplits      uint64
+	// megaSelects / megaEncodes aggregate the per-topology mega-base
+	// counters: probes discharged by assumption over a shared pooled base,
+	// and base formulas built (see synth.MegaSession).
+	megaSelects uint64
+	megaEncodes uint64
 }
 
 // NewEngine builds an Engine from options; the zero EngineOptions value
@@ -447,6 +452,13 @@ type CacheStats struct {
 	PortfolioSolves uint64
 	SharedLearnts   uint64
 	CubeSplits      uint64
+	// MegaSessions is the number of live per-topology mega-base sessions
+	// in the pool; MegaSelects counts probes they discharged by assumption
+	// push (vs MegaEncodes fresh base constructions — the encode work the
+	// shared base amortizes away; see synth.MegaSession).
+	MegaSessions int
+	MegaSelects  uint64
+	MegaEncodes  uint64
 }
 
 // Delta returns the counter movement from an earlier snapshot prev of
@@ -479,6 +491,9 @@ func (s CacheStats) Delta(prev CacheStats) CacheStats {
 		PortfolioSolves: sub(s.PortfolioSolves, prev.PortfolioSolves),
 		SharedLearnts:   sub(s.SharedLearnts, prev.SharedLearnts),
 		CubeSplits:      sub(s.CubeSplits, prev.CubeSplits),
+		MegaSessions:    s.MegaSessions,
+		MegaSelects:     sub(s.MegaSelects, prev.MegaSelects),
+		MegaEncodes:     sub(s.MegaEncodes, prev.MegaEncodes),
 	}
 }
 
@@ -497,11 +512,14 @@ func (e *Engine) CacheStats() CacheStats {
 		PortfolioSolves: e.portfolioSolves,
 		SharedLearnts:   e.sharedLearnts,
 		CubeSplits:      e.cubeSplits,
+		MegaSelects:     e.megaSelects,
+		MegaEncodes:     e.megaEncodes,
 	}
 	e.mu.Unlock()
 	if e.sessions != nil {
 		cs.Sessions = e.sessions.Len()
 		cs.SessionHits, cs.SessionMisses = e.sessions.Stats()
+		cs.MegaSessions = e.sessions.MegaLen()
 	}
 	return cs
 }
@@ -544,8 +562,47 @@ func (e *Engine) Synthesize(ctx context.Context, req Request) (*Result, error) {
 	}
 	o := e.solveOptions(req.Timeout, req.Options)
 	return e.answerRequest(ctx, req, o, func(ctx context.Context) (*Algorithm, Status, error) {
+		// A warm per-topology mega-base session (left by an earlier sweep
+		// or a daemon's WarmMegaBase) answers a covered cache miss by
+		// assumption push + solve instead of encode + solve. The lookup
+		// never builds: cold topologies stay on the one-shot path.
+		if v := e.megaView(req, o); v != nil {
+			sres, err := v.Solve(ctx, req.Budget.S, req.Budget.R, o)
+			if err == nil {
+				e.mu.Lock()
+				e.templateHits += uint64(sres.TemplateHits)
+				if sres.MegaProbe {
+					e.megaSelects++
+				}
+				e.megaEncodes += uint64(sres.MegaEncodes)
+				e.mu.Unlock()
+				return sres.Algorithm, sres.Status, nil
+			}
+			// Session route failed (e.g. pool closed mid-flight): fall
+			// through to the one-shot path rather than surfacing it.
+		}
 		return synth.SynthesizeCollectiveContext(ctx, req.Kind, req.Topo, req.Root, req.Budget.C, req.Budget.S, req.Budget.R, o)
 	})
+}
+
+// megaView resolves a warm (never freshly built) mega-base projection for
+// one exact-budget request, or nil when the request cannot route through
+// one: combining kinds, overridden backends, no pool, no covering warm
+// session, or an unmappable family.
+func (e *Engine) megaView(req Request, o SynthOptions) *synth.MegaFamilyView {
+	if e.sessions == nil || req.Kind.IsCombining() || o.Backend != e.backend {
+		return nil
+	}
+	k := req.Budget.R - req.Budget.S
+	mega := e.sessions.Mega(req.Topo, req.Root, o, []collective.Kind{req.Kind}, req.Budget.C, req.Budget.S, k, false)
+	if mega == nil {
+		return nil
+	}
+	coll, err := collective.New(req.Kind, req.Topo.P, req.Budget.C, req.Root)
+	if err != nil {
+		return nil
+	}
+	return mega.View(coll)
 }
 
 // SynthesizeInstance answers one raw SynColl instance (non-combining
@@ -627,12 +684,20 @@ func (e *Engine) Pareto(ctx context.Context, req ParetoRequest) (*ParetoResult, 
 	if noSessions || (req.Options != nil && req.Options.Backend != nil) {
 		pool = nil
 	}
+	// Mega-base routing: a request that asked for it builds (or grows) the
+	// pool's per-topology mega session; otherwise an already-warm covering
+	// session (left by ParetoSynthesizeKinds, WarmMegaBase, or an earlier
+	// -mega sweep) is reused, and a cold pool changes nothing.
+	var mega *synth.MegaSession
+	if pool != nil {
+		mega = pool.Mega(req.Topo, req.Root, o, []collective.Kind{req.Kind}, maxChunks, maxSteps, req.K, req.MegaBase)
+	}
 	var stats ParetoStats
 	pts, err := synth.ParetoSynthesize(req.Kind, req.Topo, req.Root, ParetoOptions{
 		K: req.K, MaxSteps: maxSteps, MaxChunks: maxChunks,
 		Instance: o, Progress: progress, Workers: workers,
 		Context: ctx, Stats: &stats,
-		NoSessions: noSessions, Pool: pool,
+		NoSessions: noSessions, Pool: pool, Mega: mega,
 	})
 	e.mu.Lock()
 	e.coreSolves += uint64(stats.CoreSolves)
@@ -642,6 +707,8 @@ func (e *Engine) Pareto(ctx context.Context, req ParetoRequest) (*ParetoResult, 
 	e.portfolioSolves += uint64(stats.PortfolioSolves)
 	e.sharedLearnts += uint64(stats.SharedLearnts)
 	e.cubeSplits += uint64(stats.CubeSplits)
+	e.megaSelects += uint64(stats.MegaProbes)
+	e.megaEncodes += uint64(stats.MegaEncodes)
 	e.mu.Unlock()
 	res := &ParetoResult{Points: pts, Stats: stats, Wall: time.Since(t0), Fingerprint: fp}
 	if err != nil {
@@ -656,6 +723,37 @@ func (e *Engine) Pareto(ctx context.Context, req ParetoRequest) (*ParetoResult, 
 		})
 	}
 	return res, nil
+}
+
+// WarmMegaBase builds (or grows) and eagerly encodes the engine's pooled
+// per-topology mega-base session, sized to cover budgets up to maxChunks
+// chunks, maxSteps steps and R - S <= k. A serving layer calls it in the
+// background once a topology's miss traffic proves hot, so later cache
+// misses pay assumption-push + solve instead of encode + solve (see
+// synth.MegaSession). It reports whether a live covering session is now
+// warm; false means the configuration cannot host one (no pool, non-CDCL
+// backend, oversized chunk universe, infeasible base) and misses stay on
+// the one-shot path.
+func (e *Engine) WarmMegaBase(topo *Topology, root Node, maxChunks, maxSteps, k int) bool {
+	if e.sessions == nil || topo == nil {
+		return false
+	}
+	// nil kind scope: a daemon warms for whatever kinds traffic may ask,
+	// so the universe spans every non-combining kind.
+	o := e.solveOptions(0, nil)
+	mega := e.sessions.Mega(topo, root, o, nil, maxChunks, maxSteps, k, true)
+	if mega == nil {
+		return false
+	}
+	live, encode := mega.Prepare()
+	if encode > 0 {
+		e.mu.Lock()
+		e.megaEncodes++
+		e.mu.Unlock()
+		e.progress("engine: mega-base for %s warmed in %v (C<=%d S<=%d K<=%d)",
+			topo.Name, encode, maxChunks, maxSteps, k)
+	}
+	return live
 }
 
 // batchGroup is one coalesced fingerprint group of a SynthesizeAll
@@ -744,6 +842,12 @@ func (e *Engine) primeBatchSessions(reqs []Request, groups map[string]*batchGrou
 		}
 		coll, err := collective.New(fa.req.Kind, fa.req.Topo.P, fa.req.Budget.C, fa.req.Root)
 		if err != nil {
+			continue
+		}
+		// A warm covering mega-base session beats a fresh per-family one:
+		// leave the group on the plain path, where Engine.Synthesize
+		// routes each budget through the shared base by assumption.
+		if mega := e.sessions.Mega(fa.req.Topo, fa.req.Root, fa.opts, []collective.Kind{fa.req.Kind}, fa.req.Budget.C, fa.maxS, fa.maxK, false); mega != nil && mega.View(coll) != nil {
 			continue
 		}
 		fam := synth.Family{Coll: coll, Topo: fa.req.Topo, MaxSteps: fa.maxS, MaxExtraRounds: fa.maxK}

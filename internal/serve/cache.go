@@ -12,18 +12,41 @@ import (
 // response bodies, stored immutably: a hit is one map lookup plus one
 // write to the socket.
 //
-// Each shard evicts oldest-inserted first once it reaches its per-shard
-// capacity — the same policy as the engine's algorithm cache, kept
-// per-shard so eviction never takes a global lock either.
+// Eviction is admission-aware: a full shard first evicts its oldest
+// Unsat body, and falls back to plain oldest-inserted only when every
+// resident entry is Sat. Unsat responses are small and cheap to
+// recompute (the engine re-answers them from cached budget cores), while
+// a Sat body embeds a whole synthesized algorithm, so under pressure the
+// cache keeps the entries whose misses actually cost a solve. Eviction
+// stays per-shard so it never takes a global lock.
 type ShardedCache struct {
 	shards       []cacheShard
 	perShardCap  int
 	hits, misses atomic.Uint64
+	// evicted counts evictions per entry class, indexed by EntryClass.
+	evicted [2]atomic.Uint64
+}
+
+// EntryClass labels a cached body for eviction priority.
+type EntryClass uint8
+
+const (
+	// ClassSat marks bodies worth defending: synthesized algorithms and
+	// frontiers, whose re-solve cost is the whole point of the cache.
+	ClassSat EntryClass = iota
+	// ClassUnsat marks infeasibility answers, evicted first — the engine
+	// re-derives them from budget cores at a fraction of a solve.
+	ClassUnsat
+)
+
+type cacheEntry struct {
+	body  []byte
+	class EntryClass
 }
 
 type cacheShard struct {
 	mu      sync.Mutex
-	entries map[string][]byte
+	entries map[string]cacheEntry
 	order   []string
 }
 
@@ -41,7 +64,7 @@ func NewShardedCache(shards, capacity int) *ShardedCache {
 	perShard := (capacity + shards - 1) / shards
 	c := &ShardedCache{shards: make([]cacheShard, shards), perShardCap: perShard}
 	for i := range c.shards {
-		c.shards[i].entries = make(map[string][]byte)
+		c.shards[i].entries = make(map[string]cacheEntry)
 	}
 	return c
 }
@@ -67,31 +90,58 @@ func (c *ShardedCache) shard(key string) *cacheShard {
 func (c *ShardedCache) Get(key string) ([]byte, bool) {
 	s := c.shard(key)
 	s.mu.Lock()
-	val, ok := s.entries[key]
+	ent, ok := s.entries[key]
 	s.mu.Unlock()
 	if ok {
 		c.hits.Add(1)
 	} else {
 		c.misses.Add(1)
 	}
-	return val, ok
+	return ent.body, ok
 }
 
-// Put stores val under key, evicting the shard's oldest entries if the
-// shard is full. The caller must not mutate val afterwards.
+// Put stores val under key as a Sat-class entry. The caller must not
+// mutate val afterwards.
 func (c *ShardedCache) Put(key string, val []byte) {
+	c.PutClass(key, val, ClassSat)
+}
+
+// PutClass stores val under key with an explicit eviction class,
+// evicting admission-aware if the shard is full: the oldest Unsat entry
+// goes first, the oldest entry of any class only when no Unsat body is
+// resident. The caller must not mutate val afterwards.
+func (c *ShardedCache) PutClass(key string, val []byte, class EntryClass) {
 	s := c.shard(key)
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if _, exists := s.entries[key]; !exists {
 		for len(s.entries) >= c.perShardCap && len(s.order) > 0 {
-			oldest := s.order[0]
-			s.order = s.order[1:]
-			delete(s.entries, oldest)
+			c.evictLocked(s)
 		}
 		s.order = append(s.order, key)
 	}
-	s.entries[key] = val
+	s.entries[key] = cacheEntry{body: val, class: class}
+}
+
+// evictLocked removes one entry from a full shard: the first Unsat
+// entry in insertion order if any, otherwise the oldest entry.
+func (c *ShardedCache) evictLocked(s *cacheShard) {
+	victim := 0
+	for i, key := range s.order {
+		if s.entries[key].class == ClassUnsat {
+			victim = i
+			break
+		}
+	}
+	key := s.order[victim]
+	c.evicted[s.entries[key].class].Add(1)
+	s.order = append(s.order[:victim], s.order[victim+1:]...)
+	delete(s.entries, key)
+}
+
+// Evicted returns the lifetime eviction counts by class.
+func (c *ShardedCache) Evicted() (sat, unsat uint64) {
+	return c.evicted[ClassSat].Load(), c.evicted[ClassUnsat].Load()
 }
 
 // Len returns the total number of cached entries across all shards.

@@ -202,6 +202,44 @@ func TestShardedCacheEviction(t *testing.T) {
 	}
 }
 
+// TestShardedCacheUnsatFirstEviction checks admission-aware eviction:
+// a full shard sheds its Unsat bodies (oldest first) before touching
+// any Sat body, falls back to plain FIFO once no Unsat entry remains,
+// and counts evictions per class.
+func TestShardedCacheUnsatFirstEviction(t *testing.T) {
+	c := NewShardedCache(1, 3)
+	c.PutClass("sat0", []byte("s0"), ClassSat)
+	c.PutClass("unsat0", []byte("u0"), ClassUnsat)
+	c.PutClass("sat1", []byte("s1"), ClassSat)
+	// Shard full: the next insert must evict unsat0, not the older sat0.
+	c.PutClass("unsat1", []byte("u1"), ClassUnsat)
+	if _, ok := c.Get("unsat0"); ok {
+		t.Fatal("unsat0 survived eviction ahead of Sat entries")
+	}
+	if _, ok := c.Get("sat0"); !ok {
+		t.Fatal("sat0 evicted while an Unsat body was resident")
+	}
+	// Next insert: unsat1 is now the only Unsat body — it goes next.
+	c.PutClass("sat2", []byte("s2"), ClassSat)
+	if _, ok := c.Get("unsat1"); ok {
+		t.Fatal("unsat1 survived eviction ahead of Sat entries")
+	}
+	// All-Sat shard: eviction falls back to oldest-first.
+	c.Put("sat3", []byte("s3"))
+	if _, ok := c.Get("sat0"); ok {
+		t.Fatal("oldest Sat entry survived an all-Sat eviction")
+	}
+	for _, k := range []string{"sat1", "sat2", "sat3"} {
+		if _, ok := c.Get(k); !ok {
+			t.Fatalf("%s evicted, want FIFO within the Sat class", k)
+		}
+	}
+	evSat, evUnsat := c.Evicted()
+	if evSat != 1 || evUnsat != 2 {
+		t.Fatalf("evictions = %d sat / %d unsat, want 1/2", evSat, evUnsat)
+	}
+}
+
 // TestShardedCacheConcurrent hammers all shards from many goroutines;
 // its real assertion is the race detector.
 func TestShardedCacheConcurrent(t *testing.T) {

@@ -11,6 +11,7 @@ import (
 	"path/filepath"
 	"strconv"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	sccl "repro"
@@ -71,6 +72,15 @@ type Server struct {
 	prevMu    sync.Mutex
 	prevStats sccl.CacheStats
 
+	// warmTopos tracks per-(topology, root) solve streaks behind the
+	// mega-base warmer: once a topology has cost megaWarmThreshold real
+	// solves, the daemon warms one shared mega-base for it in the
+	// background, so later cache misses there pay an assumption push
+	// plus a solve instead of a fresh Stage-1 encode.
+	warmMu    sync.Mutex
+	warmTopos map[string]*warmTopo
+	megaWarms atomic.Uint64
+
 	closeOnce sync.Once
 	closeErr  error
 }
@@ -88,13 +98,14 @@ func New(cfg Config) (*Server, error) {
 		cfg.Progress = func(string, ...any) {}
 	}
 	s := &Server{
-		cfg:     cfg,
-		eng:     cfg.Engine,
-		cache:   NewShardedCache(cfg.Shards, cfg.CacheEntries),
-		adm:     NewAdmission(cfg.SolveSlots, cfg.QueuePerFamily),
-		metrics: NewMetrics(),
-		mux:     http.NewServeMux(),
-		start:   time.Now(),
+		cfg:       cfg,
+		eng:       cfg.Engine,
+		cache:     NewShardedCache(cfg.Shards, cfg.CacheEntries),
+		adm:       NewAdmission(cfg.SolveSlots, cfg.QueuePerFamily),
+		metrics:   NewMetrics(),
+		mux:       http.NewServeMux(),
+		start:     time.Now(),
+		warmTopos: make(map[string]*warmTopo),
 	}
 	s.base, s.baseCancel = context.WithCancel(context.Background())
 	if cfg.LibraryPath != "" {
@@ -211,6 +222,108 @@ func (s *Server) readBody(w http.ResponseWriter, r *http.Request) ([]byte, bool)
 	return data, true
 }
 
+// megaWarmThreshold is how many real solves (response-cache misses that
+// reached the engine) a (topology, root) pair accumulates before the
+// daemon warms a shared mega-base for it.
+const megaWarmThreshold = 3
+
+// megaWarmMaxChunks and megaWarmMaxK clamp the budgets the warmer
+// tracks. The mega-base answers sweep-shaped probes — moderate chunk
+// counts, small k-synchrony slack; sizing the shared universe to an
+// outlier request (a single huge-C or huge-k probe) would balloon the
+// Stage-1 universe past what NewMegaSession accepts and the warm would
+// decline for everyone. Probes beyond the clamped window simply fall
+// back to the engine's ordinary path.
+const (
+	megaWarmMaxChunks = 4
+	megaWarmMaxK      = 4
+)
+
+// warmTopo is the per-(topology, root) state behind the mega-base
+// warmer: a solve streak, the largest budgets seen, and the bounds a
+// warm (or declined) mega-base already covers.
+type warmTopo struct {
+	topo   *sccl.Topology
+	root   sccl.Node
+	misses int
+	// maxC/maxS/maxK are running maxima over solved budgets; the warmer
+	// sizes the mega-base to cover everything the topology has been
+	// asked for so far.
+	maxC, maxS, maxK int
+	// warming serializes background warms; warmedC/S/K record the bounds
+	// the last warm attempt covered, so the warmer re-fires only when a
+	// later request outgrows them.
+	warming                   bool
+	warmedC, warmedS, warmedK int
+}
+
+// noteMegaMiss records one real solve against a topology and, past the
+// threshold, warms a mega-base sized to the maxima seen — in the
+// background, so the triggering request never waits on the encode.
+func (s *Server) noteMegaMiss(req sccl.Request) {
+	k := req.Budget.R - req.Budget.S
+	if k < 0 {
+		k = 0
+	}
+	if k > megaWarmMaxK {
+		k = megaWarmMaxK
+	}
+	c := req.Budget.C
+	if c > megaWarmMaxChunks {
+		c = megaWarmMaxChunks
+	}
+	key := req.Topo.Fingerprint() + "|" + strconv.Itoa(int(req.Root))
+	s.warmMu.Lock()
+	w, ok := s.warmTopos[key]
+	if !ok {
+		w = &warmTopo{topo: req.Topo, root: req.Root}
+		s.warmTopos[key] = w
+	}
+	w.misses++
+	if c > w.maxC {
+		w.maxC = c
+	}
+	if req.Budget.S > w.maxS {
+		w.maxS = req.Budget.S
+	}
+	if k > w.maxK {
+		w.maxK = k
+	}
+	fire := w.misses >= megaWarmThreshold && !w.warming &&
+		(w.maxC > w.warmedC || w.maxS > w.warmedS || w.maxK > w.warmedK)
+	var wc, ws, wk int
+	if fire {
+		w.warming = true
+		wc, ws, wk = w.maxC, w.maxS, w.maxK
+	}
+	s.warmMu.Unlock()
+	if !fire {
+		return
+	}
+	go func() {
+		live := s.eng.WarmMegaBase(w.topo, w.root, wc, ws, wk)
+		s.warmMu.Lock()
+		w.warming = false
+		// Record the attempted bounds either way: a declined warm (wrong
+		// backend, oversized universe) should not be retried until a
+		// request actually outgrows what was tried.
+		if wc > w.warmedC {
+			w.warmedC = wc
+		}
+		if ws > w.warmedS {
+			w.warmedS = ws
+		}
+		if wk > w.warmedK {
+			w.warmedK = wk
+		}
+		s.warmMu.Unlock()
+		if live {
+			s.megaWarms.Add(1)
+			s.cfg.Progress("serve: mega-base warm for %s (C<=%d S<=%d k<=%d)", w.topo.Name, wc, ws, wk)
+		}
+	}()
+}
+
 // handleSynthesize answers POST /v1/synthesize: body is a
 // sccl.request/v1 document, response a sccl.result/v1 document. A
 // response-cache hit costs one striped map lookup; concurrent identical
@@ -235,6 +348,7 @@ func (s *Server) handleSynthesize(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	s.answer(w, r, fp, familyKey(req.Kind, req.Topo), t0, func(ctx context.Context) ([]byte, error) {
+		s.noteMegaMiss(req)
 		res, err := s.eng.Synthesize(ctx, req)
 		if err != nil {
 			return nil, err
@@ -246,7 +360,14 @@ func (s *Server) handleSynthesize(w http.ResponseWriter, r *http.Request) {
 		if res.Status != sccl.Unknown {
 			// Unknown (timeout, cancellation) mirrors the engine's own
 			// policy: never cached, so a later retry really retries.
-			s.cache.Put(fp, body)
+			// Unsat bodies enter the eviction class that goes first
+			// under pressure — re-deriving them costs a core lookup,
+			// not a solve.
+			class := ClassSat
+			if res.Status == sccl.Unsat {
+				class = ClassUnsat
+			}
+			s.cache.PutClass(fp, body, class)
 		}
 		return body, nil
 	})
@@ -337,6 +458,11 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	if hits+misses > 0 {
 		writeGauge(w, "sccl_serve_hit_ratio", "Lifetime response-cache hit ratio.", float64(hits)/float64(hits+misses))
 	}
+	evSat, evUnsat := s.cache.Evicted()
+	fmt.Fprint(w, "# HELP sccl_serve_response_cache_evictions_total Response-cache evictions, by entry class.\n# TYPE sccl_serve_response_cache_evictions_total counter\n")
+	fmt.Fprintf(w, "sccl_serve_response_cache_evictions_total{class=\"sat\"} %d\n", evSat)
+	fmt.Fprintf(w, "sccl_serve_response_cache_evictions_total{class=\"unsat\"} %d\n", evUnsat)
+	writeCounter(w, "sccl_serve_mega_warms_total", "Mega-bases warmed by the per-topology solve-streak warmer.", s.megaWarms.Load())
 	s.metrics.write(w)
 
 	cs := s.eng.CacheStats()
@@ -347,6 +473,7 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	writeGauge(w, "sccl_engine_algorithms", "Cached synthesis outcomes in the engine.", float64(cs.Algorithms))
 	writeGauge(w, "sccl_engine_frontiers", "Cached Pareto frontiers in the engine.", float64(cs.Frontiers))
 	writeGauge(w, "sccl_engine_sessions", "Live pooled solver sessions.", float64(cs.Sessions))
+	writeGauge(w, "sccl_engine_mega_sessions", "Live shared mega-base sessions.", float64(cs.MegaSessions))
 	writeCounter(w, "sccl_engine_hits_total", "Engine algorithm/frontier cache hits.", cs.Hits)
 	writeCounter(w, "sccl_engine_misses_total", "Engine algorithm/frontier cache misses.", cs.Misses)
 	writeCounter(w, "sccl_engine_session_hits_total", "Session-pool hits.", cs.SessionHits)
@@ -358,6 +485,8 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	writeCounter(w, "sccl_engine_portfolio_solves_total", "Solves escalated into portfolio races.", cs.PortfolioSolves)
 	writeCounter(w, "sccl_engine_shared_learnts_total", "Learnt clauses imported by portfolio replicas.", cs.SharedLearnts)
 	writeCounter(w, "sccl_engine_cube_splits_total", "Cubes raced by cube-and-conquer escalations.", cs.CubeSplits)
+	writeCounter(w, "sccl_engine_mega_selects_total", "Probes answered by mega-base activation selects.", cs.MegaSelects)
+	writeCounter(w, "sccl_engine_mega_encodes_total", "Mega-base Stage-1 encodes.", cs.MegaEncodes)
 	if win := delta.Hits + delta.Misses; win > 0 {
 		writeGauge(w, "sccl_engine_hit_ratio_window", "Engine cache hit ratio since the previous scrape.", float64(delta.Hits)/float64(win))
 	}

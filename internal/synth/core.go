@@ -37,26 +37,35 @@ type BudgetCore struct {
 	// RoundLower and RoundUpper report the sum >= R and sum <= R sides of
 	// the round-total bound (C6) in the core.
 	RoundLower, RoundUpper bool
+	// Activation reports chunk-activation literals (mega-base family
+	// selection, see mega.go) in the core. The activation row is constant
+	// for every budget of one family, so it behaves like the base formula
+	// for within-family dominance: it weakens nothing.
+	Activation bool
 	// Empty reports a conflict that needed no budget assumptions at all:
 	// the base formula is Unsat for every budget within the horizon.
 	Empty bool
 }
 
 // DominatesSteps reports that the core refutes every budget (S' <= Steps,
-// any R) of the family: the conflict used only post-arrival assumptions,
-// which only get stronger as the step budget shrinks, and no round
-// assumptions at all.
+// any R) of the family: the conflict used only assumptions that are
+// invariant (activation) or strengthen (post-arrival) as the step budget
+// shrinks, and no round assumptions at all.
 func (c BudgetCore) DominatesSteps() bool {
-	return c.Empty || (c.PostArrival && !c.RoundLower && !c.RoundUpper)
+	return c.Empty || ((c.PostArrival || c.Activation) && !c.RoundLower && !c.RoundUpper)
 }
 
 // DominatesRounds reports that the core refutes every budget
-// (S = Steps, R' <= Rounds) of the family: post-arrival literals are
-// identical at fixed S and the upper round bound only gets stronger as R
-// shrinks, so only the lower round bound (weaker for cheaper R) blocks
-// the implication.
+// (S = Steps, R' <= Rounds) of the family: activation and post-arrival
+// literals are identical at fixed S and the upper round bound only gets
+// stronger as R shrinks, so only the lower round bound (weaker for
+// cheaper R) blocks the implication. A pure activation core refutes the
+// family at every budget of the probe's step count, rounds included.
 func (c BudgetCore) DominatesRounds() bool {
-	return c.Empty || (c.RoundUpper && !c.RoundLower)
+	if c.Empty || (c.RoundUpper && !c.RoundLower) {
+		return true
+	}
+	return c.Activation && !c.PostArrival && !c.RoundLower && !c.RoundUpper
 }
 
 func (c BudgetCore) String() string {
@@ -73,6 +82,9 @@ func (c BudgetCore) String() string {
 	if c.RoundUpper {
 		s += " rhi"
 	}
+	if c.Activation {
+		s += " act"
+	}
 	return s + ")"
 }
 
@@ -80,7 +92,12 @@ func (c BudgetCore) String() string {
 // one probe's assumption set, so the failed-assumption core can be mapped
 // back to budget groups.
 type assumpMarks struct {
-	post         map[sat.Lit]bool
+	post map[sat.Lit]bool
+	// acts records the assumed chunk-activation literals of a mega-base
+	// probe, in the polarity assumed — positive and negated activations
+	// can both appear in a failed-assumption core. Nil for per-family
+	// sessions.
+	acts         map[sat.Lit]bool
 	lower, upper sat.Lit // 0 when the bound is absent (trivial)
 }
 
@@ -98,6 +115,8 @@ func (m assumpMarks) classify(core []sat.Lit, steps, rounds int) *BudgetCore {
 			bc.RoundUpper = true
 		case m.post[l]:
 			bc.PostArrival = true
+		case m.acts[l]:
+			bc.Activation = true
 		default:
 			return nil
 		}
@@ -132,17 +151,26 @@ const minimizeConflictBudget = 256
 func (e *sessionEncoding) classifyCore(ctx context.Context, marks assumpMarks, steps, rounds int) *BudgetCore {
 	failed := e.ctx.Solver.FailedAssumptions()
 	bc := marks.classify(failed, steps, rounds)
-	if bc == nil || bc.Empty || !bc.PostArrival || (!bc.RoundLower && !bc.RoundUpper) {
-		// Unexplainable, base-level, or already pure: nothing to minimize.
+	if bc == nil || bc.Empty {
+		// Unexplainable or base-level: nothing to minimize.
+		return bc
+	}
+	hasArrival := bc.PostArrival || bc.Activation
+	hasRound := bc.RoundLower || bc.RoundUpper
+	if !hasArrival || !(hasRound || (bc.PostArrival && bc.Activation)) {
+		// Already pure (single group): no deletion can improve it.
 		return bc
 	}
 	core := append([]sat.Lit(nil), failed...)
-	// Deletion 1: drop the round bounds. If the post-arrival literals
-	// alone still refute the formula, the re-solve's own final conflict
-	// is a pure post core.
+	// Deletion 1: drop the round bounds. If the post-arrival (and, on the
+	// mega path, activation) literals alone still refute the formula, the
+	// re-solve's own final conflict is a round-free core with steps
+	// dominance. Activation literals ride along in both reduced sets:
+	// they select the family, so dropping them would refute a different
+	// question.
 	var postOnly []sat.Lit
 	for _, l := range core {
-		if marks.post[l] {
+		if marks.post[l] || marks.acts[l] {
 			postOnly = append(postOnly, l)
 		}
 	}
@@ -151,8 +179,9 @@ func (e *sessionEncoding) classifyCore(ctx context.Context, marks assumpMarks, s
 			return min
 		}
 	}
-	// Deletion 2: drop the post literals. A surviving conflict is a pure
-	// bandwidth shortfall over the round bounds.
+	// Deletion 2: drop the post literals (activation literals stay). A
+	// surviving conflict is a bandwidth shortfall over the round bounds —
+	// or, on the mega path, a family Unsat at this step count outright.
 	var roundOnly []sat.Lit
 	for _, l := range core {
 		if !marks.post[l] {

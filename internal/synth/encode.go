@@ -124,6 +124,12 @@ type Result struct {
 	// CubeSplits counts the cubes a cube-and-conquer escalation raced
 	// (0 when the escalation used diversified replicas instead).
 	CubeSplits int
+	// MegaProbe marks a probe discharged as an assumption-selected
+	// projection of a shared per-topology mega-base (see MegaSession).
+	MegaProbe bool
+	// MegaEncodes counts mega-base formula constructions this probe paid
+	// for (1 when it was the probe that built the shared base).
+	MegaEncodes int
 }
 
 // Validate checks instance coherence.
@@ -205,24 +211,10 @@ func encodePaperTemplate(in Instance, opts Options, tmpl *Stage0Template) *encod
 // and post rows; only groups of size >= 2 are returned, each sorted by
 // chunk id.
 func symmetricChunkGroups(coll *collective.Spec) [][]int {
-	sig := func(c int) string {
-		b := make([]byte, 0, 2*coll.P)
-		for n := 0; n < coll.P; n++ {
-			x, y := byte('0'), byte('0')
-			if coll.Pre[c][n] {
-				x = '1'
-			}
-			if coll.Post[c][n] {
-				y = '1'
-			}
-			b = append(b, x, y)
-		}
-		return string(b)
-	}
 	bySig := map[string][]int{}
 	var order []string
 	for c := 0; c < coll.G; c++ {
-		s := sig(c)
+		s := chunkSig(coll, c)
 		if len(bySig[s]) == 0 {
 			order = append(order, s)
 		}

@@ -55,6 +55,17 @@ type ParetoOptions struct {
 	// survive across sweeps. Nil with sessions enabled uses a transient
 	// pool closed when the sweep returns.
 	Pool *SessionPool
+	// Mega, if non-nil, routes probes of families the mega-base session
+	// covers through assumption-selected projections of its shared
+	// formula instead of per-family sessions (see MegaSession). Callers
+	// that hold a warm per-topology session (the Engine, the serve
+	// daemon, ParetoSynthesizeKinds) pass it here; frontiers stay
+	// byte-identical because Sat budgets are re-derived canonically.
+	Mega *MegaSession
+	// NoMegaBase keeps ParetoSynthesizeKinds (and other mega-aware
+	// drivers) on per-family sessions — the comparison baseline for the
+	// mega-base's whole-sweep encode saving.
+	NoMegaBase bool
 }
 
 // ParetoStats reports what the probe scheduler did during one sweep.
@@ -113,6 +124,13 @@ type ParetoStats struct {
 	// CubeSplits sums the cubes raced by cube-and-conquer escalations
 	// (see Options.CubeDepth).
 	CubeSplits int
+	// MegaProbes counts completed probes discharged as assumption-selected
+	// projections of a shared per-topology mega-base (see MegaSession).
+	MegaProbes int
+	// MegaEncodes counts mega-base formula constructions the sweep's
+	// probes paid for — at most one per topology, against one base encode
+	// per (collective, C) family on the per-family path.
+	MegaEncodes int
 }
 
 // Speedup returns the aggregate parallel speedup: summed probe time over
@@ -303,6 +321,9 @@ type paretoSweep struct {
 	stats    ParetoStats
 	// pool supplies per-family solver sessions; nil disables sessions.
 	pool *SessionPool
+	// mega, when non-nil, is the shared per-topology mega-base session
+	// tried before the per-family pool for every probe's family.
+	mega *MegaSession
 	fams map[string]bool
 	// Budget-dominance regions learned from unsat cores. A sweep probes
 	// one collective kind on one topology, so a family is identified by
@@ -428,6 +449,9 @@ func ParetoSynthesize(kind collective.Kind, topo *topology.Topology, root topolo
 		roundKill: map[[2]int]int{},
 	}
 	w.pool = pool
+	if pool != nil && !opts.NoMegaBase && opts.Mega.Covers([]collective.Kind{kind}, opts.MaxChunks, opts.MaxSteps, opts.K) {
+		w.mega = opts.Mega
+	}
 	for S := al; S <= opts.MaxSteps; S++ {
 		cands := enumerateCandidates(S, opts.K, opts.MaxChunks, bl)
 		w.steps = append(w.steps, &stepSchedule{
@@ -448,6 +472,105 @@ func ParetoSynthesize(kind collective.Kind, topo *topology.Topology, root topolo
 		*opts.Stats = w.stats
 	}
 	return points, err
+}
+
+// ParetoSynthesizeKinds runs Algorithm 1 for several non-combining
+// collective kinds on one topology as a single pooled sweep: every kind
+// shares the session pool and — when the backend supports it — one
+// chunk-activation mega-base session, so the whole multi-family sweep is
+// one long-lived incremental solve instead of one base encode per
+// (collective, C) family. Each kind's frontier is byte-identical to an
+// independent ParetoSynthesize (or -no-sessions) run of that kind.
+//
+// opts.Stats, when set, receives the counters summed across kinds with
+// Wall covering the whole multi-kind sweep. opts.NoMegaBase keeps the
+// shared pool but routes every family through its own session — the
+// baseline the mega-base's encode saving is gated against.
+func ParetoSynthesizeKinds(kinds []collective.Kind, topo *topology.Topology, root topology.Node, opts ParetoOptions) (map[collective.Kind][]ParetoPoint, error) {
+	if len(kinds) == 0 {
+		return nil, fmt.Errorf("synth: ParetoSynthesizeKinds needs at least one kind")
+	}
+	for _, k := range kinds {
+		if k.IsCombining() {
+			return nil, fmt.Errorf("synth: ParetoSynthesizeKinds needs non-combining collectives; got %v (use SynthesizeCollective)", k)
+		}
+	}
+	// Resolve the enumeration bounds up front: the shared pool and the
+	// mega-base universe must cover every kind's sweep.
+	if opts.MaxSteps == 0 {
+		opts.MaxSteps = topo.P + 2
+	}
+	if opts.MaxChunks == 0 {
+		opts.MaxChunks = 2 * topo.P
+	}
+	var transientPool *SessionPool
+	if !opts.NoSessions && opts.Pool == nil {
+		backend := opts.Instance.Backend
+		if backend == nil {
+			backend = NewCDCLBackend()
+		}
+		if sb, ok := backend.(SessionBackend); ok {
+			transientPool = NewSessionPool(sb, opts.MaxChunks*len(kinds))
+			opts.Pool = transientPool
+		}
+	}
+	defer func() {
+		if transientPool != nil {
+			transientPool.Close()
+		}
+	}()
+	if opts.Pool != nil && !opts.NoSessions && !opts.NoMegaBase && opts.Mega == nil {
+		// The universe is scoped to exactly the kinds this sweep declares:
+		// the encode bill tracks what the sweep will probe instead of the
+		// all-kinds union (which Alltoall's C_max*P^2 chunks dominate).
+		opts.Mega = opts.Pool.Mega(topo, root, opts.Instance, kinds, opts.MaxChunks, opts.MaxSteps, opts.K, true)
+	}
+	var agg ParetoStats
+	t0 := time.Now()
+	out := make(map[collective.Kind][]ParetoPoint, len(kinds))
+	for _, kind := range kinds {
+		kOpts := opts
+		var ks ParetoStats
+		if opts.Stats != nil {
+			kOpts.Stats = &ks
+		}
+		points, err := ParetoSynthesize(kind, topo, root, kOpts)
+		if err != nil {
+			return nil, fmt.Errorf("synth: multi-kind sweep at %v: %w", kind, err)
+		}
+		out[kind] = points
+		if opts.Stats != nil {
+			agg.add(ks)
+		}
+	}
+	if opts.Stats != nil {
+		agg.Wall = time.Since(t0)
+		*opts.Stats = agg
+	}
+	return out, nil
+}
+
+// add folds another sweep's counters into s (Wall excluded: the caller
+// owns end-to-end wall clock).
+func (s *ParetoStats) add(o ParetoStats) {
+	s.Probes += o.Probes
+	s.Pruned += o.Pruned
+	s.ProbeTime += o.ProbeTime
+	s.EncodeTime += o.EncodeTime
+	s.SolveTime += o.SolveTime
+	s.Families += o.Families
+	s.SessionProbes += o.SessionProbes
+	s.SessionReuses += o.SessionReuses
+	s.CarriedLearnts += o.CarriedLearnts
+	s.CoreSolves += o.CoreSolves
+	s.PrunedProbes += o.PrunedProbes
+	s.TemplateHits += o.TemplateHits
+	s.MigratedLearnts += o.MigratedLearnts
+	s.PortfolioSolves += o.PortfolioSolves
+	s.SharedLearnts += o.SharedLearnts
+	s.CubeSplits += o.CubeSplits
+	s.MegaProbes += o.MegaProbes
+	s.MegaEncodes += o.MegaEncodes
 }
 
 // run drives the worker pool until the frontier is complete, an error
@@ -663,6 +786,10 @@ func (w *paretoSweep) account(out *probeOutcome) {
 		}
 		w.stats.CarriedLearnts += int64(out.res.CarriedLearnts)
 	}
+	if out.res.MegaProbe {
+		w.stats.MegaProbes++
+	}
+	w.stats.MegaEncodes += out.res.MegaEncodes
 }
 
 // nextTask picks the globally first undispatched candidate: steps in
@@ -841,6 +968,12 @@ func (w *paretoSweep) probe(t probeTask) *probeOutcome {
 func (w *paretoSweep) session(coll *collective.Spec, famKey *string) Session {
 	if w.pool == nil {
 		return nil
+	}
+	// Mega-base first: a covered family costs an assumption push over the
+	// shared per-topology formula instead of its own base encode.
+	if v := w.mega.View(coll); v != nil {
+		*famKey = v.key(w.opts.Instance)
+		return v
 	}
 	fam := Family{
 		Coll:           coll,

@@ -193,6 +193,14 @@ func launchDiverseReplicas(ctx context.Context, wg *sync.WaitGroup, done chan<- 
 // escalation threshold that already elapsed.
 const maxSplitCandidates = 192
 
+// splitLit is one chosen split point with the propagation counts of its
+// two branches, kept so cube enumeration can score each sign
+// combination without re-probing.
+type splitLit struct {
+	l              sat.Lit
+	posImp, negImp int
+}
+
 // chooseSplitLits ranks Stage-2 literals of the encoded instance by a
 // failed-literal lookahead and returns the best depth split points. The
 // pool mixes the per-step round-budget thresholds (rs) with the
@@ -201,7 +209,7 @@ const maxSplitCandidates = 192
 // the weaker of its two propagation branches — balanced splits shrink
 // both halves — and literals with a forced branch are skipped (they
 // partition nothing).
-func chooseSplitLits(e *encoded, depth int) []sat.Lit {
+func chooseSplitLits(e *encoded, depth int) []splitLit {
 	var cands []sat.Lit
 	add := func(l sat.Lit) {
 		if l != 0 && len(cands) < maxSplitCandidates {
@@ -225,7 +233,7 @@ func chooseSplitLits(e *encoded, depth int) []sat.Lit {
 	}
 	s := e.ctx.Solver
 	type scored struct {
-		l     sat.Lit
+		sl    splitLit
 		score int
 	}
 	var ranked []scored
@@ -243,16 +251,16 @@ func chooseSplitLits(e *encoded, depth int) []sat.Lit {
 			score = negImp
 		}
 		if score > 0 {
-			ranked = append(ranked, scored{l, score})
+			ranked = append(ranked, scored{splitLit{l, posImp, negImp}, score})
 		}
 	}
 	sort.SliceStable(ranked, func(i, j int) bool { return ranked[i].score > ranked[j].score })
 	if depth > len(ranked) {
 		depth = len(ranked)
 	}
-	out := make([]sat.Lit, depth)
+	out := make([]splitLit, depth)
 	for i := range out {
-		out[i] = ranked[i].l
+		out[i] = ranked[i].sl
 	}
 	return out
 }
@@ -262,18 +270,39 @@ func chooseSplitLits(e *encoded, depth int) []sat.Lit {
 // space: any total assignment satisfies exactly one cube (the one whose
 // signs agree with it), which is what lets all-Unsat cubes combine into
 // a formula-level Unsat.
-func enumerateCubes(split []sat.Lit) [][]sat.Lit {
+//
+// Cubes come out in descending lookahead score — the sum of the chosen
+// polarity's propagation count per split literal — so the workers pull
+// the most constrained (and typically fastest-refuted) subproblems
+// first instead of walking the static 2^k mask order. Ties keep mask
+// order for determinism. Dispatch order touches only wall clock: the
+// all-Unsat combination is order-invariant and the leader still owns
+// the witness, so output bytes cannot change.
+func enumerateCubes(split []splitLit) [][]sat.Lit {
 	n := 1 << len(split)
-	out := make([][]sat.Lit, n)
+	type scoredCube struct {
+		cube  []sat.Lit
+		score int
+	}
+	all := make([]scoredCube, n)
 	for mask := 0; mask < n; mask++ {
 		cube := make([]sat.Lit, len(split))
-		for i, l := range split {
+		score := 0
+		for i, sl := range split {
 			if mask&(1<<i) != 0 {
-				l = l.Neg()
+				cube[i] = sl.l.Neg()
+				score += sl.negImp
+			} else {
+				cube[i] = sl.l
+				score += sl.posImp
 			}
-			cube[i] = l
 		}
-		out[mask] = cube
+		all[mask] = scoredCube{cube, score}
+	}
+	sort.SliceStable(all, func(i, j int) bool { return all[i].score > all[j].score })
+	out := make([][]sat.Lit, n)
+	for i := range all {
+		out[i] = all[i].cube
 	}
 	return out
 }

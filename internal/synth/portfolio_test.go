@@ -181,10 +181,10 @@ func TestPortfolioLearntSharingSound(t *testing.T) {
 // covers the whole assignment space and is a formula-level Unsat.
 func TestCubePartitionExhaustive(t *testing.T) {
 	for _, k := range []int{1, 2, 3, 4} {
-		split := make([]sat.Lit, k)
+		split := make([]splitLit, k)
 		for i := range split {
 			// Mixed polarities: the generator must honor signs, not vars.
-			split[i] = sat.MkLit(sat.Var(i+1), i%2 == 0)
+			split[i] = splitLit{l: sat.MkLit(sat.Var(i+1), i%2 == 0), posImp: i + 1, negImp: 2 * (i + 1)}
 		}
 		cubes := enumerateCubes(split)
 		if len(cubes) != 1<<k {
@@ -216,6 +216,48 @@ func TestCubePartitionExhaustive(t *testing.T) {
 				t.Fatalf("k=%d assignment %b satisfies %d cubes, want exactly 1", k, assign, matches)
 			}
 		}
+	}
+}
+
+// TestCubeOrderDescending checks the dispatch schedule: cubes come out
+// in descending lookahead score (sum of the chosen polarity's
+// propagation count), so workers pull the most constrained subproblems
+// first, with ties kept in mask order.
+func TestCubeOrderDescending(t *testing.T) {
+	split := []splitLit{
+		{l: sat.MkLit(1, false), posImp: 1, negImp: 8},
+		{l: sat.MkLit(2, false), posImp: 5, negImp: 2},
+		{l: sat.MkLit(3, true), posImp: 3, negImp: 3},
+	}
+	score := func(cube []sat.Lit) int {
+		s := 0
+		for i, sl := range split {
+			if cube[i] == sl.l {
+				s += sl.posImp
+			} else {
+				s += sl.negImp
+			}
+		}
+		return s
+	}
+	cubes := enumerateCubes(split)
+	if len(cubes) != 8 {
+		t.Fatalf("%d cubes, want 8", len(cubes))
+	}
+	prev := score(cubes[0])
+	for _, cube := range cubes[1:] {
+		s := score(cube)
+		if s > prev {
+			t.Fatalf("cube scores not descending: %d after %d", s, prev)
+		}
+		prev = s
+	}
+	// The single best cube is unambiguous here: ¬l1 (8) + l2 (5) + either
+	// polarity of l3 (3) = 16, tie broken by mask order — positive l3
+	// (lower mask) first.
+	best := cubes[0]
+	if best[0] != split[0].l.Neg() || best[1] != split[1].l || best[2] != split[2].l {
+		t.Fatalf("best cube %v does not maximize propagation", best)
 	}
 }
 

@@ -642,6 +642,11 @@ type SessionPool struct {
 	order    []string // LRU order, oldest first
 	hits     uint64
 	misses   uint64
+	// megas caches per-topology mega-base sessions (mega.go), keyed by
+	// topology, root and lowering options. Small and separate from the
+	// family map: one mega session replaces many family sessions.
+	megas     map[string]*MegaSession
+	megaOrder []string // LRU order, oldest first
 }
 
 // templateCached is implemented by sessions that can share a pool-level
@@ -739,6 +744,128 @@ func (p *SessionPool) sessionForKey(f Family, opts Options, key string) (Session
 	return s, nil
 }
 
+// megaKey is the pool identity of a per-topology mega session under
+// lowering-relevant options.
+func megaKey(topo *topology.Topology, root topology.Node, opts Options) string {
+	return topo.Fingerprint() + "|r" + strconv.Itoa(int(root)) +
+		"|e" + strconv.Itoa(int(opts.Encoding)) +
+		"|y" + strconv.FormatBool(!opts.NoSymmetryBreak) +
+		"|p" + strconv.FormatBool(opts.ProveUnsat)
+}
+
+// Mega returns the pool's mega-base session for the topology if one
+// exists and covers a sweep over kinds (nil = every non-combining kind)
+// bounded by (needChunks, needSteps, needK). With create set, a missing
+// or under-sized session is (re)built sized to the union of the old and
+// requested bounds and kind scopes; without it the call is a warm lookup
+// only. Returns nil when the backend or configuration cannot host a mega
+// base, or when the chunk universe would be too large to pay off —
+// callers fall back to per-family sessions.
+func (p *SessionPool) Mega(topo *topology.Topology, root topology.Node, opts Options, kinds []collective.Kind, needChunks, needSteps, needK int, create bool) *MegaSession {
+	if topo == nil || needChunks < 1 || needSteps < 1 || needK < 0 {
+		return nil
+	}
+	if _, ok := p.backend.(cdclBackend); !ok {
+		// Mega projection needs assumption-literal plumbing; the SMT-LIB
+		// session keeps its per-family (push)/(pop) scopes instead.
+		return nil
+	}
+	if opts.Encoding != EncodingPaper || opts.ProveUnsat {
+		return nil
+	}
+	key := megaKey(topo, root, opts)
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return nil
+	}
+	if m, ok := p.megas[key]; ok {
+		if m.Covers(kinds, needChunks, needSteps, needK) {
+			p.megaTouch(key)
+			p.mu.Unlock()
+			return m
+		}
+		if !create {
+			p.mu.Unlock()
+			return nil
+		}
+		// Replace with a session covering both the old and new bounds and
+		// kind scopes so existing warm users stay mapped after their next
+		// lookup.
+		if m.maxChunks > needChunks {
+			needChunks = m.maxChunks
+		}
+		if m.horizon > needSteps {
+			needSteps = m.horizon
+		}
+		if m.k > needK {
+			needK = m.k
+		}
+		kinds = mergeMegaKinds(m.kinds, kinds)
+	} else if !create {
+		p.mu.Unlock()
+		return nil
+	}
+	p.mu.Unlock()
+	// Build outside the lock; a racing creator may win — the loser closes.
+	m := NewMegaSession(topo, root, opts, kinds, needChunks, needSteps, needK)
+	if m == nil {
+		return nil
+	}
+	m.setTemplateCache(p.templates)
+	var evicted []*MegaSession
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		m.Close()
+		return nil
+	}
+	if have, ok := p.megas[key]; ok && have.Covers(kinds, needChunks, needSteps, needK) {
+		p.megaTouch(key)
+		p.mu.Unlock()
+		m.Close()
+		return have
+	}
+	if have, ok := p.megas[key]; ok {
+		evicted = append(evicted, have)
+	} else {
+		if p.megas == nil {
+			p.megas = map[string]*MegaSession{}
+		}
+		p.megaOrder = append(p.megaOrder, key)
+	}
+	p.megas[key] = m
+	p.megaTouch(key)
+	for len(p.megas) > megaPoolCap {
+		oldest := p.megaOrder[0]
+		p.megaOrder = p.megaOrder[1:]
+		evicted = append(evicted, p.megas[oldest])
+		delete(p.megas, oldest)
+	}
+	p.mu.Unlock()
+	for _, e := range evicted {
+		e.Close() // closed mega sessions degrade to one-shot for any view
+	}
+	return m
+}
+
+// megaTouch moves key to the most-recently-used end; caller holds p.mu.
+func (p *SessionPool) megaTouch(key string) {
+	for i, k := range p.megaOrder {
+		if k == key {
+			p.megaOrder = append(append(p.megaOrder[:i:i], p.megaOrder[i+1:]...), key)
+			return
+		}
+	}
+}
+
+// MegaLen returns the number of live mega-base sessions.
+func (p *SessionPool) MegaLen() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return len(p.megas)
+}
+
 // touch moves key to the most-recently-used end; caller holds p.mu.
 func (p *SessionPool) touch(key string) {
 	for i, k := range p.order {
@@ -777,10 +904,18 @@ func (p *SessionPool) Close() error {
 	sessions := p.sessions
 	p.sessions = map[string]Session{}
 	p.order = nil
+	megas := p.megas
+	p.megas = nil
+	p.megaOrder = nil
 	p.mu.Unlock()
 	var first error
 	for _, s := range sessions {
 		if err := s.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	for _, m := range megas {
+		if err := m.Close(); err != nil && first == nil {
 			first = err
 		}
 	}

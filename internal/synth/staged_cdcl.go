@@ -38,6 +38,11 @@ type cdclStageSink struct {
 	// arrival-literal cache for C5, keyed (c, edgeIndex, s): a literal
 	// may appear in multiple relations.
 	arrivals map[[3]int]sat.Lit
+	// acts[c], when set, guards chunk c's send variables for the
+	// mega-base: ¬acts[c] propagates every send of the chunk off, letting
+	// a probe deactivate universe chunks by assumption (mega.go). Nil for
+	// ordinary per-family encodings — no guards, byte-identical output.
+	acts []sat.Lit
 }
 
 func newCDCLStageSink(e *StagedEncoder, ctx *smt.Context) *cdclStageSink {
@@ -130,6 +135,12 @@ func (k *cdclStageSink) SendVar(c, ei int) {
 		return // source can never usefully hold the chunk
 	}
 	k.snds[c][ei] = k.ctx.BoolVar()
+	if k.acts != nil {
+		// Activation guard: deactivated chunks cannot send. Inert while
+		// act is assumed true, so an active projection matches the
+		// per-family base constraint-for-constraint.
+		k.ctx.AddClause(k.acts[c], k.snds[c][ei].Neg())
+	}
 }
 
 // Minimality emits the minimal-solution refinements for chunk c. Any
