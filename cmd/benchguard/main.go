@@ -40,8 +40,8 @@ import (
 )
 
 func rowKey(r eval.SweepRow) string {
-	return fmt.Sprintf("%s|%s|%s|k%d|s%d|c%d|w%d|sessions=%v|portfolio=%v|mega=%v",
-		r.Topology, r.Collective, r.Backend, r.K, r.MaxSteps, r.MaxChunks, r.Workers, r.Sessions, r.Portfolio, r.MegaBase)
+	return fmt.Sprintf("%s|%s|%s|k%d|s%d|c%d|w%d|sessions=%v|portfolio=%v|mega=%v|symmetry=%v",
+		r.Topology, r.Collective, r.Backend, r.K, r.MaxSteps, r.MaxChunks, r.Workers, r.Sessions, r.Portfolio, r.MegaBase, r.Symmetry)
 }
 
 func loadRows(path string) (map[string]eval.SweepRow, error) {
@@ -170,6 +170,61 @@ func megaGate(fresh map[string]eval.SweepRow, minGainPct float64) int {
 	return failures
 }
 
+// symmetryGate checks the node-orbit symmetry-breaking win fresh-vs-fresh:
+// for every symmetry-off row (emitted only by Symmetry specs, as the
+// paired baseline), the symmetry-on row with the same sweep identity must
+// beat it by at least minGainPct on solve wall — and, because breaking is
+// satisfiability-preserving, the two frontiers must agree on every
+// (C, S, R) point. Both rows come from one process on one machine, so no
+// calibration is involved.
+func symmetryGate(fresh map[string]eval.SweepRow, minGainPct float64) int {
+	failures := 0
+	for _, key := range sortedKeys(fresh) {
+		row := fresh[key]
+		if row.Symmetry {
+			continue
+		}
+		on := row
+		on.Symmetry = true
+		counterpart, ok := fresh[rowKey(on)]
+		if !ok {
+			fmt.Printf("symmetry-gain %-56s %12s FAIL (no symmetry-on counterpart row)\n", key, fmtNs(row.SolveWallNs))
+			failures++
+			continue
+		}
+		if !samePoints(row.Points, counterpart.Points) {
+			fmt.Printf("symmetry-gain %-56s FAIL (frontier cost parity broken: off %v vs on %v)\n",
+				key, row.Points, counterpart.Points)
+			failures++
+			continue
+		}
+		gainPct := 0.0
+		if row.SolveWallNs > 0 {
+			gainPct = 100 * float64(row.SolveWallNs-counterpart.SolveWallNs) / float64(row.SolveWallNs)
+		}
+		verdict := "ok"
+		if gainPct < minGainPct {
+			verdict = "FAIL"
+			failures++
+		}
+		fmt.Printf("symmetry-gain %-56s off %s -> on %s (%d perms): %+.0f%% (need >= %.0f%%) %s\n",
+			key, fmtNs(row.SolveWallNs), fmtNs(counterpart.SolveWallNs), counterpart.SymmetryPerms, gainPct, minGainPct, verdict)
+	}
+	return failures
+}
+
+func samePoints(a, b []eval.SweepPoint) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
 // portfolioGate checks the intra-instance parallelism win fresh-vs-fresh:
 // every portfolio row must beat its plain counterpart (same sweep
 // identity, portfolio off, from the same run) by at least minGainPct on
@@ -214,6 +269,7 @@ func main() {
 	calibrate := flag.Bool("calibrate", false, "scale fresh rows by the one-shot rows' aggregate speed ratio, so a slower/faster machine than the baseline's does not trip the gate")
 	minPortfolioGain := flag.Float64("min-portfolio-gain-pct", 25, "required solve-wall improvement of each fresh portfolio row over its same-run plain counterpart, percent")
 	minMegaGain := flag.Float64("min-mega-encode-gain-pct", 20, "required encode-wall improvement of each fresh mega-base row over its same-run per-family counterpart, percent")
+	minSymmetryGain := flag.Float64("min-symmetry-gain-pct", 25, "required solve-wall improvement of each fresh symmetry-on row over its same-run symmetry-off counterpart, percent (cost parity of the paired frontiers is enforced alongside)")
 	flag.Parse()
 
 	baseline, err := loadRows(*baselinePath)
@@ -242,6 +298,7 @@ func main() {
 	fmt.Println()
 	failures += portfolioGate(fresh, *minPortfolioGain)
 	failures += megaGate(fresh, *minMegaGain)
+	failures += symmetryGate(fresh, *minSymmetryGain)
 	if failures > 0 {
 		fmt.Fprintf(os.Stderr, "benchguard: %d row-metric(s) regressed beyond their allowance (or went missing); "+
 			"if intentional, regenerate the baseline with `SCCL_BENCH_DIR= go test -bench=SessionSweeps -benchtime=1x -run '^$' .` "+

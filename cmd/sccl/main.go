@@ -132,6 +132,7 @@ type engineFlags struct {
 	portfolio          *int
 	portfolioThreshold *time.Duration
 	cubeDepth          *int
+	noSymmetry         *bool
 	verbose            *bool
 }
 
@@ -142,6 +143,7 @@ func addEngineFlags(fs *flag.FlagSet) *engineFlags {
 		portfolio:          fs.Int("portfolio", 0, "diversified CDCL workers raced per slow solve (0/1 = off)"),
 		portfolioThreshold: fs.Duration("portfolio-threshold", 0, "solo-solve grace before a portfolio race escalates (0 = default 100ms)"),
 		cubeDepth:          fs.Int("cube-depth", 0, "Stage-2 literals to cube-and-conquer on during a race (0 = off)"),
+		noSymmetry:         fs.Bool("no-symmetry", false, "disable node-orbit symmetry exploitation on large fabrics (frontier costs are identical either way; witnesses may differ)"),
 		verbose:            fs.Bool("v", false, "print engine and probe progress"),
 	}
 }
@@ -164,7 +166,7 @@ func (ef *engineFlags) build() (*sccl.Engine, error) {
 	return sccl.NewEngine(sccl.EngineOptions{
 		Backend: backend, Workers: *ef.workers, Progress: progress,
 		Portfolio: *ef.portfolio, PortfolioThreshold: *ef.portfolioThreshold,
-		CubeDepth: *ef.cubeDepth,
+		CubeDepth: *ef.cubeDepth, NoSymmetryBreaking: *ef.noSymmetry,
 	}), nil
 }
 

@@ -52,6 +52,7 @@ func main() {
 	workers := flag.Int("workers", 1, "concurrent row synthesis workers")
 	portfolio := flag.Int("portfolio", 0, "diversified CDCL workers raced per slow solve (0/1 = off; results are byte-identical either way)")
 	backendSpec := flag.String("backend", "cdcl", "solver backend: cdcl|smtlib[:binary]")
+	noSymmetry := flag.Bool("no-symmetry", false, "disable node-orbit symmetry exploitation on large fabrics (frontier costs are identical either way; witnesses may differ)")
 	jsonOut := flag.Bool("json", false, "write machine-readable BENCH_*.json rows")
 	flag.Parse()
 
@@ -62,7 +63,7 @@ func main() {
 	}
 	// Rows go through a facade engine so identical budgets across tables
 	// and repeated runs within one process hit the algorithm cache.
-	eng := sccl.NewEngine(sccl.EngineOptions{Backend: backend, Workers: *workers, Portfolio: *portfolio})
+	eng := sccl.NewEngine(sccl.EngineOptions{Backend: backend, Workers: *workers, Portfolio: *portfolio, NoSymmetryBreaking: *noSymmetry})
 	opts := eval.Options{
 		Timeout:     *timeout,
 		IncludeSlow: *slow,

@@ -63,6 +63,13 @@ type EngineOptions struct {
 	// CubeDepth, with Portfolio > 1, switches escalated races to
 	// cube-and-conquer over 2^CubeDepth lookahead-chosen cubes.
 	CubeDepth int
+	// NoSymmetryBreaking disables node-orbit symmetry exploitation (the
+	// guarded automorphism-equivariance restriction emitted on large
+	// fabrics; see SynthOptions.NoSymmetryBreaking) for every request the
+	// engine runs.
+	// Frontier (C, S, R) points are identical either way; witnesses may
+	// differ, so the flag IS part of the cache fingerprint.
+	NoSymmetryBreaking bool
 }
 
 const defaultCacheSize = 4096
@@ -105,6 +112,7 @@ type Engine struct {
 	portfolio          int
 	portfolioThreshold time.Duration
 	cubeDepth          int
+	noSymmetry         bool
 	// sessions pools per-family incremental solver sessions across Pareto
 	// sweeps (nil when the backend cannot session or sessions are off).
 	sessions *synth.SessionPool
@@ -164,6 +172,7 @@ func NewEngine(opts EngineOptions) *Engine {
 		portfolio:          opts.Portfolio,
 		portfolioThreshold: opts.PortfolioThreshold,
 		cubeDepth:          opts.CubeDepth,
+		noSymmetry:         opts.NoSymmetryBreaking,
 	}
 	if !opts.NoSessions && opts.SessionPoolSize >= 0 {
 		resolved := e.backend
@@ -228,6 +237,9 @@ func (e *Engine) solveOptions(timeout time.Duration, override *SynthOptions) Syn
 	if o.CubeDepth == 0 {
 		o.CubeDepth = e.cubeDepth
 	}
+	if e.noSymmetry {
+		o.NoSymmetryBreaking = true
+	}
 	return o
 }
 
@@ -251,6 +263,7 @@ func optionParts(o SynthOptions) []string {
 	return []string{
 		"enc=" + strconv.Itoa(int(o.Encoding)),
 		"sym=" + strconv.FormatBool(!o.NoSymmetryBreak),
+		"nodesym=" + strconv.FormatBool(!o.NoSymmetryBreaking),
 		"backend=" + backendName(o),
 	}
 }

@@ -120,6 +120,17 @@ func BandwidthLowerBound(s *Spec, t *topology.Topology) *big.Rat {
 			consider(func(m topology.Node) bool { return m == nn })
 			consider(func(m topology.Node) bool { return m != nn })
 		}
+		// Hierarchical fabrics: node-subset enumeration is infeasible at
+		// this P, but the builder recorded the machine partition, so the
+		// NIC-level bottlenecks are the block-mask cuts. These dominate on
+		// multi-machine topologies, where a machine's aggregate NIC
+		// capacity is far below its members' summed in-degrees.
+		if b := t.BlockCount(); b >= 2 && b <= maxExactCutNodes {
+			for mask := 1; mask < (1<<uint(b))-1; mask++ {
+				m := mask
+				consider(func(n topology.Node) bool { return m&(1<<uint(t.Blocks[n])) != 0 })
+			}
+		}
 	}
 	return best
 }

@@ -51,10 +51,11 @@ func (k Kind) String() string {
 }
 
 // ParseKind resolves a collective name (case-sensitive, as printed by
-// String).
+// String). It scans the stable Kinds() order rather than the name map,
+// so error behavior and any future first-match logic are deterministic.
 func ParseKind(name string) (Kind, error) {
-	for k, n := range kindNames {
-		if n == name {
+	for _, k := range Kinds() {
+		if kindNames[k] == name {
 			return k, nil
 		}
 	}

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"reflect"
 	"strings"
 	"time"
 
@@ -40,6 +41,14 @@ type SweepSpec struct {
 	// row and a mega-base row, so the benchmark tracks the whole-sweep
 	// encode-wall win of pooling all families on one shared Stage-1 base.
 	Kinds []collective.Kind
+	// Symmetry marks a node-orbit symmetry spec: the runner emits a
+	// symmetry-off row and a symmetry-on row (both fresh, sessions on,
+	// same worker count), so the benchmark tracks the automorphism
+	// equivariance solve-wall win on large fabrics against its own-run
+	// baseline. The paired frontiers must agree on every (C, S, R) point —
+	// the phased solve never lets an answer depend on the restriction —
+	// which the runner enforces.
+	Symmetry bool
 }
 
 // SessionSweeps returns the default benchmark sweep suite. The bidir-ring
@@ -74,7 +83,31 @@ func SessionSweeps() []SweepSpec {
 		{Name: "bidir-ring10-multi-k3-mega", Kinds: []collective.Kind{
 			collective.Broadcast,
 		}, Topo: topology.BidirRing(10), K: 3, MaxSteps: 7, MaxChunks: 12},
+		// The node-symmetry benchmarks: fabric-scale sweeps whose budgets are
+		// chosen so every enumerated candidate is tractable symmetry-off and
+		// the frontier Sat probe collapses under the equivariance
+		// restriction. On torus:6x6 (36 nodes) the bandwidth bound (35/4)
+		// leaves (8,9) as the only candidate — Sat, found restricted in a few
+		// hundred conflicts against several seconds unrestricted. On the
+		// 32-GPU machine ring of four DGX-1s the K=0 ladder probes (6,6)
+		// (Unsat; the capped restricted phase's purge leaves the unrestricted
+		// proof faster than a fresh one) and (7,7) (Sat; a machine-rotation-
+		// equivariant witness exists and the restricted search lands on it
+		// ~5x faster than the unrestricted one).
+		{Name: "torus6x6-allgather-sym", Kind: collective.Allgather, Topo: topology.Torus2D(6, 6), K: 1, MaxSteps: 8, MaxChunks: 1, Symmetry: true},
+		{Name: "dgx1x4ring-allgather-sym", Kind: collective.Allgather, Topo: mustMultiNode(topology.DGX1(), 4, 2, 2), K: 0, MaxSteps: 7, MaxChunks: 1, Symmetry: true},
 	}
+}
+
+// mustMultiNode builds a MultiNode fabric for the fixed sweep table;
+// the arguments are compile-time constants, so a failure is a
+// programming error.
+func mustMultiNode(base *topology.Topology, count, nics, nicBW int) *topology.Topology {
+	t, err := topology.MultiNode(base, count, nics, nicBW)
+	if err != nil {
+		panic(err)
+	}
+	return t
 }
 
 // SweepPoint is one frontier budget in a benchmark row.
@@ -124,23 +157,30 @@ type SweepRow struct {
 	// MegaBase marks a row swept over one shared chunk-activation base;
 	// MegaProbes and MegaEncodes count the probes it answered by
 	// assumption selects and the Stage-1 universe encodes it paid.
-	MegaBase     bool  `json:"megaBase"`
-	MegaProbes   int   `json:"megaProbes"`
-	MegaEncodes  int   `json:"megaEncodes"`
-	EncodeWallNs int64 `json:"encodeWallNs"`
-	SolveWallNs  int64 `json:"solveWallNs"`
-	WallNs       int64 `json:"wallNs"`
+	MegaBase    bool `json:"megaBase"`
+	MegaProbes  int  `json:"megaProbes"`
+	MegaEncodes int  `json:"megaEncodes"`
+	// Symmetry records whether node-orbit symmetry exploitation was active
+	// for the run; SymmetryPerms counts the automorphism generators whose
+	// equivariance restrictions the run's base encodes emitted (0 below
+	// the node threshold even with Symmetry true).
+	Symmetry      bool  `json:"symmetry"`
+	SymmetryPerms int   `json:"symmetryPerms"`
+	EncodeWallNs  int64 `json:"encodeWallNs"`
+	SolveWallNs   int64 `json:"solveWallNs"`
+	WallNs        int64 `json:"wallNs"`
 }
 
 // RunSweep executes one spec with sessions on or off and renders its
 // row. backend selects the solver backend for every probe; nil uses the
 // built-in CDCL solver. portfolio enables intra-instance parallelism
-// (a 4-worker diversified race per slow probe) for the run.
-func RunSweep(spec SweepSpec, backend synth.Backend, sessions, portfolio bool, workers int, timeout time.Duration) (SweepRow, error) {
+// (a 4-worker diversified race per slow probe); symmetry enables
+// node-orbit symmetry breaking (inert below the node threshold).
+func RunSweep(spec SweepSpec, backend synth.Backend, sessions, portfolio, symmetry bool, workers int, timeout time.Duration) (SweepRow, error) {
 	if spec.Workers > 0 {
 		workers = spec.Workers
 	}
-	inst := synth.Options{Timeout: timeout, Backend: backend}
+	inst := synth.Options{Timeout: timeout, Backend: backend, NoSymmetryBreaking: !symmetry}
 	if portfolio {
 		inst.Portfolio = 4
 	}
@@ -165,6 +205,8 @@ func RunSweep(spec SweepSpec, backend synth.Backend, sessions, portfolio bool, w
 		Workers:         workers,
 		Sessions:        sessions,
 		Portfolio:       portfolio,
+		Symmetry:        symmetry,
+		SymmetryPerms:   stats.SymmetryPerms,
 		Probes:          stats.Probes,
 		Pruned:          stats.Pruned,
 		Families:        stats.Families,
@@ -223,6 +265,8 @@ func RunMultiSweep(spec SweepSpec, backend synth.Backend, mega bool, workers int
 		Workers:         workers,
 		Sessions:        true,
 		MegaBase:        mega,
+		Symmetry:        true,
+		SymmetryPerms:   stats.SymmetryPerms,
 		Probes:          stats.Probes,
 		Pruned:          stats.Pruned,
 		Families:        stats.Families,
@@ -278,21 +322,39 @@ func RunSessionSweeps(specs []SweepSpec, backend synth.Backend, workers int, tim
 			}
 			continue
 		}
-		type run struct{ sessions, portfolio bool }
-		runs := []run{{false, false}, {true, false}}
+		type run struct{ sessions, portfolio, symmetry bool }
+		runs := []run{{false, false, true}, {true, false, true}}
 		if spec.Portfolio {
-			runs = []run{{true, false}, {true, true}}
+			runs = []run{{true, false, true}, {true, true, true}}
 		}
+		if spec.Symmetry {
+			// Node-symmetry pair: off then on, both fresh with sessions, so
+			// the gate compares the equivariance win within one process.
+			runs = []run{{true, false, false}, {true, false, true}}
+		}
+		var pair []SweepRow
 		for _, r := range runs {
-			row, err := RunSweep(spec, backend, r.sessions, r.portfolio, workers, timeout)
+			row, err := RunSweep(spec, backend, r.sessions, r.portfolio, r.symmetry, workers, timeout)
 			if err != nil {
 				return rows, err
 			}
-			progress("sweep %-28s sessions=%-5v portfolio=%-5v probes=%-3d pruned=%-3d families=%-2d reuses=%-3d encode=%.3fs solve=%.3fs wall=%.3fs",
-				spec.Name, r.sessions, r.portfolio, row.Probes, row.PrunedProbes, row.Families, row.SessionReuses,
+			progress("sweep %-28s sessions=%-5v portfolio=%-5v symmetry=%-5v probes=%-3d pruned=%-3d families=%-2d reuses=%-3d perms=%-2d encode=%.3fs solve=%.3fs wall=%.3fs",
+				spec.Name, r.sessions, r.portfolio, r.symmetry, row.Probes, row.PrunedProbes, row.Families, row.SessionReuses, row.SymmetryPerms,
 				time.Duration(row.EncodeWallNs).Seconds(), time.Duration(row.SolveWallNs).Seconds(),
 				time.Duration(row.WallNs).Seconds())
 			rows = append(rows, row)
+			pair = append(pair, row)
+		}
+		if spec.Symmetry {
+			// Cost parity: breaking is satisfiability-preserving, so the
+			// paired frontiers must agree on every (C, S, R) point. A
+			// divergence is a soundness bug, not a perf regression — fail
+			// the run outright rather than letting a gate read a wall off a
+			// wrong frontier.
+			if !reflect.DeepEqual(pair[0].Points, pair[1].Points) {
+				return rows, fmt.Errorf("eval: sweep %s: symmetry-on frontier %v differs from symmetry-off %v",
+					spec.Name, pair[1].Points, pair[0].Points)
+			}
 		}
 	}
 	return rows, nil

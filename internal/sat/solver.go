@@ -963,6 +963,86 @@ func (s *Solver) SetBudget(maxConflicts int64, timeout time.Duration) {
 	s.opts.Timeout = timeout
 }
 
+// Budget returns the configured per-call conflict and wall-clock budgets
+// (zero values mean unlimited).
+func (s *Solver) Budget() (int64, time.Duration) {
+	return s.opts.MaxConflicts, s.opts.Timeout
+}
+
+// ResetSearchState clears the branching heuristics accumulated by prior
+// Solve calls — VSIDS activities, saved phases, and the activity
+// ordering — restoring the pre-search branching state. The clause
+// database is untouched: learnts are formula consequences and stay
+// sound. Callers use it when consecutive solves target very different
+// subspaces (e.g. dropping an assumed restriction, see
+// synth.solveSymPhased): heuristic state tuned to the abandoned
+// subspace can mislead the next search by orders of magnitude.
+func (s *Solver) ResetSearchState() {
+	s.backtrack(0)
+	for i := range s.activity {
+		s.activity[i] = 0
+	}
+	for i := range s.polar {
+		s.polar[i] = true
+	}
+	s.varInc = 1.0
+	// Rebuild the branching heap from scratch in variable-creation order:
+	// with equal activities the heap ties break by insertion order, and
+	// residual ordering from the abandoned search's trail unwinding would
+	// otherwise scramble the encoding's natural variable structure.
+	s.order = newActivityHeap(&s.activity)
+	s.order.grow(len(s.assigns))
+	for v := range s.assigns {
+		if s.assigns[v] == lUndef {
+			s.order.push(Var(v))
+		}
+	}
+}
+
+// LearntMark returns a watermark identifying the current end of the
+// clause arena. Passing it to PurgeLearntsSince later deletes exactly
+// the learnt clauses recorded after this call.
+func (s *Solver) LearntMark() int { return len(s.clauses) }
+
+// PurgeLearntsSince deletes every learnt clause recorded after mark (a
+// LearntMark watermark), returning how many were removed. Learnt
+// deletion is always sound (learnts are redundant consequences of the
+// problem clauses); clauses currently locked as propagation reasons are
+// kept. Used with ResetSearchState when abandoning an assumed
+// restriction: lemmas derived inside the restricted subspace — whether
+// or not they mention its selector variables — encode subspace-shaped
+// reasoning that can mislead the unrestricted search by orders of
+// magnitude, while learnts from before the restriction (e.g. carried
+// session lemmas) keep their value.
+func (s *Solver) PurgeLearntsSince(mark int) int {
+	s.backtrack(0)
+	locked := make(map[clauseRef]bool)
+	for _, l := range s.trail {
+		if r := s.reason[l.Var()]; r != nilClause {
+			locked[r] = true
+		}
+	}
+	purged := 0
+	kept := s.learnts[:0]
+	for _, r := range s.learnts {
+		c := &s.clauses[r]
+		if c.deleted {
+			continue
+		}
+		if int(r) >= mark && !locked[r] {
+			s.detachClause(r)
+			c.deleted = true
+			c.lits = nil
+			s.stats.Removed++
+			purged++
+		} else {
+			kept = append(kept, r)
+		}
+	}
+	s.learnts = kept
+	return purged
+}
+
 // SolveWithBudget is Solve with an explicit conflict budget overriding the
 // configured MaxConflicts for this call only.
 func (s *Solver) SolveWithBudget(maxConflicts int64, assumptions ...Lit) Status {

@@ -54,6 +54,13 @@ type Options struct {
 	// satisfiability-preserving (any solution can be permuted into the
 	// canonical form) and prunes factorially many symmetric assignments.
 	NoSymmetryBreak bool
+	// NoSymmetryBreaking disables node-orbit symmetry exploitation: the
+	// guarded automorphism-equivariance restriction emitted over the
+	// topology's automorphism generators (see nodesym.go). Distinct from
+	// NoSymmetryBreak, which governs the chunk-level ordering chains;
+	// node-orbit exploitation additionally stays off below
+	// symmetryMinNodes nodes, where it cannot pay off.
+	NoSymmetryBreaking bool
 	// Backend selects the solver backend discharging the instance; nil
 	// selects the built-in CDCL encoder (see Backend, NewSMTLIBBackend).
 	Backend Backend
@@ -130,6 +137,11 @@ type Result struct {
 	// MegaEncodes counts mega-base formula constructions this probe paid
 	// for (1 when it was the probe that built the shared base).
 	MegaEncodes int
+	// SymmetryPerms counts the automorphism generators whose guarded
+	// equivariance restrictions this result's encodes emitted (0 with
+	// node symmetry off, below the size threshold, or when no generator
+	// stabilizes the instance).
+	SymmetryPerms int
 }
 
 // Validate checks instance coherence.
@@ -165,6 +177,11 @@ type encoded struct {
 	proof *sat.Proof
 	// feasible is false when pruning proved the instance UNSAT outright.
 	feasible bool
+	// symPerms counts the node-symmetry generators the emission
+	// restricted on; symGuards holds their selector literals, assumed
+	// through solveSymPhased.
+	symPerms  int
+	symGuards []sat.Lit
 }
 
 // encodePaper builds the paper's encoding (§3.4) through the staged
@@ -194,7 +211,11 @@ func encodePaperTemplate(in Instance, opts Options, tmpl *Stage0Template) *encod
 		RoundHi:         in.Round - in.Steps + 1,
 		Budget:          &BudgetSpec{Steps: in.Steps, Rounds: in.Round},
 		NoSymmetryBreak: opts.NoSymmetryBreak,
-		Template:        tmpl,
+		// Proof-recording solves want a plain refutation of the emitted
+		// formula; the equivariance restriction answers through phased
+		// assumptions, so it stays off under ProveUnsat.
+		NoNodeSymmetry: opts.NoSymmetryBreaking || opts.ProveUnsat,
+		Template:       tmpl,
 	})
 	ctx := smt.NewContext()
 	e := &encoded{ctx: ctx, edges: enc.Template.Edges}
@@ -204,6 +225,8 @@ func encodePaperTemplate(in Instance, opts Options, tmpl *Stage0Template) *encod
 	sink := newCDCLStageSink(enc, ctx)
 	e.feasible = enc.Emit(sink)
 	e.times, e.snds, e.rs = sink.times, sink.snds, sink.rs
+	e.symPerms = sink.symPerms
+	e.symGuards = sink.symGuards
 	return e
 }
 
@@ -376,6 +399,7 @@ func synthesizeCDCLTemplate(ctx context.Context, in Instance, opts Options, tmpl
 	t0 := time.Now()
 	e := encodePaperTemplate(in, opts, tmpl)
 	res.Encode = time.Since(t0)
+	res.SymmetryPerms = e.symPerms
 	if tmpl != nil && templateHit {
 		res.TemplateHits = 1
 	}
@@ -387,7 +411,14 @@ func synthesizeCDCLTemplate(ctx context.Context, in Instance, opts Options, tmpl
 	res.Vars = e.ctx.Solver.NumVars()
 	res.Clauses = e.ctx.Solver.NumClauses()
 	t1 := time.Now()
-	if portfolioEligible(opts) {
+	switch {
+	case len(e.symGuards) > 0:
+		// Node-symmetry restriction: phased assumption solve (the
+		// portfolio machinery replays plain solves, so restricted
+		// instances stay on the sequential path — the restriction is
+		// itself the parallelism substitute on symmetric fabrics).
+		res.Status = solveSymPhased(ctx, e.ctx, nil, e.symGuards, nil)
+	case portfolioEligible(opts):
 		po := portfolioSolve(ctx, e, in, opts, tmpl)
 		res.Status = po.status
 		if po.escalated {
@@ -395,7 +426,7 @@ func synthesizeCDCLTemplate(ctx context.Context, in Instance, opts Options, tmpl
 			res.SharedLearnts = int64(po.shared.Imported)
 			res.CubeSplits = po.cubes
 		}
-	} else {
+	default:
 		res.Status = e.ctx.SolveContext(ctx)
 	}
 	res.Solve = time.Since(t1)

@@ -182,6 +182,14 @@ func (u *megaUniverse) mapFamily(coll *collective.Spec) []int {
 type megaEncoding struct {
 	sessionEncoding
 	acts []sat.Lit
+	// symPlan/symGuards are the node-symmetry equivariance restrictions
+	// of the base, each generator conditioned on its own guard literal: a
+	// universe automorphism only remains a symmetry of the SELECTED
+	// family when the activation row is invariant under its induced class
+	// map, so assumeFamily routes each guard to the on or off side of the
+	// phased solve per family.
+	symPlan   *nodeSymPlan
+	symGuards []sat.Lit
 }
 
 // encodeMegaBase emits the universe's budget-independent constraints in
@@ -196,6 +204,7 @@ func encodeMegaBase(spec *collective.Spec, topo *topology.Topology, opts Options
 		Window:          horizon,
 		RoundHi:         k + 1,
 		NoSymmetryBreak: opts.NoSymmetryBreak,
+		NoNodeSymmetry:  opts.NoSymmetryBreaking,
 		Template:        tmpl,
 	})
 	ctx := smt.NewContext()
@@ -215,8 +224,11 @@ func encodeMegaBase(spec *collective.Spec, topo *topology.Topology, opts Options
 			snds:       sink.snds,
 			rs:         sink.rs,
 			infeasible: !ok,
+			symPerms:   sink.symPerms,
 		},
-		acts: acts,
+		acts:      acts,
+		symPlan:   sink.symPlan,
+		symGuards: sink.symGuards,
 	}
 }
 
@@ -237,6 +249,40 @@ func (e *megaEncoding) assumeFamily(mapping []int, active []bool, steps, rounds 
 		}
 		lits = append(lits, l)
 		marks.acts[l] = true
+	}
+	// Node-symmetry guards: a universe automorphism stays a symmetry of
+	// the selected family only when the activation row is invariant under
+	// its induced class map. Actives form a per-class prefix (mapFamily),
+	// so invariance reduces to per-class active COUNTS matching across
+	// the map; a guard whose counts mismatch goes to marks.symOff (its
+	// restriction is off for this family), the rest to marks.symOn. The
+	// phased solve (solveSymPhased) assumes them and retreats per guard
+	// on restriction-dependent Unsat cores, so the guards never reach
+	// core classification.
+	if e.symPlan != nil && len(e.symGuards) > 0 {
+		counts := make([]int, len(e.symPlan.classes))
+		for j, class := range e.symPlan.classes {
+			for _, c := range class {
+				if active[c] {
+					counts[j]++
+				}
+			}
+		}
+		for i, g := range e.symGuards {
+			inv := e.symPlan.perms[i].invClass
+			on := true
+			for j := range counts {
+				if counts[inv[j]] != counts[j] {
+					on = false
+					break
+				}
+			}
+			if on {
+				marks.symOn = append(marks.symOn, g)
+			} else {
+				marks.symOff = append(marks.symOff, g)
+			}
+		}
 	}
 	// C2 over the active chunks only: inactive chunks stay free to sit at
 	// "never arrives".
@@ -600,6 +646,9 @@ func (m *MegaSession) probeLocked(ctx context.Context, v *MegaFamilyView, steps,
 	if m.enc == nil {
 		m.buildLocked()
 		res.MegaEncodes = 1
+		if m.enc != nil {
+			res.SymmetryPerms = m.enc.symPerms
+		}
 		if m.disabled {
 			// Emission infeasibility means some universe chunk — not
 			// necessarily one of this family's — cannot reach a required
@@ -621,7 +670,7 @@ func (m *MegaSession) probeLocked(ctx context.Context, v *MegaFamilyView, steps,
 	res.Vars = m.enc.ctx.Solver.NumVars()
 	res.Clauses = m.enc.ctx.Solver.NumClauses()
 	t1 := time.Now()
-	res.Status = m.enc.ctx.SolveContext(ctx, assumptions...)
+	res.Status = solveSymPhased(ctx, m.enc.ctx, assumptions, marks.symOn, marks.symOff)
 	res.Solve = time.Since(t1)
 	res.Stats = m.enc.ctx.Solver.Stats()
 	if res.Status != sat.Sat {

@@ -131,6 +131,10 @@ type ParetoStats struct {
 	// probes paid for — at most one per topology, against one base encode
 	// per (collective, C) family on the per-family path.
 	MegaEncodes int
+	// SymmetryPerms sums the node-orbit automorphism generators whose
+	// guarded equivariance restrictions the sweep's base encodes emitted
+	// (see nodesym.go); 0 with node symmetry off or below the threshold.
+	SymmetryPerms int
 }
 
 // Speedup returns the aggregate parallel speedup: summed probe time over
@@ -571,6 +575,7 @@ func (s *ParetoStats) add(o ParetoStats) {
 	s.CubeSplits += o.CubeSplits
 	s.MegaProbes += o.MegaProbes
 	s.MegaEncodes += o.MegaEncodes
+	s.SymmetryPerms += o.SymmetryPerms
 }
 
 // run drives the worker pool until the frontier is complete, an error
@@ -790,6 +795,7 @@ func (w *paretoSweep) account(out *probeOutcome) {
 		w.stats.MegaProbes++
 	}
 	w.stats.MegaEncodes += out.res.MegaEncodes
+	w.stats.SymmetryPerms += out.res.SymmetryPerms
 }
 
 // nextTask picks the globally first undispatched candidate: steps in

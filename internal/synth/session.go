@@ -58,6 +58,7 @@ func (f Family) key(opts Options) string {
 		"|s" + strconv.Itoa(f.MaxSteps) + "|k" + strconv.Itoa(f.MaxExtraRounds) +
 		"|e" + strconv.Itoa(int(opts.Encoding)) +
 		"|y" + strconv.FormatBool(!opts.NoSymmetryBreak) +
+		"|n" + strconv.FormatBool(!opts.NoSymmetryBreaking) +
 		"|p" + strconv.FormatBool(opts.ProveUnsat)
 }
 
@@ -316,6 +317,7 @@ func (s *cdclSession) probeLocked(ctx context.Context, steps, rounds int, opts O
 		}
 		old := s.enc
 		s.enc = encodeSessionBase(s.fam, s.opts, h, tmpl)
+		res.SymmetryPerms = s.enc.symPerms
 		if old != nil && !old.infeasible && !s.enc.infeasible {
 			// A re-base used to drop the old window's learnt clauses;
 			// translate the ones that survive the stage variable map (and
@@ -348,7 +350,7 @@ func (s *cdclSession) probeLocked(ctx context.Context, steps, rounds int, opts O
 	res.Vars = s.enc.ctx.Solver.NumVars()
 	res.Clauses = s.enc.ctx.Solver.NumClauses()
 	t1 := time.Now()
-	res.Status = s.enc.ctx.SolveContext(ctx, assumptions...)
+	res.Status = solveSymPhased(ctx, s.enc.ctx, assumptions, s.enc.symGuards, nil)
 	res.Solve = time.Since(t1)
 	res.Stats = s.enc.ctx.Solver.Stats()
 	if res.Status != sat.Sat {
@@ -392,6 +394,10 @@ type sessionEncoding struct {
 	// infeasible marks a base formula unsatisfiable for every budget
 	// within the horizon (a required placement is unreachable).
 	infeasible bool
+	// symPerms counts the node-symmetry generators restricted on in the
+	// base; symGuards holds their selector literals (solveSymPhased).
+	symPerms  int
+	symGuards []sat.Lit
 }
 
 // encodeSessionBase emits the family's budget-independent constraints
@@ -412,6 +418,7 @@ func encodeSessionBase(fam Family, opts Options, horizon int, tmpl *Stage0Templa
 		Window:          horizon,
 		RoundHi:         fam.MaxExtraRounds + 1,
 		NoSymmetryBreak: opts.NoSymmetryBreak,
+		NoNodeSymmetry:  opts.NoSymmetryBreaking,
 		Template:        tmpl,
 	})
 	ctx := smt.NewContext()
@@ -425,6 +432,8 @@ func encodeSessionBase(fam Family, opts Options, horizon int, tmpl *Stage0Templa
 		snds:       sink.snds,
 		rs:         sink.rs,
 		infeasible: !ok,
+		symPerms:   sink.symPerms,
+		symGuards:  sink.symGuards,
 	}
 }
 
@@ -750,6 +759,7 @@ func megaKey(topo *topology.Topology, root topology.Node, opts Options) string {
 	return topo.Fingerprint() + "|r" + strconv.Itoa(int(root)) +
 		"|e" + strconv.Itoa(int(opts.Encoding)) +
 		"|y" + strconv.FormatBool(!opts.NoSymmetryBreak) +
+		"|n" + strconv.FormatBool(!opts.NoSymmetryBreaking) +
 		"|p" + strconv.FormatBool(opts.ProveUnsat)
 }
 

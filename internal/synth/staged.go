@@ -55,6 +55,42 @@ type Stage0Template struct {
 	// directed edges; -1 when unreachable. Per-chunk source distances and
 	// distances-to-post both reduce to minima over this matrix.
 	Dist [][]int
+
+	// Automorphism groups are cached here alongside the BFS distances —
+	// graph-structural Stage-0 data every family of the topology shares.
+	// Resolved lazily under the mutex (only large-fabric emissions read
+	// them); the lazy cache keeps the template safe for concurrent use.
+	autMu  sync.Mutex
+	aut    *topology.Group
+	autFix map[topology.Node]*topology.Group
+}
+
+// Aut returns the topology's automorphism generator set, computed once
+// per template (backed by a process-wide cache for private skeleton
+// templates; see cachedAut).
+func (t *Stage0Template) Aut(topo *topology.Topology) *topology.Group {
+	t.autMu.Lock()
+	defer t.autMu.Unlock()
+	if t.aut == nil {
+		t.aut = cachedAut(topo)
+	}
+	return t.aut
+}
+
+// AutFixing returns generators of the subgroup fixing the given node —
+// the stabilizer rooted collectives break over.
+func (t *Stage0Template) AutFixing(topo *topology.Topology, root topology.Node) *topology.Group {
+	t.autMu.Lock()
+	defer t.autMu.Unlock()
+	if g, ok := t.autFix[root]; ok {
+		return g
+	}
+	g := cachedAut(topo, root)
+	if t.autFix == nil {
+		t.autFix = map[topology.Node]*topology.Group{}
+	}
+	t.autFix[root] = g
+	return g
 }
 
 // NewStage0Template derives the template for a topology. Routing
@@ -216,6 +252,10 @@ type EncodePlan struct {
 	Budget *BudgetSpec
 	// NoSymmetryBreak disables the chunk-symmetry-breaking refinement.
 	NoSymmetryBreak bool
+	// NoNodeSymmetry disables the node-orbit (automorphism equivariance)
+	// restriction; see nodesym.go. Independent of NoSymmetryBreak — the
+	// two symmetry exploits compose but are opted out of separately.
+	NoNodeSymmetry bool
 	// Template, if non-nil, supplies the Stage-0 routing substructure
 	// (it must have been derived from Topo); nil derives a private one.
 	Template *Stage0Template
@@ -233,6 +273,14 @@ type StageSink interface {
 	// OrderSymmetric orders the arrival times of an interchangeable
 	// chunk group at witness node w (CDCL refinement; SMT sinks ignore).
 	OrderSymmetric(group []int, w int)
+	// NodeSymmetry emits the guarded equivariance restrictions for the
+	// instance-stabilizing automorphism generators (CDCL refinement; SMT
+	// sinks ignore). Called at most once, after the send variables (the
+	// restriction spans times and sends), and only when the plan
+	// resolved a non-empty symmetry group — small instances never see
+	// the call, so their emissions stay byte-identical to the pinned
+	// goldens.
+	NodeSymmetry(plan *nodeSymPlan)
 	// SendVar introduces the send Boolean of chunk c over edge ei.
 	SendVar(c, ei int)
 	// Minimality emits the minimal-solution refinements m1–m3 for chunk
@@ -357,6 +405,12 @@ func (e *StagedEncoder) Emit(sink StageSink) bool {
 		for ei := range edges {
 			sink.SendVar(c, ei)
 		}
+	}
+
+	// Node-orbit equivariance (guarded restriction, large fabrics only;
+	// emitted after sends so the restriction covers both variable kinds).
+	if plan := e.nodeSymPlan(); plan != nil {
+		sink.NodeSymmetry(plan)
 	}
 
 	// Minimal-solution refinements m1–m3.

@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/sat"
 	"repro/internal/smt"
+	"repro/internal/topology"
 )
 
 // cdclStageSink lowers the staged constraint stream into the built-in
@@ -43,6 +44,13 @@ type cdclStageSink struct {
 	// a probe deactivate universe chunks by assumption (mega.go). Nil for
 	// ordinary per-family encodings — no guards, byte-identical output.
 	acts []sat.Lit
+	// Node-symmetry emission state (see NodeSymmetry): the emitted plan,
+	// the per-generator selector guards (parallel to symPlan.perms —
+	// every mode allocates them, solveSymPhased assumes them), and the
+	// emitted-generator count reported through Result.SymmetryPerms.
+	symPlan   *nodeSymPlan
+	symGuards []sat.Lit
+	symPerms  int
 }
 
 func newCDCLStageSink(e *StagedEncoder, ctx *smt.Context) *cdclStageSink {
@@ -114,6 +122,130 @@ func (k *cdclStageSink) OrderSymmetric(group []int, w int) {
 			} else if !b.TriviallyGe(t) {
 				ctx.AddClause(la.Neg())
 			}
+		}
+	}
+}
+
+// NodeSymmetry emits, per instance-stabilizing automorphism generator,
+// an equivariance restriction: clauses forcing the schedule invariant
+// under the generator — time(σc, πn) = time(c, n) bit-for-bit over the
+// order encoding, and snd(σc, πe) = snd(c, e) — so the search collapses
+// each variable orbit to one representative. Every generator's clauses
+// are conditioned on a fresh selector guard; solves assume the guards
+// positively and retreat per guard when an Unsat core leans on one
+// (solveSymPhased), so answers never depend on the restriction. See
+// nodesym.go for the soundness argument.
+func (k *cdclStageSink) NodeSymmetry(plan *nodeSymPlan) {
+	k.symPlan = plan
+	for _, p := range plan.perms {
+		guard := k.ctx.BoolVar()
+		k.symGuards = append(k.symGuards, guard)
+		k.emitEquivariance(p, guard)
+		k.symPerms++
+	}
+}
+
+// symGeBit resolves the order-encoding bit [tv >= t] as a literal or a
+// bound-decided constant.
+func symGeBit(tv *smt.IntVar, t int) (lit sat.Lit, known, val bool) {
+	if t <= tv.Lo {
+		return 0, true, true
+	}
+	if t > tv.Hi {
+		return 0, true, false
+	}
+	l, ok := tv.GeLit(t)
+	if !ok {
+		return 0, true, tv.TriviallyGe(t)
+	}
+	return l, false, false
+}
+
+// emitEquivariance emits one generator's restriction under its guard.
+// True stabilizers have structurally aligned variable maps (BFS domains
+// and pruning are automorphism-invariant), so the constant branches are
+// defensive; skipping or retiring a generator only weakens the
+// restriction, never the formula's answers.
+func (k *cdclStageSink) emitEquivariance(p nodeSymPerm, guard sat.Lit) {
+	ctx, coll := k.ctx, k.e.Plan.Coll
+	ng := guard.Neg()
+	for c := 0; c < coll.G; c++ {
+		c2 := p.chunkMap[c]
+		for n := 0; n < coll.P; n++ {
+			m := p.perm[n]
+			if c2 == c && m == n {
+				continue
+			}
+			u, v := k.times[c][n], k.times[c2][m]
+			if u == nil || v == nil {
+				if u != v {
+					// One side pruned to "never arrives": an invariant
+					// schedule cannot exist — retire the generator.
+					ctx.AddClause(ng)
+					return
+				}
+				continue
+			}
+			lo, hi := u.Lo, u.Hi
+			if v.Lo < lo {
+				lo = v.Lo
+			}
+			if v.Hi > hi {
+				hi = v.Hi
+			}
+			for t := lo + 1; t <= hi; t++ {
+				lu, ku, vu := symGeBit(u, t)
+				lv, kv, vv := symGeBit(v, t)
+				switch {
+				case ku && kv:
+					if vu != vv {
+						ctx.AddClause(ng) // domains disagree: retire
+						return
+					}
+				case ku:
+					l := lv
+					if !vu {
+						l = lv.Neg()
+					}
+					ctx.AddClause(ng, l)
+				case kv:
+					l := lu
+					if !vv {
+						l = lu.Neg()
+					}
+					ctx.AddClause(ng, l)
+				default:
+					ctx.AddClause(ng, lu.Neg(), lv)
+					ctx.AddClause(ng, lu, lv.Neg())
+				}
+			}
+		}
+	}
+	edges, idx := k.e.Template.Edges, k.e.Template.EdgeIndex
+	for c := 0; c < coll.G; c++ {
+		c2 := p.chunkMap[c]
+		for ei, l := range edges {
+			s1 := k.snds[c][ei]
+			if s1 == 0 {
+				continue
+			}
+			img := topology.Link{Src: topology.Node(p.perm[l.Src]), Dst: topology.Node(p.perm[l.Dst])}
+			ei2, ok := idx[img]
+			if !ok {
+				continue
+			}
+			s2 := k.snds[c2][ei2]
+			if s2 == 0 {
+				// Image send pruned away: an invariant schedule never
+				// uses this one either.
+				ctx.AddClause(ng, s1.Neg())
+				continue
+			}
+			if s1 == s2 {
+				continue
+			}
+			ctx.AddClause(ng, s1.Neg(), s2)
+			ctx.AddClause(ng, s1, s2.Neg())
 		}
 	}
 }

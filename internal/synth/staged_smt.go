@@ -52,6 +52,7 @@ func (k *smtStageSink) TimeVar(c, n int) bool {
 // emission is the paper's constraint system unmodified.
 func (k *smtStageSink) OrderSymmetric(group []int, w int) {}
 func (k *smtStageSink) Minimality(c int)                  {}
+func (k *smtStageSink) NodeSymmetry(plan *nodeSymPlan)    {}
 
 // SendVar declares snd(c, edge); the SMT emission keeps every candidate
 // send (the external solver does its own pruning).

@@ -1,0 +1,67 @@
+package synth
+
+import (
+	"fmt"
+	"os"
+	"strconv"
+	"testing"
+	"time"
+
+	"repro/internal/collective"
+	"repro/internal/topology"
+)
+
+// TestSymTune is a manual experiment harness (skipped without SYMTUNE=1):
+// it times one instance with node symmetry off and on, printing the
+// encode/solve split, under optional overrides for the lex bit budget.
+func TestSymTune(t *testing.T) {
+	if os.Getenv("SYMTUNE") != "1" {
+		t.Skip("set SYMTUNE=1 to run")
+	}
+	tn := os.Getenv("SYMTUNE_TOPO")
+	spec, err := topology.ParseSpec(tn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	topo, err := spec.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	kind := collective.Allgather
+	if os.Getenv("SYMTUNE_KIND") == "broadcast" {
+		kind = collective.Broadcast
+	}
+	c, _ := strconv.Atoi(os.Getenv("SYMTUNE_C"))
+	s, _ := strconv.Atoi(os.Getenv("SYMTUNE_S"))
+	r, _ := strconv.Atoi(os.Getenv("SYMTUNE_R"))
+	bounds, err := collective.EffectiveLowerBounds(kind, topo.P, 1, 0, topo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fmt.Printf("%s P=%d ecc(0)=%d stepsLB=%d bwLB=%v\n", tn, topo.P, topo.Eccentricity(0), bounds.Steps, bounds.Bandwidth)
+	if s == 0 {
+		return
+	}
+	coll, err := collective.New(kind, topo.P, c, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := Instance{Coll: coll, Topo: topo, Steps: s, Round: r}
+	modes := []bool{true, false}
+	switch os.Getenv("SYMTUNE_MODE") {
+	case "on":
+		modes = []bool{false}
+	case "off":
+		modes = []bool{true}
+	}
+	for _, noSym := range modes {
+		t0 := time.Now()
+		res, err := Synthesize(in, Options{NoSymmetryBreaking: noSym, Timeout: 5 * time.Minute})
+		if err != nil {
+			t.Fatal(err)
+		}
+		fmt.Printf("%s %v C=%d S=%d R=%d nosym=%v status=%v wall=%v encode=%v solve=%v perms=%d vars=%d clauses=%d\n",
+			tn, kind, c, s, r, noSym, res.Status, time.Since(t0).Round(time.Millisecond),
+			res.Encode.Round(time.Millisecond), res.Solve.Round(time.Millisecond), res.SymmetryPerms, res.Vars, res.Clauses)
+	}
+}

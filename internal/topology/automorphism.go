@@ -1,0 +1,673 @@
+package topology
+
+// Automorphism groups of weighted digraphs. An automorphism is a node
+// permutation that maps the bandwidth relation *multiset* to itself:
+// every relation entry must land on another entry with the same
+// bandwidth and the image link set. Preserving individual link
+// bandwidths is not enough — grouped entries (per-node egress caps,
+// shared buses) constrain joint capacity, so C5 soundness needs the
+// full multiset condition.
+//
+// Aut computes a generator set two ways and unions them:
+//
+//   - family candidates: rotations, reflections, torus/hypercube moves,
+//     spoke permutations — guessed from cheap structural cues and kept
+//     only if they verify. This is the fast path that guarantees the
+//     large, regular groups of rings, tori, hypercubes, cliques and
+//     stars are found exactly at any size.
+//   - a refinement-based search: equitable colour refinement over link
+//     signatures followed by a stabilizer-chain backtracking search
+//     that emits one transversal representative per (level, image).
+//     The union of stabilizer-chain transversals generates the full
+//     group, so for irregular graphs (DGX-style) the search alone is
+//     complete whenever the node budget allows it to finish.
+//
+// Both paths are deterministic, so the generator order — and therefore
+// everything derived from it (orbits, representative order, the
+// symmetry-breaking clause stream in internal/synth) — is stable
+// run-to-run.
+
+import (
+	"fmt"
+	"math/bits"
+	"sort"
+	"strings"
+)
+
+// Perm is a node permutation: Perm[i] is the image of node i.
+type Perm []int
+
+// Identity returns the identity permutation on n nodes.
+func Identity(n int) Perm {
+	p := make(Perm, n)
+	for i := range p {
+		p[i] = i
+	}
+	return p
+}
+
+// IsIdentity reports whether p fixes every node.
+func (p Perm) IsIdentity() bool {
+	for i, v := range p {
+		if i != v {
+			return false
+		}
+	}
+	return true
+}
+
+// Valid reports whether p is a bijection on [0, len(p)).
+func (p Perm) Valid() bool {
+	seen := make([]bool, len(p))
+	for _, v := range p {
+		if v < 0 || v >= len(p) || seen[v] {
+			return false
+		}
+		seen[v] = true
+	}
+	return true
+}
+
+// Compose returns the permutation "apply q, then p": (p∘q)[i] = p[q[i]].
+func (p Perm) Compose(q Perm) Perm {
+	out := make(Perm, len(p))
+	for i := range out {
+		out[i] = p[q[i]]
+	}
+	return out
+}
+
+// Inverse returns p⁻¹.
+func (p Perm) Inverse() Perm {
+	out := make(Perm, len(p))
+	for i, v := range p {
+		out[v] = i
+	}
+	return out
+}
+
+// Fixes reports whether p fixes every node in pts.
+func (p Perm) Fixes(pts ...int) bool {
+	for _, v := range pts {
+		if p[v] != v {
+			return false
+		}
+	}
+	return true
+}
+
+func (p Perm) key() string {
+	var b strings.Builder
+	for i, v := range p {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, "%d", v)
+	}
+	return b.String()
+}
+
+// relKey canonicalizes a relation entry, optionally under a node
+// permutation: links are mapped, sorted and joined with the bandwidth.
+func relKey(r Relation, p Perm) string {
+	links := make([]Link, len(r.Links))
+	for i, l := range r.Links {
+		if p != nil {
+			links[i] = Link{Node(p[l.Src]), Node(p[l.Dst])}
+		} else {
+			links[i] = l
+		}
+	}
+	sort.Slice(links, func(i, j int) bool {
+		if links[i].Src != links[j].Src {
+			return links[i].Src < links[j].Src
+		}
+		return links[i].Dst < links[j].Dst
+	})
+	var b strings.Builder
+	fmt.Fprintf(&b, "bw=%d", r.Bandwidth)
+	for _, l := range links {
+		fmt.Fprintf(&b, ";%d>%d", l.Src, l.Dst)
+	}
+	return b.String()
+}
+
+// IsAutomorphism reports whether p maps t's relation multiset to
+// itself: the image of every relation entry under p must be another
+// entry with the same bandwidth, with multiplicity.
+func IsAutomorphism(t *Topology, p Perm) bool {
+	if len(p) != t.P || !p.Valid() {
+		return false
+	}
+	count := make(map[string]int, len(t.Relations))
+	for _, r := range t.Relations {
+		count[relKey(r, nil)]++
+	}
+	for _, r := range t.Relations {
+		k := relKey(r, p)
+		c, ok := count[k]
+		if !ok || c == 0 {
+			return false
+		}
+		count[k] = c - 1
+	}
+	return true
+}
+
+// Group is a permutation group on P nodes given by generators.
+type Group struct {
+	P    int
+	Gens []Perm
+}
+
+// Orbits returns the node orbits under the group, each sorted
+// ascending, ordered by their minimum element.
+func (g *Group) Orbits() [][]int {
+	parent := make([]int, g.P)
+	for i := range parent {
+		parent[i] = i
+	}
+	var find func(int) int
+	find = func(x int) int {
+		for parent[x] != x {
+			parent[x] = parent[parent[x]]
+			x = parent[x]
+		}
+		return x
+	}
+	union := func(a, b int) {
+		ra, rb := find(a), find(b)
+		if ra != rb {
+			if ra > rb {
+				ra, rb = rb, ra
+			}
+			parent[rb] = ra
+		}
+	}
+	for _, p := range g.Gens {
+		for i, v := range p {
+			union(i, v)
+		}
+	}
+	byRoot := map[int][]int{}
+	for i := 0; i < g.P; i++ {
+		r := find(i)
+		byRoot[r] = append(byRoot[r], i)
+	}
+	roots := make([]int, 0, len(byRoot))
+	for r := range byRoot {
+		roots = append(roots, r)
+	}
+	sort.Ints(roots)
+	out := make([][]int, 0, len(roots))
+	for _, r := range roots {
+		sort.Ints(byRoot[r])
+		out = append(out, byRoot[r])
+	}
+	return out
+}
+
+// Representatives returns the canonical orbit-representative order: the
+// minimum element of each orbit, sorted ascending.
+func (g *Group) Representatives() []int {
+	orbits := g.Orbits()
+	reps := make([]int, len(orbits))
+	for i, o := range orbits {
+		reps[i] = o[0]
+	}
+	return reps
+}
+
+// Elements enumerates the group by BFS closure of the generators, up to
+// max elements (identity included). It returns nil if the group is
+// larger than max.
+func (g *Group) Elements(max int) []Perm {
+	id := Identity(g.P)
+	seen := map[string]bool{id.key(): true}
+	out := []Perm{id}
+	frontier := []Perm{id}
+	for len(frontier) > 0 {
+		var next []Perm
+		for _, e := range frontier {
+			for _, gen := range g.Gens {
+				ne := gen.Compose(e)
+				k := ne.key()
+				if seen[k] {
+					continue
+				}
+				if len(out) >= max {
+					return nil
+				}
+				seen[k] = true
+				out = append(out, ne)
+				next = append(next, ne)
+			}
+		}
+		frontier = next
+	}
+	return out
+}
+
+// linkSigs builds a permutation-invariant per-link signature: the
+// sorted multiset of bandwidths of the relation entries containing the
+// link. Automorphisms preserve it, so it prunes the search without
+// replacing the exact multiset check in IsAutomorphism.
+func linkSigs(t *Topology) map[Link]string {
+	bws := map[Link][]int{}
+	for _, r := range t.Relations {
+		for _, l := range r.Links {
+			bws[l] = append(bws[l], r.Bandwidth)
+		}
+	}
+	out := make(map[Link]string, len(bws))
+	for l, b := range bws {
+		sort.Ints(b)
+		out[l] = fmt.Sprint(b)
+	}
+	return out
+}
+
+// refineColors computes an equitable colouring: starting from the
+// trivial colouring (with any individualized nodes given unique
+// colours), nodes are repeatedly split by the multiset of
+// (out-signature, in-signature, neighbour colour) until stable. Colours
+// are canonical small integers, stable across runs.
+func refineColors(t *Topology, sigs map[Link]string, indiv []int) []int {
+	colors := make([]string, t.P)
+	for rank, v := range indiv {
+		colors[v] = fmt.Sprintf("!%d", rank)
+	}
+	classes := canonicalColors(colors)
+	for iter := 0; iter < t.P; iter++ {
+		next := make([]string, t.P)
+		for v := 0; v < t.P; v++ {
+			var parts []string
+			for u := 0; u < t.P; u++ {
+				if u == v {
+					continue
+				}
+				so := sigs[Link{Node(v), Node(u)}]
+				si := sigs[Link{Node(u), Node(v)}]
+				if so == "" && si == "" {
+					continue
+				}
+				parts = append(parts, fmt.Sprintf("%s/%s/%d", so, si, classes[u]))
+			}
+			sort.Strings(parts)
+			next[v] = fmt.Sprintf("%d|%s", classes[v], strings.Join(parts, ","))
+		}
+		nextClasses := canonicalColors(next)
+		if samePartition(classes, nextClasses) {
+			break
+		}
+		classes = nextClasses
+	}
+	return classes
+}
+
+func canonicalColors(raw []string) []int {
+	uniq := map[string]bool{}
+	for _, s := range raw {
+		uniq[s] = true
+	}
+	keys := make([]string, 0, len(uniq))
+	for s := range uniq {
+		keys = append(keys, s)
+	}
+	sort.Strings(keys)
+	rank := make(map[string]int, len(keys))
+	for i, s := range keys {
+		rank[s] = i
+	}
+	out := make([]int, len(raw))
+	for i, s := range raw {
+		out[i] = rank[s]
+	}
+	return out
+}
+
+func samePartition(a, b []int) bool {
+	fwd := map[int]int{}
+	for i := range a {
+		if m, ok := fwd[a[i]]; ok {
+			if m != b[i] {
+				return false
+			}
+		} else {
+			fwd[a[i]] = b[i]
+		}
+	}
+	// Injectivity of the class map: b must not merge distinct a-classes.
+	rev := map[int]int{}
+	for i := range a {
+		if m, ok := rev[b[i]]; ok {
+			if m != a[i] {
+				return false
+			}
+		} else {
+			rev[b[i]] = a[i]
+		}
+	}
+	return true
+}
+
+// autSearch finds automorphisms by backtracking over partial node maps,
+// pruning on colour classes and pairwise link signatures. budget caps
+// the total number of search steps across one searchGenerators run.
+type autSearch struct {
+	t      *Topology
+	sigs   map[Link]string
+	colors []int
+	budget int
+}
+
+func (s *autSearch) pairOK(v, u, w, x int) bool {
+	return s.sigs[Link{Node(v), Node(u)}] == s.sigs[Link{Node(w), Node(x)}] &&
+		s.sigs[Link{Node(u), Node(v)}] == s.sigs[Link{Node(x), Node(w)}]
+}
+
+func (s *autSearch) compatible(perm []int, v, w int) bool {
+	if s.colors[v] != s.colors[w] {
+		return false
+	}
+	for u, x := range perm {
+		if x < 0 || u == v {
+			continue
+		}
+		if !s.pairOK(v, u, w, x) {
+			return false
+		}
+	}
+	return true
+}
+
+// extend completes a partial permutation into a verified automorphism,
+// or reports failure. Nodes are processed in index order.
+func (s *autSearch) extend(perm []int, used []bool, v int) bool {
+	if s.budget <= 0 {
+		return false
+	}
+	s.budget--
+	for v < s.t.P && perm[v] >= 0 {
+		v++
+	}
+	if v == s.t.P {
+		return IsAutomorphism(s.t, perm)
+	}
+	for w := 0; w < s.t.P; w++ {
+		if used[w] || !s.compatible(perm, v, w) {
+			continue
+		}
+		perm[v] = w
+		used[w] = true
+		if s.extend(perm, used, v+1) {
+			return true
+		}
+		perm[v] = -1
+		used[w] = false
+	}
+	return false
+}
+
+const (
+	// autSearchBudget caps backtracking steps per searchGenerators run.
+	autSearchBudget = 400000
+	// autSearchMaxP disables the search on very large graphs; family
+	// candidates still apply at any size.
+	autSearchMaxP = 256
+	// autMaxGens caps the emitted generator count; orbits and breaking
+	// strength degrade gracefully under the cap.
+	autMaxGens = 128
+)
+
+// searchGenerators emits stabilizer-chain transversal representatives:
+// for each level i it fixes nodes 0..i-1 pointwise and finds, for every
+// candidate image w of node i, one automorphism mapping i to w. The
+// union over levels generates the full automorphism group when the
+// budget suffices.
+func searchGenerators(t *Topology, fixed []int) []Perm {
+	if t.P > autSearchMaxP {
+		return nil
+	}
+	sigs := linkSigs(t)
+	s := &autSearch{t: t, sigs: sigs, colors: refineColors(t, sigs, fixed), budget: autSearchBudget}
+	isFixed := make([]bool, t.P)
+	for _, v := range fixed {
+		isFixed[v] = true
+	}
+	var gens []Perm
+	for v := 0; v < t.P && len(gens) < autMaxGens; v++ {
+		if isFixed[v] {
+			continue
+		}
+		for w := 0; w < t.P && len(gens) < autMaxGens; w++ {
+			if w == v || isFixed[w] || s.colors[w] != s.colors[v] {
+				continue
+			}
+			perm := make([]int, t.P)
+			used := make([]bool, t.P)
+			for i := range perm {
+				perm[i] = -1
+			}
+			ok := true
+			for _, f := range fixed {
+				perm[f] = f
+				used[f] = true
+			}
+			// Fix the chain prefix 0..v-1 pointwise.
+			for i := 0; i < v && ok; i++ {
+				if perm[i] == -1 {
+					if !s.compatible(perm, i, i) {
+						ok = false
+						break
+					}
+					perm[i] = i
+					used[i] = true
+				}
+			}
+			if !ok || used[w] || !s.compatible(perm, v, w) {
+				continue
+			}
+			perm[v] = w
+			used[w] = true
+			if s.extend(perm, used, 0) {
+				gens = append(gens, Perm(perm))
+			}
+		}
+	}
+	return gens
+}
+
+// candidatePerms guesses generators from family structure. Every
+// candidate is verified by the caller, so false positives are free.
+func candidatePerms(t *Topology) []Perm {
+	P := t.P
+	var cands []Perm
+	add := func(f func(int) int) {
+		p := make(Perm, P)
+		for i := range p {
+			p[i] = f(i)
+		}
+		if p.Valid() && !p.IsIdentity() {
+			cands = append(cands, p)
+		}
+	}
+	if P < 2 {
+		return nil
+	}
+	// Rotations by every divisor step (rings; multinode machine shifts).
+	for d := 1; d < P; d++ {
+		if P%d == 0 {
+			d := d
+			add(func(i int) int { return (i + d) % P })
+		}
+	}
+	// Ring reflections (one fixing node 0, one fixing an edge).
+	add(func(i int) int { return (P - i) % P })
+	add(func(i int) int { return P - 1 - i })
+	// Clique transposition; spoke moves for star-with-hub-0.
+	add(func(i int) int {
+		switch i {
+		case 0:
+			return 1
+		case 1:
+			return 0
+		}
+		return i
+	})
+	if P > 2 {
+		add(func(i int) int {
+			switch i {
+			case 1:
+				return 2
+			case 2:
+				return 1
+			}
+			return i
+		})
+		// Cycle the spokes 1..P-1.
+		add(func(i int) int {
+			if i == 0 {
+				return 0
+			}
+			if i == P-1 {
+				return 1
+			}
+			return i + 1
+		})
+	}
+	// Hypercube: coordinate translations and adjacent bit swaps.
+	if P&(P-1) == 0 && P >= 4 {
+		d := bits.Len(uint(P)) - 1
+		for b := 0; b < d; b++ {
+			m := 1 << uint(b)
+			add(func(i int) int { return i ^ m })
+		}
+		for b := 0; b+1 < d; b++ {
+			lo, hi := 1<<uint(b), 1<<uint(b+1)
+			add(func(i int) int {
+				bl, bh := i&lo != 0, i&hi != 0
+				out := i &^ (lo | hi)
+				if bl {
+					out |= hi
+				}
+				if bh {
+					out |= lo
+				}
+				return out
+			})
+		}
+	}
+	// Block moves for hierarchical layouts (fat-tree pods, multinode
+	// machines): swap the first two blocks, or cycle within block 0.
+	for b := 2; b*2 <= P; b++ {
+		if P%b != 0 {
+			continue
+		}
+		b := b
+		add(func(i int) int {
+			switch i / b {
+			case 0:
+				return i + b
+			case 1:
+				return i - b
+			}
+			return i
+		})
+		add(func(i int) int {
+			if i < b {
+				return (i + 1) % b
+			}
+			return i
+		})
+	}
+	// 2D torus moves for every divisor layout (row-major id = i*c + j).
+	for r := 2; r*2 <= P; r++ {
+		if P%r != 0 {
+			continue
+		}
+		c := P / r
+		id := func(i, j int) int { return i*c + j }
+		un := func(n int) (int, int) { return n / c, n % c }
+		add(func(n int) int { i, j := un(n); return id((i+1)%r, j) })
+		add(func(n int) int { i, j := un(n); return id(i, (j+1)%c) })
+		add(func(n int) int { i, j := un(n); return id((r-i)%r, j) })
+		add(func(n int) int { i, j := un(n); return id(i, (c-j)%c) })
+		if r == c {
+			add(func(n int) int { i, j := un(n); return id(j, i) })
+		}
+	}
+	// 3D torus moves (row-major id = (i*d2 + j)*d3 + k).
+	for d1 := 2; d1 <= P; d1++ {
+		if P%d1 != 0 {
+			continue
+		}
+		for d2 := 2; d1*d2 <= P; d2++ {
+			if (P/d1)%d2 != 0 {
+				continue
+			}
+			d3 := P / d1 / d2
+			if d3 < 2 {
+				continue
+			}
+			id := func(i, j, k int) int { return (i*d2+j)*d3 + k }
+			un := func(n int) (int, int, int) { return n / (d2 * d3), (n / d3) % d2, n % d3 }
+			add(func(n int) int { i, j, k := un(n); return id((i+1)%d1, j, k) })
+			add(func(n int) int { i, j, k := un(n); return id(i, (j+1)%d2, k) })
+			add(func(n int) int { i, j, k := un(n); return id(i, j, (k+1)%d3) })
+			add(func(n int) int { i, j, k := un(n); return id((d1-i)%d1, j, k) })
+			add(func(n int) int { i, j, k := un(n); return id(i, (d2-j)%d2, k) })
+			add(func(n int) int { i, j, k := un(n); return id(i, j, (d3-k)%d3) })
+			if d1 == d2 {
+				add(func(n int) int { i, j, k := un(n); return id(j, i, k) })
+			}
+			if d2 == d3 {
+				add(func(n int) int { i, j, k := un(n); return id(i, k, j) })
+			}
+		}
+	}
+	return cands
+}
+
+// Aut computes a generator set for the automorphism group of t:
+// verified family candidates unioned with refinement-search
+// transversals. The result is deterministic; on graphs past the search
+// bounds it may generate a subgroup, which every consumer treats as
+// "less symmetry known", never as unsoundness.
+func Aut(t *Topology) *Group {
+	return autFixing(t, nil)
+}
+
+// AutFixing computes generators for (a subgroup of) the pointwise
+// stabilizer of the given nodes within Aut(t): verified family
+// candidates that fix them, plus a refinement search individualizing
+// them. Symmetry breaking rooted at those nodes stays sound on the
+// result.
+func AutFixing(t *Topology, fixed ...int) *Group {
+	return autFixing(t, fixed)
+}
+
+func autFixing(t *Topology, fixed []int) *Group {
+	g := &Group{P: t.P}
+	seen := map[string]bool{}
+	keep := func(p Perm) {
+		if len(g.Gens) >= autMaxGens || p.IsIdentity() || !p.Fixes(fixed...) {
+			return
+		}
+		k := p.key()
+		if seen[k] {
+			return
+		}
+		seen[k] = true
+		g.Gens = append(g.Gens, p)
+	}
+	for _, c := range candidatePerms(t) {
+		if IsAutomorphism(t, c) {
+			keep(c)
+		}
+	}
+	for _, c := range searchGenerators(t, fixed) {
+		keep(c)
+	}
+	return g
+}

@@ -1,0 +1,218 @@
+package topology
+
+import (
+	"fmt"
+	"testing"
+)
+
+// bruteAutomorphisms enumerates all P! permutations and keeps the ones
+// that verify. Only viable for small P; the tests use it as ground
+// truth for the computed generator sets.
+func bruteAutomorphisms(t *Topology) []Perm {
+	var out []Perm
+	perm := make([]int, t.P)
+	used := make([]bool, t.P)
+	var rec func(i int)
+	rec = func(i int) {
+		if i == t.P {
+			cp := make(Perm, t.P)
+			copy(cp, perm)
+			if IsAutomorphism(t, cp) {
+				out = append(out, cp)
+			}
+			return
+		}
+		for v := 0; v < t.P; v++ {
+			if used[v] {
+				continue
+			}
+			perm[i] = v
+			used[v] = true
+			rec(i + 1)
+			used[v] = false
+		}
+	}
+	rec(0)
+	return out
+}
+
+func permSet(ps []Perm) map[string]bool {
+	m := make(map[string]bool, len(ps))
+	for _, p := range ps {
+		m[p.key()] = true
+	}
+	return m
+}
+
+// TestAutMatchesBruteForce checks, for every recognized family at small
+// P, that the closure of the computed generators is exactly the set of
+// all verifying permutations.
+func TestAutMatchesBruteForce(t *testing.T) {
+	cases := []struct {
+		name string
+		topo *Topology
+	}{
+		{"ring4", Ring(4)},
+		{"ring5", Ring(5)},
+		{"ring6", Ring(6)},
+		{"bidir-ring4", BidirRing(4)},
+		{"bidir-ring5", BidirRing(5)},
+		{"bidir-ring6", BidirRing(6)},
+		{"line4", Line(4)},
+		{"line6", Line(6)},
+		{"fc4", FullyConnected(4)},
+		{"fc5", FullyConnected(5)},
+		{"fc6", FullyConnected(6)},
+		{"star4", Star(4)},
+		{"star5", Star(5)},
+		{"star6", Star(6)},
+		{"hypercube2", Hypercube(2)},
+		{"torus2x2", Torus2D(2, 2)},
+		{"torus2x3", Torus2D(2, 3)},
+		{"torus3x2", Torus2D(3, 2)},
+		{"bus5", SharedBus(5, 2)},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			truth := permSet(bruteAutomorphisms(tc.topo))
+			g := Aut(tc.topo)
+			for _, gen := range g.Gens {
+				if !truth[gen.key()] {
+					t.Fatalf("generator %v is not an automorphism", gen)
+				}
+			}
+			elems := g.Elements(100000)
+			if elems == nil {
+				t.Fatalf("closure exceeded cap")
+			}
+			got := permSet(elems)
+			if len(got) != len(truth) {
+				t.Fatalf("group order %d, brute force found %d", len(got), len(truth))
+			}
+			for k := range got {
+				if !truth[k] {
+					t.Fatalf("closure element %s is not an automorphism", k)
+				}
+			}
+		})
+	}
+}
+
+// TestAutKnownOrders pins group orders for families past the brute-force
+// range (dihedral/torus/hypercube orders are textbook values).
+func TestAutKnownOrders(t *testing.T) {
+	cases := []struct {
+		name  string
+		topo  *Topology
+		order int
+	}{
+		{"ring12", Ring(12), 12},            // Z_12
+		{"bidir-ring12", BidirRing(12), 24}, // D_12
+		{"line10", Line(10), 2},             // reflection
+		{"star8", Star(8), 5040},            // S_7 on spokes
+		{"hypercube3", Hypercube(3), 48},    // Z_2^3 ⋊ S_3
+		{"hypercube4", Hypercube(4), 384},   // Z_2^4 ⋊ S_4
+		{"torus3x4", Torus2D(3, 4), 48},     // D_3 × D_4
+		{"torus4x5", Torus2D(4, 5), 80},     // D_4 × D_5
+		{"torus6x6", Torus2D(6, 6), 288},    // (D_6 × D_6) ⋊ Z_2
+		{"dgx1", DGX1(), 4},                 // brute-force checked below
+		{"fc16-dgx2", DGX2(), 0},            // S_16: closure too big, just verify gens
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			g := Aut(tc.topo)
+			for _, gen := range g.Gens {
+				if !IsAutomorphism(tc.topo, gen) {
+					t.Fatalf("generator %v does not verify", gen)
+				}
+			}
+			if tc.order == 0 {
+				if len(g.Gens) == 0 {
+					t.Fatalf("expected a nontrivial generator set")
+				}
+				return
+			}
+			elems := g.Elements(100000)
+			if elems == nil {
+				t.Fatalf("closure exceeded cap")
+			}
+			if len(elems) != tc.order {
+				t.Fatalf("group order %d, want %d", len(elems), tc.order)
+			}
+		})
+	}
+}
+
+// TestDGX1BruteForce cross-checks the irregular-graph fallback against
+// full enumeration at P=8.
+func TestDGX1BruteForce(t *testing.T) {
+	if testing.Short() {
+		t.Skip("8! enumeration")
+	}
+	topo := DGX1()
+	truth := permSet(bruteAutomorphisms(topo))
+	elems := Aut(topo).Elements(100000)
+	if elems == nil {
+		t.Fatalf("closure exceeded cap")
+	}
+	got := permSet(elems)
+	if len(got) != len(truth) {
+		t.Fatalf("group order %d, brute force found %d", len(got), len(truth))
+	}
+}
+
+func TestOrbitsAndRepresentatives(t *testing.T) {
+	// Star: hub is its own orbit, spokes share one.
+	g := Aut(Star(6))
+	orbits := g.Orbits()
+	if len(orbits) != 2 || len(orbits[0]) != 1 || orbits[0][0] != 0 || len(orbits[1]) != 5 {
+		t.Fatalf("star orbits = %v", orbits)
+	}
+	if reps := g.Representatives(); len(reps) != 2 || reps[0] != 0 || reps[1] != 1 {
+		t.Fatalf("star representatives = %v", reps)
+	}
+	// Vertex-transitive families collapse to one orbit.
+	for _, topo := range []*Topology{Ring(9), BidirRing(10), Torus2D(4, 5), Hypercube(3)} {
+		if orbits := Aut(topo).Orbits(); len(orbits) != 1 {
+			t.Fatalf("%s orbits = %v", topo.Name, orbits)
+		}
+	}
+}
+
+func TestAutFixingStabilizer(t *testing.T) {
+	// Bidir-ring stabilizer of node 0 is the reflection; orbits pair i
+	// with P-i.
+	g := AutFixing(BidirRing(6), 0)
+	for _, gen := range g.Gens {
+		if gen[0] != 0 {
+			t.Fatalf("stabilizer generator moves the fixed node: %v", gen)
+		}
+	}
+	orbits := g.Orbits()
+	want := "[[0] [1 5] [2 4] [3]]"
+	if got := fmt.Sprint(orbits); got != want {
+		t.Fatalf("stabilizer orbits = %s, want %s", got, want)
+	}
+	// Unidirectional ring stabilizer of a node is trivial.
+	if g := AutFixing(Ring(6), 0); len(g.Gens) != 0 {
+		t.Fatalf("ring stabilizer should be trivial, got %v", g.Gens)
+	}
+	// Torus stabilizer of corner node 0 still has the dihedral point
+	// group (order 8 for the square torus).
+	g = AutFixing(Torus2D(4, 4), 0)
+	elems := g.Elements(100000)
+	if elems == nil || len(elems)%2 != 0 || len(elems) < 8 {
+		t.Fatalf("torus4x4 stabilizer order = %d", len(elems))
+	}
+}
+
+func TestAutDeterministic(t *testing.T) {
+	for _, topo := range []*Topology{BidirRing(8), Torus2D(4, 4), DGX1()} {
+		a, b := Aut(topo), Aut(topo)
+		if fmt.Sprint(a.Gens) != fmt.Sprint(b.Gens) {
+			t.Fatalf("%s: nondeterministic generators", topo.Name)
+		}
+	}
+}

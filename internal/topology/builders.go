@@ -129,6 +129,88 @@ func Torus2D(r, c int) *Topology {
 	return &Topology{Name: "torus2d", P: r * c, Relations: rs}
 }
 
+// Torus3D returns an a x b x c wraparound mesh with unit-bandwidth
+// bidirectional links (row-major node id = (i*b + j)*c + k). Degenerate
+// dimensions (size 1 or 2) avoid duplicate parallel links, as in
+// Torus2D.
+func Torus3D(a, b, c int) *Topology {
+	var rs []Relation
+	id := func(i, j, k int) Node { return Node((i*b+j)*c + k) }
+	dim := func(size int, idx int) bool {
+		// Emit the +1 link for this coordinate unless the dimension is
+		// trivial or the wraparound would duplicate the forward link.
+		return size > 1 && !(size == 2 && idx == 1)
+	}
+	for i := 0; i < a; i++ {
+		for j := 0; j < b; j++ {
+			for k := 0; k < c; k++ {
+				if dim(a, i) {
+					biP2P(&rs, id(i, j, k), id((i+1)%a, j, k), 1)
+				}
+				if dim(b, j) {
+					biP2P(&rs, id(i, j, k), id(i, (j+1)%b, k), 1)
+				}
+				if dim(c, k) {
+					biP2P(&rs, id(i, j, k), id(i, j, (k+1)%c), 1)
+				}
+			}
+		}
+	}
+	return &Topology{Name: "torus3d", P: a * b * c, Relations: rs}
+}
+
+// FatTree models a two-level switched fat-tree from the endpoints' view:
+// pods*hosts GPUs (pod p's hosts are nodes p*hosts..p*hosts+hosts-1),
+// where any pair may communicate through the switching fabric, each
+// host NIC caps its aggregate egress and ingress at hostBW chunks per
+// round, and each pod's uplinks cap all traffic leaving (and entering)
+// the pod at uplinkBW per round. uplinkBW < hosts*hostBW expresses
+// oversubscription. Switches are not nodes — pre/postconditions only
+// ever name GPUs — so the model stays within the paper's relation form
+// while capturing both bottleneck levels.
+func FatTree(pods, hosts, hostBW, uplinkBW int) *Topology {
+	n := pods * hosts
+	t := FullyConnected(n)
+	t.Name = "fat-tree"
+	for node := 0; node < n; node++ {
+		var out, in []Link
+		for peer := 0; peer < n; peer++ {
+			if peer == node {
+				continue
+			}
+			out = append(out, Link{Node(node), Node(peer)})
+			in = append(in, Link{Node(peer), Node(node)})
+		}
+		t.Relations = append(t.Relations,
+			Relation{Links: out, Bandwidth: hostBW},
+			Relation{Links: in, Bandwidth: hostBW},
+		)
+	}
+	for p := 0; p < pods; p++ {
+		inPod := func(n int) bool { return n/hosts == p }
+		var up, down []Link
+		for a := 0; a < n; a++ {
+			for b := 0; b < n; b++ {
+				if a == b || inPod(a) == inPod(b) {
+					continue
+				}
+				if inPod(a) {
+					up = append(up, Link{Node(a), Node(b)})
+				} else {
+					down = append(down, Link{Node(a), Node(b)})
+				}
+			}
+		}
+		if len(up) > 0 {
+			t.Relations = append(t.Relations,
+				Relation{Links: up, Bandwidth: uplinkBW},
+				Relation{Links: down, Bandwidth: uplinkBW},
+			)
+		}
+	}
+	return t
+}
+
 // SharedBus models n nodes on one shared medium: any node may send to any
 // other, but only `bw` chunks total traverse the bus per round. This
 // demonstrates the relation form ({(a,b) | a,b ∈ N}, bw) from §3.2.1.

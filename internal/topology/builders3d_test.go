@@ -1,0 +1,88 @@
+package topology
+
+import "testing"
+
+func TestTorus3DStructure(t *testing.T) {
+	topo := Torus3D(3, 3, 3)
+	if err := topo.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if topo.P != 27 {
+		t.Fatalf("P = %d", topo.P)
+	}
+	// Every node has degree 6 (two per dimension of size >= 3).
+	for n := 0; n < topo.P; n++ {
+		if got := len(topo.OutNeighbors(Node(n))); got != 6 {
+			t.Fatalf("node %d out-degree %d, want 6", n, got)
+		}
+	}
+	if d := topo.Diameter(); d != 3 {
+		t.Fatalf("diameter = %d, want 3", d)
+	}
+	// Degenerate dimensions validate and stay simple.
+	for _, dims := range [][3]int{{2, 2, 2}, {1, 2, 3}, {2, 3, 4}} {
+		topo := Torus3D(dims[0], dims[1], dims[2])
+		if err := topo.Validate(); err != nil {
+			t.Fatalf("torus%v: %v", dims, err)
+		}
+		seen := map[Link]bool{}
+		for _, l := range topo.Edges() {
+			if seen[l] {
+				t.Fatalf("torus%v: duplicate link %v", dims, l)
+			}
+			seen[l] = true
+		}
+	}
+}
+
+func TestTorus3DAut(t *testing.T) {
+	// 2x2x2 torus is the 3-cube: full hyperoctahedral group, order 48.
+	elems := Aut(Torus3D(2, 2, 2)).Elements(1000)
+	if len(elems) != 48 {
+		t.Fatalf("torus2x2x2 group order = %d, want 48", len(elems))
+	}
+	// 3x3x3: (D_3)^3 ⋊ S_3 — order 6^3 * 6 = 1296.
+	elems = Aut(Torus3D(3, 3, 3)).Elements(5000)
+	if len(elems) != 1296 {
+		t.Fatalf("torus3x3x3 group order = %d, want 1296", len(elems))
+	}
+	if orbits := Aut(Torus3D(2, 3, 4)).Orbits(); len(orbits) != 1 {
+		t.Fatalf("torus2x3x4 orbits = %v", orbits)
+	}
+}
+
+func TestFatTreeStructure(t *testing.T) {
+	topo := FatTree(4, 4, 2, 4)
+	if err := topo.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if topo.P != 16 {
+		t.Fatalf("P = %d", topo.P)
+	}
+	// Any pair may communicate, one hop.
+	if d := topo.Diameter(); d != 1 {
+		t.Fatalf("diameter = %d, want 1", d)
+	}
+	// Host NIC bounds egress.
+	if bw := topo.OutBandwidth(0); bw != 2 {
+		t.Fatalf("host egress = %d, want 2", bw)
+	}
+	// Pod uplink bounds the pod cut: 4 hosts x hostBW 2 = 8 raw, capped
+	// at uplinkBW 4.
+	cut := topo.CutCapacity(func(n Node) bool { return int(n) < 4 })
+	if cut != 4 {
+		t.Fatalf("pod cut = %d, want 4", cut)
+	}
+}
+
+func TestFatTreeAut(t *testing.T) {
+	// Hosts permute within pods and pods permute: order (h!)^p * p!.
+	g := Aut(FatTree(2, 3, 1, 2))
+	elems := g.Elements(1000)
+	if len(elems) != 72 { // (3!)^2 * 2!
+		t.Fatalf("fat-tree(2,3) group order = %d, want 72", len(elems))
+	}
+	if orbits := g.Orbits(); len(orbits) != 1 {
+		t.Fatalf("fat-tree orbits = %v", orbits)
+	}
+}

@@ -23,13 +23,17 @@ type topologyJSON struct {
 	Name      string         `json:"name"`
 	P         int            `json:"p"`
 	Relations []relationJSON `json:"relations"`
+	// Blocks is the optional machine partition of hierarchical fabrics;
+	// absent for flat topologies (and in documents written before the
+	// field existed, which decode to the same flat reading).
+	Blocks []int `json:"blocks,omitempty"`
 }
 
 // MarshalJSON renders the topology in the stable v1 wire format: a
 // version tag, the node count, and the bandwidth relation as explicit
 // [src, dst] link pairs.
 func (t *Topology) MarshalJSON() ([]byte, error) {
-	out := topologyJSON{Version: jsonVersion, Name: t.Name, P: t.P}
+	out := topologyJSON{Version: jsonVersion, Name: t.Name, P: t.P, Blocks: t.Blocks}
 	for _, r := range t.Relations {
 		rj := relationJSON{Bandwidth: r.Bandwidth, Links: make([][2]int, 0, len(r.Links))}
 		for _, l := range r.Links {
@@ -51,7 +55,7 @@ func (t *Topology) UnmarshalJSON(data []byte) error {
 	if in.Version != jsonVersion {
 		return fmt.Errorf("topology: unsupported JSON version %d (want %d)", in.Version, jsonVersion)
 	}
-	dec := Topology{Name: in.Name, P: in.P}
+	dec := Topology{Name: in.Name, P: in.P, Blocks: in.Blocks}
 	for _, rj := range in.Relations {
 		r := Relation{Bandwidth: rj.Bandwidth, Links: make([]Link, 0, len(rj.Links))}
 		for _, lp := range rj.Links {

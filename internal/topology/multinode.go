@@ -14,6 +14,11 @@ import "fmt"
 // systems its related-work section discusses (Horovod, BlueConnect,
 // PLink): the same SynColl machinery synthesizes cross-machine
 // collectives once the topology expresses the NIC bottleneck.
+//
+// The result records the machine partition in Blocks (node n belongs to
+// machine n/base.P), which lets bandwidth lower bounds enumerate
+// machine-granularity cuts — the NIC bottleneck — even when the GPU
+// count is far past the exact cut-enumeration limit.
 func MultiNode(base *Topology, count, nics, nicBW int) (*Topology, error) {
 	if count < 2 {
 		return nil, fmt.Errorf("topology: MultiNode needs >= 2 machines, got %d", count)
@@ -25,8 +30,12 @@ func MultiNode(base *Topology, count, nics, nicBW int) (*Topology, error) {
 		return nil, fmt.Errorf("topology: nicBW must be >= 1")
 	}
 	out := &Topology{
-		Name: fmt.Sprintf("%dx-%s", count, base.Name),
-		P:    count * base.P,
+		Name:   fmt.Sprintf("%dx-%s", count, base.Name),
+		P:      count * base.P,
+		Blocks: make([]int, count*base.P),
+	}
+	for n := range out.Blocks {
+		out.Blocks[n] = n / base.P
 	}
 	// Intra-machine links: copy the base relations with node offsets.
 	for k := 0; k < count; k++ {

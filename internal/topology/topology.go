@@ -34,6 +34,28 @@ type Topology struct {
 	Name      string
 	P         int
 	Relations []Relation
+	// Blocks, when non-nil, records a hierarchical partition of the nodes
+	// (Blocks[n] is node n's machine in a multi-machine fabric). Builders
+	// that know the hierarchy (MultiNode) set it so cut-based bound
+	// computations can enumerate machine-granularity cuts at node counts
+	// where exhaustive node-subset enumeration is infeasible. Nil means a
+	// flat (single-machine) topology.
+	Blocks []int
+}
+
+// BlockCount returns the number of blocks in the hierarchical partition,
+// or 0 for a flat topology.
+func (t *Topology) BlockCount() int {
+	if len(t.Blocks) != t.P {
+		return 0
+	}
+	max := -1
+	for _, b := range t.Blocks {
+		if b > max {
+			max = b
+		}
+	}
+	return max + 1
 }
 
 // Validate checks structural invariants: node indices in range, positive
@@ -55,6 +77,23 @@ func (t *Topology) Validate() error {
 			}
 			if l.Src == l.Dst {
 				return fmt.Errorf("topology %q: relation %d has self-loop %v", t.Name, i, l)
+			}
+		}
+	}
+	if t.Blocks != nil {
+		if len(t.Blocks) != t.P {
+			return fmt.Errorf("topology %q: blocks length %d != P %d", t.Name, len(t.Blocks), t.P)
+		}
+		seen := map[int]bool{}
+		for n, b := range t.Blocks {
+			if b < 0 || b >= t.P {
+				return fmt.Errorf("topology %q: node %d in out-of-range block %d", t.Name, n, b)
+			}
+			seen[b] = true
+		}
+		for b := 0; b < len(seen); b++ {
+			if !seen[b] {
+				return fmt.Errorf("topology %q: block ids not contiguous (missing %d)", t.Name, b)
 			}
 		}
 	}

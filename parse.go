@@ -2,135 +2,52 @@ package sccl
 
 import (
 	"fmt"
-	"strconv"
-	"strings"
 
 	"repro/internal/collective"
+	"repro/internal/topology"
 )
 
-// ParseTopology resolves a topology spec string. Every topology
-// constructor the package exports has a spec:
+// ParseTopology resolves a topology spec string by parsing it into a
+// structured TopologySpec and building that — the string forms are a
+// thin front-end over the registry in internal/topology, so every
+// registered family is constructible both ways and the two forms build
+// fingerprint-identical topologies:
 //
-//	dgx1                          NVIDIA DGX-1 (8 GPUs, NVLink)
-//	dgx2                          NVIDIA DGX-2 (16 GPUs, NVSwitch)
-//	amd | z52                     Gigabyte Z52 (8 MI50 GPUs)
-//	ring:N                        unidirectional ring
-//	bidir-ring:N                  bidirectional ring
-//	line:N                        path
-//	fc:N                          fully connected
-//	star:N                        hub and spokes
-//	hypercube:D                   2^D nodes
-//	torus:RxC                     2-D wraparound mesh
-//	bus:N:BW                      shared bus, BW chunks/round
-//	multinode:BASE:COUNT:NICS:BW  COUNT copies of BASE joined by NICS
-//	                              NIC links of BW chunks/round per
-//	                              machine pair; BASE is itself a spec
-//	                              (e.g. multinode:dgx1:2:1:1,
-//	                              multinode:ring:4:2:1:1)
+//	dgx1                            NVIDIA DGX-1 (8 GPUs, NVLink)
+//	dgx2                            NVIDIA DGX-2 (16 GPUs, NVSwitch)
+//	amd | z52                       Gigabyte Z52 (8 MI50 GPUs)
+//	ring:N                          unidirectional ring
+//	bidir-ring:N                    bidirectional ring
+//	line:N                          path
+//	fc:N                            fully connected
+//	star:N                          hub and spokes
+//	hypercube:D                     2^D nodes
+//	torus:RxC                       2-D wraparound mesh
+//	torus3d:AxBxC                   3-D wraparound mesh
+//	fat-tree:PODS:HOSTS:HBW:UBW     two-level switched fat-tree: per-host
+//	                                NIC cap HBW, per-pod uplink cap UBW
+//	bus:N:BW                        shared bus, BW chunks/round
+//	multinode:BASE:COUNT:NICS:BW    COUNT copies of BASE joined by NICS
+//	                                NIC links of BW chunks/round per
+//	                                machine pair; BASE is itself a spec
+//	                                (e.g. multinode:dgx1:2:1:1,
+//	                                multinode:ring:4:2:1:1)
 func ParseTopology(spec string) (*Topology, error) {
-	parts := strings.Split(spec, ":")
-	name := strings.ToLower(parts[0])
-	argInt := func(i int) (int, error) {
-		if len(parts) <= i {
-			return 0, fmt.Errorf("sccl: topology %q needs an argument", spec)
-		}
-		return strconv.Atoi(parts[i])
+	s, err := ParseTopologySpec(spec)
+	if err != nil {
+		return nil, err
 	}
-	switch name {
-	case "dgx1", "dgx-1":
-		return DGX1(), nil
-	case "dgx2", "dgx-2":
-		return DGX2(), nil
-	case "amd", "z52", "amd-z52":
-		return AMDZ52(), nil
-	case "multinode", "multi-node", "mn":
-		// The base spec may itself contain ':' arguments, so the three
-		// trailing fields (COUNT, NICS, BW) are parsed from the right.
-		if len(parts) < 5 {
-			return nil, fmt.Errorf("sccl: multinode needs BASE:COUNT:NICS:BW, got %q", spec)
-		}
-		base, err := ParseTopology(strings.Join(parts[1:len(parts)-3], ":"))
-		if err != nil {
-			return nil, err
-		}
-		count, err := argInt(len(parts) - 3)
-		if err != nil {
-			return nil, err
-		}
-		nics, err := argInt(len(parts) - 2)
-		if err != nil {
-			return nil, err
-		}
-		nicBW, err := argInt(len(parts) - 1)
-		if err != nil {
-			return nil, err
-		}
-		return MultiNode(base, count, nics, nicBW)
-	case "ring":
-		n, err := argInt(1)
-		if err != nil {
-			return nil, err
-		}
-		return Ring(n), nil
-	case "bidir-ring", "bring":
-		n, err := argInt(1)
-		if err != nil {
-			return nil, err
-		}
-		return BidirRing(n), nil
-	case "line", "path":
-		n, err := argInt(1)
-		if err != nil {
-			return nil, err
-		}
-		return Line(n), nil
-	case "fc", "fully-connected", "complete":
-		n, err := argInt(1)
-		if err != nil {
-			return nil, err
-		}
-		return FullyConnected(n), nil
-	case "star":
-		n, err := argInt(1)
-		if err != nil {
-			return nil, err
-		}
-		return Star(n), nil
-	case "hypercube", "cube":
-		d, err := argInt(1)
-		if err != nil {
-			return nil, err
-		}
-		return Hypercube(d), nil
-	case "torus":
-		if len(parts) < 2 {
-			return nil, fmt.Errorf("sccl: torus needs RxC")
-		}
-		dims := strings.Split(parts[1], "x")
-		if len(dims) != 2 {
-			return nil, fmt.Errorf("sccl: torus needs RxC, got %q", parts[1])
-		}
-		r, err := strconv.Atoi(dims[0])
-		if err != nil {
-			return nil, err
-		}
-		c, err := strconv.Atoi(dims[1])
-		if err != nil {
-			return nil, err
-		}
-		return Torus2D(r, c), nil
-	case "bus":
-		n, err := argInt(1)
-		if err != nil {
-			return nil, err
-		}
-		bw, err := argInt(2)
-		if err != nil {
-			return nil, err
-		}
-		return SharedBus(n, bw), nil
+	return s.Build()
+}
+
+// ParseTopologySpec parses a topology string form into its structured
+// spec without building the topology.
+func ParseTopologySpec(spec string) (*TopologySpec, error) {
+	s, err := topology.ParseSpec(spec)
+	if err != nil {
+		return nil, fmt.Errorf("sccl: %w", err)
 	}
-	return nil, fmt.Errorf("sccl: unknown topology %q", spec)
+	return s, nil
 }
 
 // ParseKind resolves a collective name ("Allgather", "Allreduce", ...).

@@ -43,8 +43,15 @@ func (b Budget) String() string { return fmt.Sprintf("(C=%d,S=%d,R=%d)", b.C, b.
 // ctx argument of Engine.Synthesize; Timeout additionally bounds the
 // solver itself.
 type Request struct {
-	Kind   Kind
-	Topo   *Topology
+	Kind Kind
+	Topo *Topology
+	// Spec names the topology structurally as an alternative to Topo:
+	// when Topo is nil, Validate builds it from the spec. Supplying both
+	// is an error unless they agree (same fingerprint). The built
+	// topology — not the spec — is what fingerprints and serializes, so
+	// a spec-posed request is indistinguishable from the equivalent
+	// Topo-posed one.
+	Spec   *TopologySpec
 	Root   Node
 	Budget Budget
 	// Timeout bounds the solver for this request; zero uses the engine
@@ -60,8 +67,8 @@ type Request struct {
 // valid topology, a known collective kind, a root in range, a coherent
 // budget, and (for Allreduce) C divisible by P.
 func (r *Request) Validate() error {
-	if r.Topo == nil {
-		return errors.New("sccl: request needs a topology")
+	if err := resolveSpec(&r.Topo, r.Spec, "request"); err != nil {
+		return err
 	}
 	if err := r.Topo.Validate(); err != nil {
 		return err
@@ -86,6 +93,33 @@ func (r *Request) Validate() error {
 	return fmt.Errorf("sccl: unknown collective kind %v", r.Kind)
 }
 
+// resolveSpec reconciles the Topo/Spec alternatives of a request: a
+// spec-only request builds its topology in place, and supplying both
+// demands structural agreement so the two namings cannot drift.
+func resolveSpec(topo **Topology, spec *TopologySpec, what string) error {
+	if *topo == nil {
+		if spec == nil {
+			return fmt.Errorf("sccl: %s needs a topology or a topology spec", what)
+		}
+		built, err := spec.Build()
+		if err != nil {
+			return err
+		}
+		*topo = built
+		return nil
+	}
+	if spec != nil {
+		built, err := spec.Build()
+		if err != nil {
+			return err
+		}
+		if built.Fingerprint() != (*topo).Fingerprint() {
+			return fmt.Errorf("sccl: %s topology and spec %s disagree", what, spec)
+		}
+	}
+	return nil
+}
+
 type requestJSON struct {
 	Version   int       `json:"version"`
 	Kind      string    `json:"kind"`
@@ -98,8 +132,13 @@ type requestJSON struct {
 const serializeVersion = 1
 
 // MarshalJSON renders the request in the stable v1 wire format. The
-// solver Options override is engine-local and not serialized.
+// solver Options override is engine-local and not serialized; a
+// spec-posed request serializes its built topology, so the wire format
+// is independent of which naming posed it.
 func (r Request) MarshalJSON() ([]byte, error) {
+	if err := resolveSpec(&r.Topo, r.Spec, "request"); err != nil {
+		return nil, err
+	}
 	return json.Marshal(requestJSON{
 		Version:   serializeVersion,
 		Kind:      r.Kind.String(),
@@ -218,6 +257,9 @@ func (r *Result) UnmarshalJSON(data []byte) error {
 type ParetoRequest struct {
 	Kind Kind
 	Topo *Topology
+	// Spec names the topology structurally as an alternative to Topo,
+	// with the same semantics as Request.Spec.
+	Spec *TopologySpec
 	Root Node
 	// K bounds the algorithm class: R <= S + K.
 	K int
@@ -272,6 +314,9 @@ type paretoRequestJSON struct {
 // Workers travels as a scheduling hint (it never changes the frontier
 // and is excluded from the cache fingerprint).
 func (r ParetoRequest) MarshalJSON() ([]byte, error) {
+	if err := resolveSpec(&r.Topo, r.Spec, "pareto request"); err != nil {
+		return nil, err
+	}
 	return json.Marshal(paretoRequestJSON{
 		Version:   serializeVersion,
 		Kind:      r.Kind.String(),
@@ -318,8 +363,8 @@ func (r *ParetoRequest) UnmarshalJSON(data []byte) error {
 
 // Validate checks the sweep parameters.
 func (r *ParetoRequest) Validate() error {
-	if r.Topo == nil {
-		return errors.New("sccl: pareto request needs a topology")
+	if err := resolveSpec(&r.Topo, r.Spec, "pareto request"); err != nil {
+		return err
 	}
 	if err := r.Topo.Validate(); err != nil {
 		return err

@@ -70,6 +70,12 @@ type (
 	Link = topology.Link
 	// Relation is one bandwidth-relation entry.
 	Relation = topology.Relation
+	// TopologySpec is a structured, versioned topology builder spec
+	// ({family, params} plus an optional nested base), backed by the
+	// family registry in internal/topology. It JSON round-trips under
+	// the sccl.topology-spec/v1 tag, and its Build method constructs a
+	// topology fingerprint-identical to the legacy string form.
+	TopologySpec = topology.Spec
 	// Collective is an instantiated collective specification.
 	Collective = collective.Spec
 	// Kind enumerates collective primitives.
@@ -195,11 +201,24 @@ func SharedBus(n, bw int) *Topology { return topology.SharedBus(n, bw) }
 // 6-port ingress/egress caps).
 func DGX2() *Topology { return topology.DGX2() }
 
+// Torus3D returns an a x b x c wraparound mesh.
+func Torus3D(a, b, c int) *Topology { return topology.Torus3D(a, b, c) }
+
+// FatTree returns a two-level switched fat-tree of pods*hosts GPUs with
+// per-host NIC caps and per-pod uplink caps (see internal/topology).
+func FatTree(pods, hosts, hostBW, uplinkBW int) *Topology {
+	return topology.FatTree(pods, hosts, hostBW, uplinkBW)
+}
+
 // MultiNode joins `count` copies of a base topology with NIC links
 // between gateway GPUs (machine ring), capping per-machine NIC traffic.
 func MultiNode(base *Topology, count, nics, nicBW int) (*Topology, error) {
 	return topology.MultiNode(base, count, nics, nicBW)
 }
+
+// TopologyFamilies lists the registered topology family names, in
+// registry order.
+func TopologyFamilies() []string { return topology.Families() }
 
 // CustomCollective builds a collective directly from pre/post relations
 // over (chunk, node) pairs — the escape hatch for exotic collectives the
