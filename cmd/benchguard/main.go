@@ -12,7 +12,7 @@
 //
 // Rows are matched by their sweep identity (topology, collective,
 // backend, k, maxSteps, maxChunks, workers, sessions, portfolio,
-// megaBase). Rows
+// megaBase, symmetry, quotient). Rows
 // whose metric sits under -min-wall in both files are reported but never
 // fail the gate: at that scale scheduler noise outweighs solver work. A
 // baseline row missing from the fresh run fails the gate — the suite
@@ -40,8 +40,8 @@ import (
 )
 
 func rowKey(r eval.SweepRow) string {
-	return fmt.Sprintf("%s|%s|%s|k%d|s%d|c%d|w%d|sessions=%v|portfolio=%v|mega=%v|symmetry=%v",
-		r.Topology, r.Collective, r.Backend, r.K, r.MaxSteps, r.MaxChunks, r.Workers, r.Sessions, r.Portfolio, r.MegaBase, r.Symmetry)
+	return fmt.Sprintf("%s|%s|%s|k%d|s%d|c%d|w%d|sessions=%v|portfolio=%v|mega=%v|symmetry=%v|quotient=%v",
+		r.Topology, r.Collective, r.Backend, r.K, r.MaxSteps, r.MaxChunks, r.Workers, r.Sessions, r.Portfolio, r.MegaBase, r.Symmetry, r.Quotient)
 }
 
 func loadRows(path string) (map[string]eval.SweepRow, error) {
@@ -213,6 +213,61 @@ func symmetryGate(fresh map[string]eval.SweepRow, minGainPct float64) int {
 	return failures
 }
 
+// quotientGate checks the chunk-orbit quotient encoding's win
+// fresh-vs-fresh: for every quotient-off row of a Quotient spec pair
+// (symmetry on, quotient off), the quotient-on row with the same sweep
+// identity must beat it by at least minGainPct on encode+solve wall —
+// and, because answers never depend on the quotient (Sat lifts
+// re-validate, everything else falls back to the full formula), the two
+// frontiers must agree on every (C, S, R) point. Symmetry-off rows are
+// skipped: they belong to the symmetry gate's pairs, which keep
+// quotienting off on both sides. A quotient-off row without a
+// quotient-on counterpart is a symmetry pair's on-side riding the same
+// key shape, not a broken pair — it is skipped too, but at least one
+// genuine pair must gate or the whole check fails (a baseline
+// regeneration must not silently drop the quotient specs).
+func quotientGate(fresh map[string]eval.SweepRow, minGainPct float64) int {
+	failures := 0
+	gated := 0
+	for _, key := range sortedKeys(fresh) {
+		row := fresh[key]
+		if row.Quotient || !row.Symmetry {
+			continue
+		}
+		on := row
+		on.Quotient = true
+		counterpart, ok := fresh[rowKey(on)]
+		if !ok {
+			continue
+		}
+		gated++
+		if !samePoints(row.Points, counterpart.Points) {
+			fmt.Printf("quotient-gain %-56s FAIL (frontier cost parity broken: off %v vs on %v)\n",
+				key, row.Points, counterpart.Points)
+			failures++
+			continue
+		}
+		offWall := row.EncodeWallNs + row.SolveWallNs
+		onWall := counterpart.EncodeWallNs + counterpart.SolveWallNs
+		gainPct := 0.0
+		if offWall > 0 {
+			gainPct = 100 * float64(offWall-onWall) / float64(offWall)
+		}
+		verdict := "ok"
+		if gainPct < minGainPct {
+			verdict = "FAIL"
+			failures++
+		}
+		fmt.Printf("quotient-gain %-56s off %s -> on %s (%d probes, %d fallbacks): %+.0f%% (need >= %.0f%%) %s\n",
+			key, fmtNs(offWall), fmtNs(onWall), counterpart.QuotientProbes, counterpart.QuotientFallbacks, gainPct, minGainPct, verdict)
+	}
+	if gated == 0 {
+		fmt.Println("quotient-gain FAIL (no quotient on/off pair in the fresh rows)")
+		failures++
+	}
+	return failures
+}
+
 func samePoints(a, b []eval.SweepPoint) bool {
 	if len(a) != len(b) {
 		return false
@@ -270,6 +325,7 @@ func main() {
 	minPortfolioGain := flag.Float64("min-portfolio-gain-pct", 25, "required solve-wall improvement of each fresh portfolio row over its same-run plain counterpart, percent")
 	minMegaGain := flag.Float64("min-mega-encode-gain-pct", 20, "required encode-wall improvement of each fresh mega-base row over its same-run per-family counterpart, percent")
 	minSymmetryGain := flag.Float64("min-symmetry-gain-pct", 25, "required solve-wall improvement of each fresh symmetry-on row over its same-run symmetry-off counterpart, percent (cost parity of the paired frontiers is enforced alongside)")
+	minQuotientGain := flag.Float64("min-quotient-gain-pct", 25, "required encode+solve wall improvement of each fresh quotient-on row over its same-run quotient-off counterpart, percent (cost parity of the paired frontiers is enforced alongside)")
 	flag.Parse()
 
 	baseline, err := loadRows(*baselinePath)
@@ -299,6 +355,7 @@ func main() {
 	failures += portfolioGate(fresh, *minPortfolioGain)
 	failures += megaGate(fresh, *minMegaGain)
 	failures += symmetryGate(fresh, *minSymmetryGain)
+	failures += quotientGate(fresh, *minQuotientGain)
 	if failures > 0 {
 		fmt.Fprintf(os.Stderr, "benchguard: %d row-metric(s) regressed beyond their allowance (or went missing); "+
 			"if intentional, regenerate the baseline with `SCCL_BENCH_DIR= go test -bench=SessionSweeps -benchtime=1x -run '^$' .` "+

@@ -133,6 +133,7 @@ type engineFlags struct {
 	portfolioThreshold *time.Duration
 	cubeDepth          *int
 	noSymmetry         *bool
+	noQuotient         *bool
 	verbose            *bool
 }
 
@@ -144,6 +145,7 @@ func addEngineFlags(fs *flag.FlagSet) *engineFlags {
 		portfolioThreshold: fs.Duration("portfolio-threshold", 0, "solo-solve grace before a portfolio race escalates (0 = default 100ms)"),
 		cubeDepth:          fs.Int("cube-depth", 0, "Stage-2 literals to cube-and-conquer on during a race (0 = off)"),
 		noSymmetry:         fs.Bool("no-symmetry", false, "disable node-orbit symmetry exploitation on large fabrics (frontier costs are identical either way; witnesses may differ)"),
+		noQuotient:         fs.Bool("no-quotient", false, "disable the chunk-orbit quotient encoding (frontier costs are identical either way; witnesses may differ)"),
 		verbose:            fs.Bool("v", false, "print engine and probe progress"),
 	}
 }
@@ -167,6 +169,7 @@ func (ef *engineFlags) build() (*sccl.Engine, error) {
 		Backend: backend, Workers: *ef.workers, Progress: progress,
 		Portfolio: *ef.portfolio, PortfolioThreshold: *ef.portfolioThreshold,
 		CubeDepth: *ef.cubeDepth, NoSymmetryBreaking: *ef.noSymmetry,
+		NoQuotient: *ef.noQuotient,
 	}), nil
 }
 
@@ -354,6 +357,8 @@ func cmdPareto(args []string) error {
 			s.PortfolioSolves, s.SharedLearnts, s.CubeSplits)
 		fmt.Fprintf(statsOut, "mega-base: %d probes answered by activation selects, %d base encodes\n",
 			s.MegaProbes, s.MegaEncodes)
+		fmt.Fprintf(statsOut, "quotient: %d orbit-quotient witnesses lifted, %d fallbacks to the full formula, %d declines\n",
+			s.QuotientProbes, s.QuotientFallbacks, s.QuotientDeclined)
 		cs := cm.eng.CacheStats()
 		fmt.Fprintf(statsOut, "engine: %d pooled sessions (%d pool hits, %d misses), %d cached algorithms, %d core solves / %d pruned probes lifetime\n",
 			cs.Sessions, cs.SessionHits, cs.SessionMisses, cs.Algorithms, cs.CoreSolves, cs.PrunedProbes)

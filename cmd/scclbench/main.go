@@ -53,6 +53,7 @@ func main() {
 	portfolio := flag.Int("portfolio", 0, "diversified CDCL workers raced per slow solve (0/1 = off; results are byte-identical either way)")
 	backendSpec := flag.String("backend", "cdcl", "solver backend: cdcl|smtlib[:binary]")
 	noSymmetry := flag.Bool("no-symmetry", false, "disable node-orbit symmetry exploitation on large fabrics (frontier costs are identical either way; witnesses may differ)")
+	noQuotient := flag.Bool("no-quotient", false, "disable the chunk-orbit quotient encoding (frontier costs are identical either way; witnesses may differ)")
 	jsonOut := flag.Bool("json", false, "write machine-readable BENCH_*.json rows")
 	flag.Parse()
 
@@ -63,7 +64,7 @@ func main() {
 	}
 	// Rows go through a facade engine so identical budgets across tables
 	// and repeated runs within one process hit the algorithm cache.
-	eng := sccl.NewEngine(sccl.EngineOptions{Backend: backend, Workers: *workers, Portfolio: *portfolio, NoSymmetryBreaking: *noSymmetry})
+	eng := sccl.NewEngine(sccl.EngineOptions{Backend: backend, Workers: *workers, Portfolio: *portfolio, NoSymmetryBreaking: *noSymmetry, NoQuotient: *noQuotient})
 	opts := eval.Options{
 		Timeout:     *timeout,
 		IncludeSlow: *slow,

@@ -70,6 +70,13 @@ type EngineOptions struct {
 	// Frontier (C, S, R) points are identical either way; witnesses may
 	// differ, so the flag IS part of the cache fingerprint.
 	NoSymmetryBreaking bool
+	// NoQuotient disables the chunk-orbit quotient encoding (emit only
+	// orbit-representative variables, lift Sat models back to the full
+	// fabric; see SynthOptions.NoQuotient) for every request the engine
+	// runs. Frontier (C, S, R) points are identical either way — the
+	// quotient only answers when its answer is genuine — but witnesses
+	// may differ, so the flag IS part of the cache fingerprint.
+	NoQuotient bool
 }
 
 const defaultCacheSize = 4096
@@ -113,6 +120,7 @@ type Engine struct {
 	portfolioThreshold time.Duration
 	cubeDepth          int
 	noSymmetry         bool
+	noQuotient         bool
 	// sessions pools per-family incremental solver sessions across Pareto
 	// sweeps (nil when the backend cannot session or sessions are off).
 	sessions *synth.SessionPool
@@ -173,6 +181,7 @@ func NewEngine(opts EngineOptions) *Engine {
 		portfolioThreshold: opts.PortfolioThreshold,
 		cubeDepth:          opts.CubeDepth,
 		noSymmetry:         opts.NoSymmetryBreaking,
+		noQuotient:         opts.NoQuotient,
 	}
 	if !opts.NoSessions && opts.SessionPoolSize >= 0 {
 		resolved := e.backend
@@ -240,6 +249,9 @@ func (e *Engine) solveOptions(timeout time.Duration, override *SynthOptions) Syn
 	if e.noSymmetry {
 		o.NoSymmetryBreaking = true
 	}
+	if e.noQuotient {
+		o.NoQuotient = true
+	}
 	return o
 }
 
@@ -264,6 +276,7 @@ func optionParts(o SynthOptions) []string {
 		"enc=" + strconv.Itoa(int(o.Encoding)),
 		"sym=" + strconv.FormatBool(!o.NoSymmetryBreak),
 		"nodesym=" + strconv.FormatBool(!o.NoSymmetryBreaking),
+		"quotient=" + strconv.FormatBool(!o.NoQuotient),
 		"backend=" + backendName(o),
 	}
 }

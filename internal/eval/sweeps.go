@@ -49,6 +49,13 @@ type SweepSpec struct {
 	// the phased solve never lets an answer depend on the restriction —
 	// which the runner enforces.
 	Symmetry bool
+	// Quotient marks a chunk-orbit quotient spec: the runner emits a
+	// quotient-off row and a quotient-on row (both fresh, sessions and
+	// symmetry on, same worker count), so the benchmark tracks the
+	// orbit-collapsed encode+solve win against its own-run baseline. The
+	// paired frontiers must agree on every (C, S, R) point — the quotient
+	// only answers when its answer is genuine — which the runner enforces.
+	Quotient bool
 }
 
 // SessionSweeps returns the default benchmark sweep suite. The bidir-ring
@@ -96,6 +103,13 @@ func SessionSweeps() []SweepSpec {
 		// ~5x faster than the unrestricted one).
 		{Name: "torus6x6-allgather-sym", Kind: collective.Allgather, Topo: topology.Torus2D(6, 6), K: 1, MaxSteps: 8, MaxChunks: 1, Symmetry: true},
 		{Name: "dgx1x4ring-allgather-sym", Kind: collective.Allgather, Topo: mustMultiNode(topology.DGX1(), 4, 2, 2), K: 0, MaxSteps: 7, MaxChunks: 1, Symmetry: true},
+		// The quotient benchmark: the torus sweep again, quotient-off vs
+		// quotient-on (symmetry on for both — the pair isolates the orbit
+		// collapse, not the equivariance restriction). The torus
+		// translations act transitively on Allgather's 36 chunks, so the
+		// quotient base carries one representative's Stage-1 variables
+		// instead of 36 and the Sat probe solves the collapsed formula.
+		{Name: "torus6x6-allgather-quot", Kind: collective.Allgather, Topo: topology.Torus2D(6, 6), K: 1, MaxSteps: 8, MaxChunks: 1, Quotient: true},
 	}
 }
 
@@ -164,23 +178,32 @@ type SweepRow struct {
 	// for the run; SymmetryPerms counts the automorphism generators whose
 	// equivariance restrictions the run's base encodes emitted (0 below
 	// the node threshold even with Symmetry true).
-	Symmetry      bool  `json:"symmetry"`
-	SymmetryPerms int   `json:"symmetryPerms"`
-	EncodeWallNs  int64 `json:"encodeWallNs"`
-	SolveWallNs   int64 `json:"solveWallNs"`
-	WallNs        int64 `json:"wallNs"`
+	Symmetry      bool `json:"symmetry"`
+	SymmetryPerms int  `json:"symmetryPerms"`
+	// Quotient records whether the chunk-orbit quotient encoding was
+	// active for the run; QuotientProbes counts probes answered Sat from
+	// a quotient base, QuotientFallbacks the quotient attempts that fell
+	// through to the full formula.
+	Quotient          bool  `json:"quotient"`
+	QuotientProbes    int   `json:"quotientProbes"`
+	QuotientFallbacks int   `json:"quotientFallbacks"`
+	EncodeWallNs      int64 `json:"encodeWallNs"`
+	SolveWallNs       int64 `json:"solveWallNs"`
+	WallNs            int64 `json:"wallNs"`
 }
 
 // RunSweep executes one spec with sessions on or off and renders its
 // row. backend selects the solver backend for every probe; nil uses the
 // built-in CDCL solver. portfolio enables intra-instance parallelism
 // (a 4-worker diversified race per slow probe); symmetry enables
-// node-orbit symmetry breaking (inert below the node threshold).
-func RunSweep(spec SweepSpec, backend synth.Backend, sessions, portfolio, symmetry bool, workers int, timeout time.Duration) (SweepRow, error) {
+// node-orbit symmetry breaking (inert below the node threshold);
+// quotient enables the chunk-orbit quotient encoding (inert when the
+// symmetry group leaves every orbit a singleton).
+func RunSweep(spec SweepSpec, backend synth.Backend, sessions, portfolio, symmetry, quotient bool, workers int, timeout time.Duration) (SweepRow, error) {
 	if spec.Workers > 0 {
 		workers = spec.Workers
 	}
-	inst := synth.Options{Timeout: timeout, Backend: backend, NoSymmetryBreaking: !symmetry}
+	inst := synth.Options{Timeout: timeout, Backend: backend, NoSymmetryBreaking: !symmetry, NoQuotient: !quotient}
 	if portfolio {
 		inst.Portfolio = 4
 	}
@@ -202,29 +225,32 @@ func RunSweep(spec SweepSpec, backend synth.Backend, sessions, portfolio, symmet
 		Collective: spec.Kind.String(),
 		Backend:    backendName,
 		K:          spec.K, MaxSteps: spec.MaxSteps, MaxChunks: spec.MaxChunks,
-		Workers:         workers,
-		Sessions:        sessions,
-		Portfolio:       portfolio,
-		Symmetry:        symmetry,
-		SymmetryPerms:   stats.SymmetryPerms,
-		Probes:          stats.Probes,
-		Pruned:          stats.Pruned,
-		Families:        stats.Families,
-		SessionProbes:   stats.SessionProbes,
-		SessionReuses:   stats.SessionReuses,
-		CarriedLearnts:  stats.CarriedLearnts,
-		CoreSolves:      stats.CoreSolves,
-		PrunedProbes:    stats.PrunedProbes,
-		TemplateHits:    stats.TemplateHits,
-		MigratedLearnts: stats.MigratedLearnts,
-		PortfolioSolves: stats.PortfolioSolves,
-		SharedLearnts:   stats.SharedLearnts,
-		CubeSplits:      stats.CubeSplits,
-		MegaProbes:      stats.MegaProbes,
-		MegaEncodes:     stats.MegaEncodes,
-		EncodeWallNs:    int64(stats.EncodeTime),
-		SolveWallNs:     int64(stats.SolveTime),
-		WallNs:          int64(stats.Wall),
+		Workers:           workers,
+		Sessions:          sessions,
+		Portfolio:         portfolio,
+		Symmetry:          symmetry,
+		SymmetryPerms:     stats.SymmetryPerms,
+		Quotient:          quotient,
+		QuotientProbes:    stats.QuotientProbes,
+		QuotientFallbacks: stats.QuotientFallbacks,
+		Probes:            stats.Probes,
+		Pruned:            stats.Pruned,
+		Families:          stats.Families,
+		SessionProbes:     stats.SessionProbes,
+		SessionReuses:     stats.SessionReuses,
+		CarriedLearnts:    stats.CarriedLearnts,
+		CoreSolves:        stats.CoreSolves,
+		PrunedProbes:      stats.PrunedProbes,
+		TemplateHits:      stats.TemplateHits,
+		MigratedLearnts:   stats.MigratedLearnts,
+		PortfolioSolves:   stats.PortfolioSolves,
+		SharedLearnts:     stats.SharedLearnts,
+		CubeSplits:        stats.CubeSplits,
+		MegaProbes:        stats.MegaProbes,
+		MegaEncodes:       stats.MegaEncodes,
+		EncodeWallNs:      int64(stats.EncodeTime),
+		SolveWallNs:       int64(stats.SolveTime),
+		WallNs:            int64(stats.Wall),
 	}
 	for _, p := range pts {
 		row.Points = append(row.Points, SweepPoint{C: p.C, S: p.S, R: p.R})
@@ -262,29 +288,35 @@ func RunMultiSweep(spec SweepSpec, backend synth.Backend, mega bool, workers int
 		Collective: strings.Join(names, "+"),
 		Backend:    backendName,
 		K:          spec.K, MaxSteps: spec.MaxSteps, MaxChunks: spec.MaxChunks,
-		Workers:         workers,
-		Sessions:        true,
-		MegaBase:        mega,
-		Symmetry:        true,
-		SymmetryPerms:   stats.SymmetryPerms,
-		Probes:          stats.Probes,
-		Pruned:          stats.Pruned,
-		Families:        stats.Families,
-		SessionProbes:   stats.SessionProbes,
-		SessionReuses:   stats.SessionReuses,
-		CarriedLearnts:  stats.CarriedLearnts,
-		CoreSolves:      stats.CoreSolves,
-		PrunedProbes:    stats.PrunedProbes,
-		TemplateHits:    stats.TemplateHits,
-		MigratedLearnts: stats.MigratedLearnts,
-		PortfolioSolves: stats.PortfolioSolves,
-		SharedLearnts:   stats.SharedLearnts,
-		CubeSplits:      stats.CubeSplits,
-		MegaProbes:      stats.MegaProbes,
-		MegaEncodes:     stats.MegaEncodes,
-		EncodeWallNs:    int64(stats.EncodeTime),
-		SolveWallNs:     int64(stats.SolveTime),
-		WallNs:          int64(stats.Wall),
+		Workers:  workers,
+		Sessions: true,
+		MegaBase: mega,
+		Symmetry: true,
+		// Quotienting is allowed (creation options default it on), but a
+		// mega base always declines it — activation families break orbit
+		// structure — so the paired rows differ only in the base shape.
+		Quotient:          true,
+		SymmetryPerms:     stats.SymmetryPerms,
+		QuotientProbes:    stats.QuotientProbes,
+		QuotientFallbacks: stats.QuotientFallbacks,
+		Probes:            stats.Probes,
+		Pruned:            stats.Pruned,
+		Families:          stats.Families,
+		SessionProbes:     stats.SessionProbes,
+		SessionReuses:     stats.SessionReuses,
+		CarriedLearnts:    stats.CarriedLearnts,
+		CoreSolves:        stats.CoreSolves,
+		PrunedProbes:      stats.PrunedProbes,
+		TemplateHits:      stats.TemplateHits,
+		MigratedLearnts:   stats.MigratedLearnts,
+		PortfolioSolves:   stats.PortfolioSolves,
+		SharedLearnts:     stats.SharedLearnts,
+		CubeSplits:        stats.CubeSplits,
+		MegaProbes:        stats.MegaProbes,
+		MegaEncodes:       stats.MegaEncodes,
+		EncodeWallNs:      int64(stats.EncodeTime),
+		SolveWallNs:       int64(stats.SolveTime),
+		WallNs:            int64(stats.Wall),
 	}
 	for _, kind := range spec.Kinds {
 		for _, p := range byKind[kind] {
@@ -322,24 +354,32 @@ func RunSessionSweeps(specs []SweepSpec, backend synth.Backend, workers int, tim
 			}
 			continue
 		}
-		type run struct{ sessions, portfolio, symmetry bool }
-		runs := []run{{false, false, true}, {true, false, true}}
+		type run struct{ sessions, portfolio, symmetry, quotient bool }
+		runs := []run{{false, false, true, true}, {true, false, true, true}}
 		if spec.Portfolio {
-			runs = []run{{true, false, true}, {true, true, true}}
+			runs = []run{{true, false, true, true}, {true, true, true, true}}
 		}
 		if spec.Symmetry {
 			// Node-symmetry pair: off then on, both fresh with sessions, so
 			// the gate compares the equivariance win within one process.
-			runs = []run{{true, false, false}, {true, false, true}}
+			// Quotienting stays off for both — it needs the symmetry plan the
+			// off row disables, and the pair isolates the restriction alone.
+			runs = []run{{true, false, false, false}, {true, false, true, false}}
+		}
+		if spec.Quotient {
+			// Quotient pair: off then on, both fresh with sessions and
+			// symmetry, so the gate compares the orbit-collapse win within
+			// one process.
+			runs = []run{{true, false, true, false}, {true, false, true, true}}
 		}
 		var pair []SweepRow
 		for _, r := range runs {
-			row, err := RunSweep(spec, backend, r.sessions, r.portfolio, r.symmetry, workers, timeout)
+			row, err := RunSweep(spec, backend, r.sessions, r.portfolio, r.symmetry, r.quotient, workers, timeout)
 			if err != nil {
 				return rows, err
 			}
-			progress("sweep %-28s sessions=%-5v portfolio=%-5v symmetry=%-5v probes=%-3d pruned=%-3d families=%-2d reuses=%-3d perms=%-2d encode=%.3fs solve=%.3fs wall=%.3fs",
-				spec.Name, r.sessions, r.portfolio, r.symmetry, row.Probes, row.PrunedProbes, row.Families, row.SessionReuses, row.SymmetryPerms,
+			progress("sweep %-28s sessions=%-5v portfolio=%-5v symmetry=%-5v quotient=%-5v probes=%-3d pruned=%-3d families=%-2d reuses=%-3d perms=%-2d qprobes=%-2d encode=%.3fs solve=%.3fs wall=%.3fs",
+				spec.Name, r.sessions, r.portfolio, r.symmetry, r.quotient, row.Probes, row.PrunedProbes, row.Families, row.SessionReuses, row.SymmetryPerms, row.QuotientProbes,
 				time.Duration(row.EncodeWallNs).Seconds(), time.Duration(row.SolveWallNs).Seconds(),
 				time.Duration(row.WallNs).Seconds())
 			rows = append(rows, row)
@@ -353,6 +393,15 @@ func RunSessionSweeps(specs []SweepSpec, backend synth.Backend, workers int, tim
 			// wrong frontier.
 			if !reflect.DeepEqual(pair[0].Points, pair[1].Points) {
 				return rows, fmt.Errorf("eval: sweep %s: symmetry-on frontier %v differs from symmetry-off %v",
+					spec.Name, pair[1].Points, pair[0].Points)
+			}
+		}
+		if spec.Quotient {
+			// Same contract for the quotient: answers never depend on it
+			// (Sat lifts re-validate, everything else falls back), so a
+			// frontier divergence is a soundness bug.
+			if !reflect.DeepEqual(pair[0].Points, pair[1].Points) {
+				return rows, fmt.Errorf("eval: sweep %s: quotient-on frontier %v differs from quotient-off %v",
 					spec.Name, pair[1].Points, pair[0].Points)
 			}
 		}

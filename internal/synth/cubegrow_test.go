@@ -1,0 +1,97 @@
+package synth
+
+import (
+	"testing"
+
+	"repro/internal/collective"
+	"repro/internal/sat"
+	"repro/internal/topology"
+)
+
+// TestCubeQueueGrow pins the dynamic-depth mechanics: growth replaces
+// every pending cube with its two one-literal-deeper children (exact
+// cover), leaves dispatched cubes alone, adjusts the leaf count the
+// Unsat combination compares against, and fires at most once.
+func TestCubeQueueGrow(t *testing.T) {
+	a, b := sat.MkLit(1, false), sat.MkLit(2, false)
+	extra := splitLit{l: sat.MkLit(3, false)}
+	q := &cubeQueue{pending: [][]sat.Lit{{a}, {a.Neg()}, {b}}, total: 3}
+	first, ok := q.pop()
+	if !ok || len(first) != 1 || first[0] != a {
+		t.Fatalf("pop = %v, %v", first, ok)
+	}
+	q.grow(extra)
+	if q.total != 5 {
+		t.Errorf("leaf count after growth = %d, want 5 (1 dispatched + 2*2 children)", q.total)
+	}
+	var got [][]sat.Lit
+	for {
+		c, ok := q.pop()
+		if !ok {
+			break
+		}
+		got = append(got, c)
+	}
+	if len(got) != 4 {
+		t.Fatalf("pending after growth = %d cubes, want 4", len(got))
+	}
+	// Children come in (parent, +extra), (parent, -extra) pairs over the
+	// surviving pending cubes, in order.
+	wantParents := [][]sat.Lit{{a.Neg()}, {b}}
+	for i, c := range got {
+		parent := wantParents[i/2]
+		if len(c) != len(parent)+1 || c[0] != parent[0] {
+			t.Fatalf("child %d = %v does not extend parent %v", i, c, parent)
+		}
+		wantLast := extra.l
+		if i%2 == 1 {
+			wantLast = extra.l.Neg()
+		}
+		if c[len(c)-1] != wantLast {
+			t.Fatalf("child %d = %v: split literal sign wrong, want %v", i, c, wantLast)
+		}
+	}
+	// Growth is once per race: a second call must not touch the queue.
+	q.pending = [][]sat.Lit{{b.Neg()}}
+	q.grow(extra)
+	if q.total != 5 || len(q.pending) != 1 {
+		t.Error("second grow call was not a no-op")
+	}
+}
+
+// TestCubeGrowthStatusConsistent forces the growth path end-to-end: a
+// depth-1 race whose threshold escalates immediately, on budgets
+// straddling the Sat/Unsat boundary. The first cube of a depth-1 layer
+// on these instances refutes far under cubeGrowConflicts, so the
+// pending cube splits deeper — and the answers must still match the
+// sequential pipeline exactly.
+func TestCubeGrowthStatusConsistent(t *testing.T) {
+	topo := topology.DGX1()
+	coll, err := collective.New(collective.Allgather, topo.P, 1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, budget := range []struct{ s, r int }{{1, 1}, {2, 2}, {2, 3}} {
+		in := Instance{Coll: coll, Topo: topo, Steps: budget.s, Round: budget.r}
+		plain, err := Synthesize(in, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		grown, err := Synthesize(in, Options{
+			Portfolio:          4,
+			PortfolioThreshold: 1, // 1ns: always escalate
+			CubeDepth:          1,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if grown.Status != plain.Status {
+			t.Errorf("S=%d R=%d: cube race %v, sequential %v", budget.s, budget.r, grown.Status, plain.Status)
+		}
+		if grown.Status == sat.Sat {
+			if err := grown.Algorithm.Validate(); err != nil {
+				t.Errorf("S=%d R=%d: witness invalid: %v", budget.s, budget.r, err)
+			}
+		}
+	}
+}

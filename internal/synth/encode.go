@@ -83,6 +83,14 @@ type Options struct {
 	// and chunk-placement literals, Unsat cubes combine into a
 	// formula-level Unsat, and a Sat cube stops the cube race.
 	CubeDepth int
+	// NoQuotient disables the chunk-orbit quotient encoding (see
+	// quotient.go): with it off, eligible solves first try a collapsed
+	// formula carrying variables only for chunk-orbit representatives,
+	// falling back to the full formula whenever the quotient does not
+	// answer Sat. Quotienting never changes answers or frontier (C, S,
+	// R) costs — only witnesses and wall clock — but it IS part of the
+	// engine cache fingerprints, because witnesses may differ.
+	NoQuotient bool
 }
 
 // Result carries a synthesis outcome: the algorithm if Status == sat.Sat,
@@ -142,6 +150,18 @@ type Result struct {
 	// node symmetry off, below the size threshold, or when no generator
 	// stabilizes the instance).
 	SymmetryPerms int
+	// QuotientProbes is 1 when this result was answered directly from a
+	// chunk-orbit quotient formula (a lifted, re-validated witness).
+	QuotientProbes int
+	// QuotientFallbacks is 1 when a quotient attempt was abandoned
+	// (restricted Unsat, conflict-cap exhaustion, or a declined plan)
+	// and the answer came from the full formula instead.
+	QuotientFallbacks int
+	// QuotientDeclined is 1 when quotienting was requested but the
+	// configuration structurally declines it — the mega-base's
+	// activation families break orbit structure, so mega probes always
+	// report it.
+	QuotientDeclined int
 }
 
 // Validate checks instance coherence.
@@ -179,9 +199,18 @@ type encoded struct {
 	feasible bool
 	// symPerms counts the node-symmetry generators the emission
 	// restricted on; symGuards holds their selector literals, assumed
-	// through solveSymPhased.
+	// through solveSymPhased. symOrder is the symmetry group's closure
+	// size (0 = too large to enumerate), feeding the restricted-phase
+	// conflict-cap estimator.
 	symPerms  int
 	symGuards []sat.Lit
+	symOrder  int
+	// qplan/qdeclined carry the sink's quotient state (see quotient.go):
+	// qplan non-nil means the formula is a chunk-orbit quotient and the
+	// solve must follow the quotient contract; qdeclined means the
+	// emission hit a defensive mismatch and must be rebuilt full.
+	qplan     *quotientPlan
+	qdeclined bool
 }
 
 // encodePaper builds the paper's encoding (§3.4) through the staged
@@ -215,6 +244,7 @@ func encodePaperTemplate(in Instance, opts Options, tmpl *Stage0Template) *encod
 		// formula; the equivariance restriction answers through phased
 		// assumptions, so it stays off under ProveUnsat.
 		NoNodeSymmetry: opts.NoSymmetryBreaking || opts.ProveUnsat,
+		Quotient:       quotientEligible(opts),
 		Template:       tmpl,
 	})
 	ctx := smt.NewContext()
@@ -227,6 +257,10 @@ func encodePaperTemplate(in Instance, opts Options, tmpl *Stage0Template) *encod
 	e.times, e.snds, e.rs = sink.times, sink.snds, sink.rs
 	e.symPerms = sink.symPerms
 	e.symGuards = sink.symGuards
+	e.qplan, e.qdeclined = sink.qplan, sink.qdeclined
+	if sink.symPlan != nil {
+		e.symOrder = sink.symPlan.order
+	}
 	return e
 }
 
@@ -403,6 +437,18 @@ func synthesizeCDCLTemplate(ctx context.Context, in Instance, opts Options, tmpl
 	if tmpl != nil && templateHit {
 		res.TemplateHits = 1
 	}
+	if e.qplan != nil && e.qdeclined {
+		// The quotient emission hit a defensive structural mismatch: the
+		// formula is not a sound quotient, so rebuild full. (Never
+		// observed for true automorphisms; this path exists so a planner
+		// bug can only cost wall clock, not correctness.)
+		full := opts
+		full.NoQuotient = true
+		fres, err := synthesizeCDCLTemplate(ctx, in, full, tmpl, templateHit)
+		fres.Encode += res.Encode
+		fres.QuotientFallbacks = 1
+		return fres, err
+	}
 	if !e.feasible {
 		res.Status = sat.Unsat
 		return res, nil
@@ -411,13 +457,50 @@ func synthesizeCDCLTemplate(ctx context.Context, in Instance, opts Options, tmpl
 	res.Vars = e.ctx.Solver.NumVars()
 	res.Clauses = e.ctx.Solver.NumClauses()
 	t1 := time.Now()
+	if e.qplan != nil {
+		// Chunk-orbit quotient attempt: a conflict-capped plain solve of
+		// the collapsed formula. Sat lifts through the aliases (extract
+		// reads the full chunk range) and is re-validated like any other
+		// witness before being reported; Unsat or cap exhaustion proves
+		// nothing about the instance — the quotient is a restriction — so
+		// the solve falls back to the full formula on a fresh encoding.
+		// Unknown for any other reason (timeout, cancellation) propagates.
+		budget := restrictedPhaseConflicts(res.Clauses, e.qplan.order)
+		if user, _ := e.ctx.Solver.Budget(); user > 0 && user < budget {
+			budget = user
+		}
+		before := e.ctx.Solver.Stats().Conflicts
+		res.Status = e.ctx.Solver.SolveWithBudgetContext(ctx, budget)
+		res.Solve = time.Since(t1)
+		res.Stats = e.ctx.Solver.Stats()
+		if res.Status == sat.Sat {
+			name := fmt.Sprintf("sccl-%s-c%d-s%d-r%d", in.Coll.Kind, in.Coll.C, in.Steps, in.Round)
+			alg := e.extract(in, name)
+			if err := alg.Validate(); err == nil {
+				res.QuotientProbes = 1
+				res.Algorithm = alg
+				return res, nil
+			}
+			// A lift that fails validation is never reported: fall back.
+		} else if res.Status == sat.Unknown && res.Stats.Conflicts-before < budget {
+			return res, nil
+		}
+		full := opts
+		full.NoQuotient = true
+		fres, err := synthesizeCDCLTemplate(ctx, in, full, tmpl, templateHit)
+		fres.Encode += res.Encode
+		fres.Solve += res.Solve
+		fres.QuotientFallbacks = 1
+		return fres, err
+	}
 	switch {
 	case len(e.symGuards) > 0:
 		// Node-symmetry restriction: phased assumption solve (the
 		// portfolio machinery replays plain solves, so restricted
 		// instances stay on the sequential path — the restriction is
 		// itself the parallelism substitute on symmetric fabrics).
-		res.Status = solveSymPhased(ctx, e.ctx, nil, e.symGuards, nil)
+		res.Status = solveSymPhased(ctx, e.ctx, nil, e.symGuards, nil,
+			restrictedPhaseConflicts(res.Clauses, e.symOrder))
 	case portfolioEligible(opts):
 		po := portfolioSolve(ctx, e, in, opts, tmpl)
 		res.Status = po.status

@@ -49,7 +49,7 @@ func clauseStream(t *testing.T, in Instance, opts Options) string {
 // separately by the status-equality tests).
 func sessionBaseStream(t *testing.T, fam Family, opts Options, horizon int) string {
 	t.Helper()
-	e := encodeSessionBase(fam, opts, horizon, nil)
+	e := encodeSessionBase(fam, opts, horizon, nil, false)
 	var b strings.Builder
 	fmt.Fprintf(&b, "vars %d infeasible %v\n", e.ctx.Solver.NumVars(), e.infeasible)
 	if !e.infeasible {

@@ -649,6 +649,12 @@ func (m *MegaSession) probeLocked(ctx context.Context, v *MegaFamilyView, steps,
 		if m.enc != nil {
 			res.SymmetryPerms = m.enc.symPerms
 		}
+		if quotientEligible(m.opts) {
+			// The mega base never quotients: activation families select
+			// arbitrary chunk subsets, and a subset that is not a union of
+			// orbits breaks the invariance the aliasing would bake in.
+			res.QuotientDeclined = 1
+		}
 		if m.disabled {
 			// Emission infeasibility means some universe chunk — not
 			// necessarily one of this family's — cannot reach a required
@@ -669,8 +675,13 @@ func (m *MegaSession) probeLocked(ctx context.Context, v *MegaFamilyView, steps,
 	applySolverOpts(m.enc.ctx.Solver, opts)
 	res.Vars = m.enc.ctx.Solver.NumVars()
 	res.Clauses = m.enc.ctx.Solver.NumClauses()
+	symOrder := 0
+	if m.enc.symPlan != nil {
+		symOrder = m.enc.symPlan.order
+	}
 	t1 := time.Now()
-	res.Status = solveSymPhased(ctx, m.enc.ctx, assumptions, marks.symOn, marks.symOff)
+	res.Status = solveSymPhased(ctx, m.enc.ctx, assumptions, marks.symOn, marks.symOff,
+		restrictedPhaseConflicts(res.Clauses, symOrder))
 	res.Solve = time.Since(t1)
 	res.Stats = m.enc.ctx.Solver.Stats()
 	if res.Status != sat.Sat {

@@ -36,7 +36,10 @@ import (
 // symmetryMinNodes is the node count below which node-orbit exploitation
 // stays off: small instances solve instantly, and keeping their
 // emissions byte-identical preserves every pinned golden and example.
-const symmetryMinNodes = 10
+// A variable (not a const) so the brute-force property tests can lower
+// it and exercise the orbit machinery on P <= 6 fabrics, where every
+// claim is checkable against exhaustive enumeration.
+var symmetryMinNodes = 10
 
 // nodeSymMaxGens caps the generators one plan emits. Emission keeps a
 // greedily-reduced generating set of the stabilizer subgroup (see
@@ -62,10 +65,13 @@ type nodeSymPerm struct {
 
 // nodeSymPlan is the Stage-1 node-symmetry group of one emission: the
 // chunk signature classes (singletons included, ascending first-chunk
-// order) and the prepared generators.
+// order) and the prepared generators. order is the size of the subgroup
+// the kept generators close over (0 when it outgrew the enumeration
+// cap); the restricted-phase conflict-cap estimator reads it.
 type nodeSymPlan struct {
 	classes [][]int
 	perms   []nodeSymPerm
+	order   int
 }
 
 // chunkClasses partitions the chunks into signature classes, including
@@ -139,15 +145,25 @@ func chunkMapOf(classes [][]int, invClass []int) []int {
 	return cm
 }
 
-// nodeSymPlan resolves the emission's node-symmetry group: nil when
-// disabled, below the size threshold, or no automorphism generator
+// nodeSymPlan resolves the emission's node-symmetry group, memoized on
+// the encoder (the quotient planner and the Emit walk both need it).
+func (e *StagedEncoder) nodeSymPlan() *nodeSymPlan {
+	if !e.symPlanDone {
+		e.symPlan = e.resolveNodeSymPlan()
+		e.symPlanDone = true
+	}
+	return e.symPlan
+}
+
+// resolveNodeSymPlan resolves the emission's node-symmetry group: nil
+// when disabled, below the size threshold, or no automorphism generator
 // stabilizes the instance. Generators of the full group are tried
 // first; if any is rejected the root-stabilizer generators are unioned
 // in, so rooted collectives (whose classes pin the root) still cover
 // the stabilizer subgroup. The accepted generators are then reduced to
 // a greedy generating set — equivariance clauses compose transitively,
 // so redundant generators add formula weight without adding restriction.
-func (e *StagedEncoder) nodeSymPlan() *nodeSymPlan {
+func (e *StagedEncoder) resolveNodeSymPlan() *nodeSymPlan {
 	coll, topo := e.Plan.Coll, e.Plan.Topo
 	if e.Plan.NoNodeSymmetry || topo.P < symmetryMinNodes {
 		return nil
@@ -192,9 +208,9 @@ func (e *StagedEncoder) nodeSymPlan() *nodeSymPlan {
 		}
 	}
 	if len(free) > 0 {
-		plan.perms = reduceGens(free, topo.P, true)
+		plan.perms, plan.order = reduceGens(free, topo.P, true)
 	} else {
-		plan.perms = reduceGens(plan.perms, topo.P, false)
+		plan.perms, plan.order = reduceGens(plan.perms, topo.P, false)
 	}
 	if len(plan.perms) == 0 {
 		return nil
@@ -222,10 +238,18 @@ func fixedPointFree(p topology.Perm) bool {
 // fixed-point-free generators can be reflections, which reintroduce the
 // self-invariant-tree obstruction jointly even though each generator
 // alone dodges it. When the closure outgrows nodeSymClosureCap the
-// reduction stops and keeps what it has.
-func reduceGens(perms []nodeSymPerm, p int, requireFree bool) []nodeSymPerm {
-	if len(perms) <= 1 {
-		return perms
+// reduction stops and keeps what it has. The second return value is the
+// size of the subgroup the kept set closes over, 0 when it outgrew the
+// enumeration cap.
+func reduceGens(perms []nodeSymPerm, p int, requireFree bool) ([]nodeSymPerm, int) {
+	if len(perms) == 0 {
+		return perms, 1
+	}
+	if len(perms) == 1 {
+		if closed, ok := permClosure([]topology.Perm{perms[0].perm}, p); ok {
+			return perms, len(closed)
+		}
+		return perms, 0
 	}
 	var kept []nodeSymPerm
 	gens := make([]topology.Perm, 0, nodeSymMaxGens)
@@ -241,6 +265,7 @@ func reduceGens(perms []nodeSymPerm, p int, requireFree bool) []nodeSymPerm {
 			// stop — further redundancy checks would need the closure.
 			kept = append(kept, sp)
 			gens = append(gens, sp.perm)
+			size = 0
 			break
 		}
 		if len(closed) == size {
@@ -256,7 +281,7 @@ func reduceGens(perms []nodeSymPerm, p int, requireFree bool) []nodeSymPerm {
 			break
 		}
 	}
-	return kept
+	return kept, size
 }
 
 // permClosure enumerates the subgroup generated by gens (BFS over right
@@ -309,7 +334,8 @@ func permKey(p topology.Perm) string {
 	return string(b)
 }
 
-// nodeSymPhaseConflicts caps each restricted phase of solveSymPhased.
+// Restricted phases (equivariance-guarded solves and quotient probes)
+// run under a conflict cap sized per fabric by restrictedPhaseConflicts.
 // A restriction that is going to pay off collapses the search to a
 // small fraction of the unrestricted effort (the torus:6x6 Allgather
 // witness lands in ~270 conflicts, the 4x-DGX-1 machine-ring witness in
@@ -317,9 +343,45 @@ func permKey(p topology.Perm) string {
 // a genuinely-Unsat instance (the proof under the restriction is no
 // cheaper than without) or fighting an asymmetric instance. Capping the
 // restricted phases bounds the worst-case overhead over a symmetry-off
-// solve at a couple thousand conflicts while leaving the collapse wins
-// intact.
-const nodeSymPhaseConflicts = 2000
+// solve while leaving the collapse wins intact.
+const (
+	// restrictedPhaseMinConflicts floors the cap: even a tiny formula
+	// deserves enough conflicts for a guarded witness to surface.
+	restrictedPhaseMinConflicts = 2000
+	// restrictedPhaseClauseDivisor damps the formula-size term. The floor
+	// already covers the observed payoff regime (witnesses land within
+	// hundreds to ~2k conflicts when a restriction collapses the search),
+	// and every point the cap rises past a payoff that is not coming is
+	// pure waste multiplied across the sweep's Unsat probes — so the
+	// adaptive term only grants meaningful headroom to formulas hundreds
+	// of times larger per group element than the gated fabrics
+	// (~300-400k clauses).
+	restrictedPhaseClauseDivisor = 128
+	// restrictedPhaseMaxConflicts ceils the cap so a restriction that is
+	// never going to collapse the search stays a bounded detour.
+	restrictedPhaseMaxConflicts = 12000
+)
+
+// restrictedPhaseConflicts sizes the conflict cap of one restricted
+// phase from the base formula and the symmetry group: the budget grows
+// with clause count (conflicts on a large formula are individually less
+// conclusive) and shrinks with the group order (a larger group collapses
+// more of the search, so a payoff — witness or restricted refutation —
+// must surface sooner if it is going to surface at all). order 0 means
+// the group outgrew enumeration: treat it as maximally collapsing.
+func restrictedPhaseConflicts(clauses, order int) int64 {
+	if order <= 0 {
+		order = nodeSymClosureCap
+	} else if order < 2 {
+		order = 2
+	}
+	c := int64(restrictedPhaseMinConflicts) +
+		int64(clauses)/(int64(order)*restrictedPhaseClauseDivisor)
+	if c > restrictedPhaseMaxConflicts {
+		c = restrictedPhaseMaxConflicts
+	}
+	return c
+}
 
 // solveSymPhased discharges a solve whose formula carries guarded
 // node-symmetry equivariance clauses. base holds the ordinary
@@ -330,13 +392,14 @@ const nodeSymPhaseConflicts = 2000
 // core touches a positive guard proves nothing about the instance, so
 // the offending guards flip to off and the solve retries on the same
 // solver — learnt clauses carry across phases. Restricted phases run
-// under a conflict cap; exhausting it drops every remaining guard, so a
-// restriction that fails to collapse the search costs at most the cap.
-// The loop terminates because every retry turns at least one guard off,
-// and the final answer's core never contains a symmetry literal: Unsat
-// results and their budget-core classifications are exactly as complete
-// as a symmetry-free solve.
-func solveSymPhased(ctx context.Context, sctx *smt.Context, base, on, off []sat.Lit) sat.Status {
+// under the capConflicts conflict cap (callers size it per fabric via
+// restrictedPhaseConflicts); exhausting it drops every remaining guard,
+// so a restriction that fails to collapse the search costs at most the
+// cap. The loop terminates because every retry turns at least one guard
+// off, and the final answer's core never contains a symmetry literal:
+// Unsat results and their budget-core classifications are exactly as
+// complete as a symmetry-free solve.
+func solveSymPhased(ctx context.Context, sctx *smt.Context, base, on, off []sat.Lit, capConflicts int64) sat.Status {
 	mark := sctx.Solver.LearntMark()
 	for {
 		lits := make([]sat.Lit, 0, len(base)+len(on)+len(off))
@@ -349,7 +412,7 @@ func solveSymPhased(ctx context.Context, sctx *smt.Context, base, on, off []sat.
 		var budget int64
 		before := sctx.Solver.Stats().Conflicts
 		if len(on) > 0 {
-			budget = nodeSymPhaseConflicts
+			budget = capConflicts
 			if user, _ := sctx.Solver.Budget(); user > 0 && user < budget {
 				budget = user
 			}

@@ -135,6 +135,15 @@ type ParetoStats struct {
 	// guarded equivariance restrictions the sweep's base encodes emitted
 	// (see nodesym.go); 0 with node symmetry off or below the threshold.
 	SymmetryPerms int
+	// QuotientProbes counts probes answered Sat from a chunk-orbit
+	// quotient base (quotient.go); QuotientFallbacks counts quotient
+	// attempts that fell through to the full formula (quotient Unsat or
+	// conflict-cap exhaustion proves nothing about the instance);
+	// QuotientDeclined counts base encodes that declined to quotient
+	// (mega bases always do, family bases with singleton orbits do).
+	QuotientProbes    int
+	QuotientFallbacks int
+	QuotientDeclined  int
 }
 
 // Speedup returns the aggregate parallel speedup: summed probe time over
@@ -576,6 +585,9 @@ func (s *ParetoStats) add(o ParetoStats) {
 	s.MegaProbes += o.MegaProbes
 	s.MegaEncodes += o.MegaEncodes
 	s.SymmetryPerms += o.SymmetryPerms
+	s.QuotientProbes += o.QuotientProbes
+	s.QuotientFallbacks += o.QuotientFallbacks
+	s.QuotientDeclined += o.QuotientDeclined
 }
 
 // run drives the worker pool until the frontier is complete, an error
@@ -796,6 +808,9 @@ func (w *paretoSweep) account(out *probeOutcome) {
 	}
 	w.stats.MegaEncodes += out.res.MegaEncodes
 	w.stats.SymmetryPerms += out.res.SymmetryPerms
+	w.stats.QuotientProbes += out.res.QuotientProbes
+	w.stats.QuotientFallbacks += out.res.QuotientFallbacks
+	w.stats.QuotientDeclined += out.res.QuotientDeclined
 }
 
 // nextTask picks the globally first undispatched candidate: steps in

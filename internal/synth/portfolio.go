@@ -307,6 +307,64 @@ func enumerateCubes(split []splitLit) [][]sat.Lit {
 	return out
 }
 
+// cubeGrowConflicts is the "trivially refuted" threshold for dynamic
+// depth growth: when the first completed cube proves Unsat in fewer
+// conflicts than this, the layer is too shallow to occupy the workers
+// and every still-pending cube splits one level deeper instead of the
+// race falling back to the leader's pace.
+const cubeGrowConflicts = 512
+
+// cubeQueue is the shared work list of a cube race: a mutex-guarded
+// slice rather than a channel so dynamic depth growth can rewrite the
+// pending tail in place. total tracks the leaf count of the current
+// partition — growth replaces p pending cubes with 2p children, so the
+// all-Unsat combination compares against total, not the initial 2^depth.
+type cubeQueue struct {
+	mu      sync.Mutex
+	pending [][]sat.Lit
+	total   int
+	grown   bool
+}
+
+func (q *cubeQueue) pop() ([]sat.Lit, bool) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if len(q.pending) == 0 {
+		return nil, false
+	}
+	c := q.pending[0]
+	q.pending = q.pending[1:]
+	return c, true
+}
+
+// grow splits every pending cube on one extra literal, once per race.
+// Each pending cube C is replaced by C∪{l} and C∪{¬l}, so the pending
+// region keeps its exact cover: any assignment satisfying C satisfies
+// exactly one child, and the already-dispatched cubes are untouched —
+// the partition property the Unsat combination rests on survives.
+func (q *cubeQueue) grow(extra splitLit) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.grown || len(q.pending) == 0 {
+		return
+	}
+	q.grown = true
+	children := make([][]sat.Lit, 0, 2*len(q.pending))
+	for _, c := range q.pending {
+		pos := append(append(make([]sat.Lit, 0, len(c)+1), c...), extra.l)
+		neg := append(append(make([]sat.Lit, 0, len(c)+1), c...), extra.l.Neg())
+		children = append(children, pos, neg)
+	}
+	q.total += len(q.pending)
+	q.pending = children
+}
+
+func (q *cubeQueue) leafCount() int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return q.total
+}
+
 // launchCubeWorkers starts the cube-and-conquer flavor: one base solver
 // is re-encoded, the split literals are chosen by lookahead, and the
 // granted workers race the 2^CubeDepth cubes on clones of the base.
@@ -314,8 +372,16 @@ func enumerateCubes(split []splitLit) [][]sat.Lit {
 // of their assumption cores — into a single formula-level Unsat verdict
 // on done; an Unsat cube whose core is empty proves the formula Unsat
 // outright and short-circuits. The first Sat cube stops the remaining
-// cube work (the leader still owns the witness). Returns the cube count
-// raced (0 when splitting found no usable literals).
+// cube work (the leader still owns the witness).
+//
+// Depth grows dynamically: the lookahead reserves one extra split
+// literal, and when the race's first completed cube refutes under
+// cubeGrowConflicts, every pending cube splits on it — the initial
+// layer was too coarse, and deeper cubes keep the workers busy instead
+// of returning the race to the leader. Growth only reshapes scheduling;
+// the combination stays exact and the leader still owns the witness, so
+// output bytes cannot change. Returns the initial cube count raced
+// (0 when splitting found no usable literals).
 func launchCubeWorkers(ctx context.Context, wg *sync.WaitGroup, done chan<- sat.Status, in Instance, opts Options, tmpl *Stage0Template, replicas int) int {
 	base := encodePaperTemplate(in, opts, tmpl)
 	if !base.feasible {
@@ -323,7 +389,12 @@ func launchCubeWorkers(ctx context.Context, wg *sync.WaitGroup, done chan<- sat.
 		return 0
 	}
 	applySolverOpts(base.ctx.Solver, opts)
-	split := chooseSplitLits(base, opts.CubeDepth)
+	split := chooseSplitLits(base, opts.CubeDepth+1)
+	var extra *splitLit
+	if len(split) > opts.CubeDepth {
+		extra = &split[opts.CubeDepth]
+		split = split[:opts.CubeDepth]
+	}
 	if len(split) == 0 {
 		// Nothing worth splitting on (tiny or fully propagated formula):
 		// decline quietly and leave the race to the leader.
@@ -334,13 +405,10 @@ func launchCubeWorkers(ctx context.Context, wg *sync.WaitGroup, done chan<- sat.
 	if workers > len(cubes) {
 		workers = len(cubes)
 	}
-	cubeCh := make(chan []sat.Lit, len(cubes))
-	for _, c := range cubes {
-		cubeCh <- c
-	}
-	close(cubeCh)
+	q := &cubeQueue{pending: cubes, total: len(cubes)}
 	var unsatCubes atomic.Int64
 	var satSeen atomic.Bool
+	var firstUnsat atomic.Bool
 	var cwg sync.WaitGroup
 	for i := 0; i < workers; i++ {
 		cl := base.ctx.Solver.Clone()
@@ -352,10 +420,15 @@ func launchCubeWorkers(ctx context.Context, wg *sync.WaitGroup, done chan<- sat.
 		go func(cl *sat.Solver) {
 			defer wg.Done()
 			defer cwg.Done()
-			for cube := range cubeCh {
+			for {
+				cube, ok := q.pop()
+				if !ok {
+					return
+				}
 				if ctx.Err() != nil || satSeen.Load() {
 					return
 				}
+				before := cl.Stats().Conflicts
 				switch cl.SolveContext(ctx, cube...) {
 				case sat.Unsat:
 					if len(cl.FailedAssumptions()) == 0 {
@@ -366,6 +439,10 @@ func launchCubeWorkers(ctx context.Context, wg *sync.WaitGroup, done chan<- sat.
 						return
 					}
 					unsatCubes.Add(1)
+					if extra != nil && firstUnsat.CompareAndSwap(false, true) &&
+						cl.Stats().Conflicts-before < cubeGrowConflicts {
+						q.grow(*extra)
+					}
 				case sat.Sat:
 					satSeen.Store(true)
 					done <- sat.Sat
@@ -378,13 +455,13 @@ func launchCubeWorkers(ctx context.Context, wg *sync.WaitGroup, done chan<- sat.
 			}
 		}(cl)
 	}
-	// Combiner: once every worker drains, all cubes Unsat means the
+	// Combiner: once every worker drains, all leaves Unsat means the
 	// partition is exhaustively refuted — formula-level Unsat.
 	wg.Add(1)
 	go func() {
 		defer wg.Done()
 		cwg.Wait()
-		if int(unsatCubes.Load()) == len(cubes) {
+		if int(unsatCubes.Load()) == q.leafCount() {
 			done <- sat.Unsat
 		}
 	}()

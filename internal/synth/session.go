@@ -59,6 +59,7 @@ func (f Family) key(opts Options) string {
 		"|e" + strconv.Itoa(int(opts.Encoding)) +
 		"|y" + strconv.FormatBool(!opts.NoSymmetryBreak) +
 		"|n" + strconv.FormatBool(!opts.NoSymmetryBreaking) +
+		"|q" + strconv.FormatBool(!opts.NoQuotient) +
 		"|p" + strconv.FormatBool(opts.ProveUnsat)
 }
 
@@ -145,7 +146,15 @@ type cdclSession struct {
 	// then one-shots through synthesizeCDCL unchanged.
 	oneShot bool
 	enc     *sessionEncoding
-	probes  int
+	// qenc is the chunk-orbit quotient base (quotient.go), tried before
+	// enc when the creation options allow it: a collapsed window-mode
+	// formula whose Sat answers are genuine (the quotient is a
+	// restriction) and whose Unsat/cap-exhaustion answers fall through
+	// to enc. qmode latches whether the family quotients at all, so
+	// families with singleton orbits pay the planner once.
+	qenc   *sessionEncoding
+	qmode  int
+	probes int
 	// templates, when set (by the owning SessionPool), shares Stage-0
 	// routing templates across every family of the pool — same-(topo, S)
 	// families stop re-deriving identical substructure.
@@ -189,6 +198,7 @@ func (s *cdclSession) Close() error {
 	defer s.mu.Unlock()
 	s.oneShot = true
 	s.enc = nil
+	s.qenc = nil
 	return nil
 }
 
@@ -288,7 +298,7 @@ func (s *cdclSession) probeLocked(ctx context.Context, steps, rounds int, opts O
 	if s.oneShot || steps > s.fam.MaxSteps || rounds-steps > s.fam.MaxExtraRounds {
 		return Result{}, probeModeOneShot
 	}
-	if s.enc == nil && s.probes < sessionAdoptProbes {
+	if s.enc == nil && s.qenc == nil && s.probes < sessionAdoptProbes {
 		// Lazy adoption: the first probes of a family solve one-shot, so a
 		// family the sweep rarely revisits pays nothing for the session
 		// machinery. The base formula is built once the family proves hot.
@@ -297,6 +307,9 @@ func (s *cdclSession) probeLocked(ctx context.Context, steps, rounds int, opts O
 	}
 	var res Result
 	res.SessionProbe = true
+	if done, mode := s.quotientProbeLocked(ctx, steps, rounds, opts, &res); done {
+		return res, mode
+	}
 	// Warm means this probe reuses live solver state; a re-base (probing
 	// past the encoded step window) starts cold again.
 	res.SessionWarm = s.enc != nil && steps <= s.enc.horizon
@@ -316,7 +329,7 @@ func (s *cdclSession) probeLocked(ctx context.Context, steps, rounds int, opts O
 			}
 		}
 		old := s.enc
-		s.enc = encodeSessionBase(s.fam, s.opts, h, tmpl)
+		s.enc = encodeSessionBase(s.fam, s.opts, h, tmpl, false)
 		res.SymmetryPerms = s.enc.symPerms
 		if old != nil && !old.infeasible && !s.enc.infeasible {
 			// A re-base used to drop the old window's learnt clauses;
@@ -329,14 +342,14 @@ func (s *cdclSession) probeLocked(ctx context.Context, steps, rounds int, opts O
 	if s.enc.infeasible {
 		// A required placement is unreachable within the horizon: the base
 		// itself is Unsat, so every budget the probe dominates is too.
-		res.Encode = time.Since(t0)
+		res.Encode += time.Since(t0)
 		s.probes++
 		res.Status = sat.Unsat
 		res.Core = &BudgetCore{Steps: steps, Rounds: rounds, Empty: true}
 		return res, probeModeDone
 	}
 	assumptions, marks, prune := s.enc.assume(steps, rounds)
-	res.Encode = time.Since(t0)
+	res.Encode += time.Since(t0)
 	s.probes++
 	if prune != nil {
 		// Pruning already proves the budget unsatisfiable — same as the
@@ -350,8 +363,9 @@ func (s *cdclSession) probeLocked(ctx context.Context, steps, rounds int, opts O
 	res.Vars = s.enc.ctx.Solver.NumVars()
 	res.Clauses = s.enc.ctx.Solver.NumClauses()
 	t1 := time.Now()
-	res.Status = solveSymPhased(ctx, s.enc.ctx, assumptions, s.enc.symGuards, nil)
-	res.Solve = time.Since(t1)
+	res.Status = solveSymPhased(ctx, s.enc.ctx, assumptions, s.enc.symGuards, nil,
+		restrictedPhaseConflicts(res.Clauses, s.enc.symOrder))
+	res.Solve += time.Since(t1)
 	res.Stats = s.enc.ctx.Solver.Stats()
 	if res.Status != sat.Sat {
 		if res.Status == sat.Unsat {
@@ -368,6 +382,108 @@ func (s *cdclSession) probeLocked(ctx context.Context, steps, rounds int, opts O
 		return res, probeModeDone
 	}
 	return res, probeModeSat
+}
+
+// Session-level quotient mode, latched once per family: unknown until the
+// first quotient base resolves, then on (orbits collapsed) or off (nothing
+// to collapse, or a defensive decline).
+const (
+	qmodeUnknown = iota
+	qmodeOn
+	qmodeOff
+)
+
+// quotientProbeLocked tries to answer a probe from the family's
+// chunk-orbit quotient base before the full base is consulted. A Sat
+// answer is genuine (the quotient is a restriction of the full formula,
+// and Solve re-derives the canonical witness one-shot anyway); a pruning
+// Unsat and an infeasible base are genuine too (the pruning facts are
+// orbit-invariant, so the quotient prunes exactly when the full base
+// does); a quotient Unsat or conflict-cap exhaustion proves nothing and
+// falls through to the full base with the attempt's cost and a fallback
+// marker on res. Timeouts and cancellation surface as Unknown, like the
+// full path under the same limits.
+func (s *cdclSession) quotientProbeLocked(ctx context.Context, steps, rounds int, opts Options, res *Result) (bool, int) {
+	if s.qmode == qmodeOff || !quotientEligible(s.opts) {
+		return false, 0
+	}
+	warm := s.qenc != nil && steps <= s.qenc.horizon
+	t0 := time.Now()
+	if !warm {
+		h := sessionHorizon(s.fam, steps)
+		var tmpl *Stage0Template
+		if s.templates != nil {
+			var hit bool
+			tmpl, hit = s.templates.Get(s.fam.Topo)
+			if hit {
+				res.TemplateHits++
+			}
+		}
+		// No learnt migration across quotient re-bases: the collapsed
+		// formula is cheap to refill, and its lemmas never feed the full
+		// base (different variable meaning would make the entailment
+		// vetting reject almost everything anyway).
+		s.qenc = encodeSessionBase(s.fam, s.opts, h, tmpl, true)
+		res.SymmetryPerms = s.qenc.symPerms
+		if s.qenc.qplan == nil || s.qenc.qdeclined {
+			// Singleton orbits, no stabilizing group, or a defensive
+			// mid-emission decline: this family never quotients — stop
+			// paying for the attempt.
+			s.qmode = qmodeOff
+			s.qenc = nil
+			res.Encode += time.Since(t0)
+			return false, 0
+		}
+		s.qmode = qmodeOn
+	}
+	res.SessionWarm = warm
+	res.CarriedLearnts = s.qenc.ctx.Solver.LearntClauses()
+	if s.qenc.infeasible {
+		// Orbit-invariant reachability pruning refuted the base; the full
+		// base would conclude the same.
+		res.Encode += time.Since(t0)
+		s.probes++
+		res.Status = sat.Unsat
+		res.Core = &BudgetCore{Steps: steps, Rounds: rounds, Empty: true}
+		return true, probeModeDone
+	}
+	assumptions, _, prune := s.qenc.assume(steps, rounds)
+	res.Encode += time.Since(t0)
+	if prune != nil {
+		s.probes++
+		res.Status = sat.Unsat
+		res.Core = prune
+		return true, probeModeDone
+	}
+	applySolverOpts(s.qenc.ctx.Solver, opts)
+	res.Vars = s.qenc.ctx.Solver.NumVars()
+	res.Clauses = s.qenc.ctx.Solver.NumClauses()
+	budget := restrictedPhaseConflicts(res.Clauses, s.qenc.qplan.order)
+	if user, _ := s.qenc.ctx.Solver.Budget(); user > 0 && user < budget {
+		budget = user
+	}
+	t1 := time.Now()
+	before := s.qenc.ctx.Solver.Stats().Conflicts
+	st := s.qenc.ctx.Solver.SolveWithBudgetContext(ctx, budget, assumptions...)
+	res.Solve += time.Since(t1)
+	res.Stats = s.qenc.ctx.Solver.Stats()
+	switch {
+	case st == sat.Sat:
+		s.probes++
+		res.Status = sat.Sat
+		res.QuotientProbes = 1
+		return true, probeModeSat
+	case st == sat.Unknown && res.Stats.Conflicts-before < budget:
+		// A genuine timeout or cancellation, not the quotient's own
+		// conflict cap: the full base would hit the same wall.
+		s.probes++
+		res.Status = sat.Unknown
+		return true, probeModeDone
+	}
+	// Quotient Unsat (an invariant-schedule refutation says nothing about
+	// the instance) or cap exhaustion: consult the full base.
+	res.QuotientFallbacks = 1
+	return false, 0
 }
 
 // sessionEncoding is the live layered base formula of one family at one
@@ -395,9 +511,17 @@ type sessionEncoding struct {
 	// within the horizon (a required placement is unreachable).
 	infeasible bool
 	// symPerms counts the node-symmetry generators restricted on in the
-	// base; symGuards holds their selector literals (solveSymPhased).
+	// base; symGuards holds their selector literals (solveSymPhased);
+	// symOrder is the group's closure size for the restricted-phase
+	// conflict-cap estimator (0 when enumeration overflowed).
 	symPerms  int
 	symGuards []sat.Lit
+	symOrder  int
+	// qplan is non-nil when the base was emitted as a chunk-orbit
+	// quotient (quotient.go); qdeclined marks a defensive mid-emission
+	// decline, making the base unusable for answers.
+	qplan     *quotientPlan
+	qdeclined bool
 }
 
 // encodeSessionBase emits the family's budget-independent constraints
@@ -411,7 +535,7 @@ type sessionEncoding struct {
 // satisfiability-preserving for every probed S: a minimal S-budget
 // algorithm maps into the base by sending nothing after S and placing
 // never-arriving chunks at horizon+1.
-func encodeSessionBase(fam Family, opts Options, horizon int, tmpl *Stage0Template) *sessionEncoding {
+func encodeSessionBase(fam Family, opts Options, horizon int, tmpl *Stage0Template, quotient bool) *sessionEncoding {
 	enc := NewStagedEncoder(EncodePlan{
 		Coll:            fam.Coll,
 		Topo:            fam.Topo,
@@ -419,12 +543,13 @@ func encodeSessionBase(fam Family, opts Options, horizon int, tmpl *Stage0Templa
 		RoundHi:         fam.MaxExtraRounds + 1,
 		NoSymmetryBreak: opts.NoSymmetryBreak,
 		NoNodeSymmetry:  opts.NoSymmetryBreaking,
+		Quotient:        quotient && quotientEligible(opts),
 		Template:        tmpl,
 	})
 	ctx := smt.NewContext()
 	sink := newCDCLStageSink(enc, ctx)
 	ok := enc.Emit(sink)
-	return &sessionEncoding{
+	out := &sessionEncoding{
 		ctx:        ctx,
 		spec:       fam.Coll,
 		horizon:    horizon,
@@ -434,7 +559,13 @@ func encodeSessionBase(fam Family, opts Options, horizon int, tmpl *Stage0Templa
 		infeasible: !ok,
 		symPerms:   sink.symPerms,
 		symGuards:  sink.symGuards,
+		qplan:      sink.qplan,
+		qdeclined:  sink.qdeclined,
 	}
+	if sink.symPlan != nil {
+		out.symOrder = sink.symPlan.order
+	}
+	return out
 }
 
 // Learnt-clause migration across re-bases. A session probing past its
@@ -554,8 +685,14 @@ func migrateLearnts(old, fresh *sessionEncoding) int {
 // can skip the budgets it dominates.
 func (e *sessionEncoding) assume(steps, rounds int) (lits []sat.Lit, marks assumpMarks, prune *BudgetCore) {
 	marks.post = map[sat.Lit]bool{}
-	// C2: post placements arrive within S.
+	// C2: post placements arrive within S. On a quotient base only the
+	// orbit representatives are assumed: a non-representative's post
+	// placements alias its representative's (the group stabilizes Post),
+	// so their literals are duplicates of ones already in the list.
 	for c := range e.times {
+		if e.qplan != nil && e.qplan.rep[c] != c {
+			continue
+		}
 		for n, tv := range e.times[c] {
 			if tv == nil || tv.Lo == tv.Hi {
 				continue

@@ -256,6 +256,15 @@ type EncodePlan struct {
 	// restriction; see nodesym.go. Independent of NoSymmetryBreak — the
 	// two symmetry exploits compose but are opted out of separately.
 	NoNodeSymmetry bool
+	// Quotient asks the CDCL sink to emit a chunk-orbit quotient of the
+	// Stage-1 formula: variables exist only for orbit representative
+	// chunks, every non-representative occurrence is rewritten through
+	// the group action at emit time (see quotient.go). The quotient is a
+	// restriction — callers must treat a quotient Unsat or cap exhaustion
+	// as "fall back to the full formula", never as an answer. Ignored
+	// when the node-symmetry plan resolves empty (the emission is then
+	// byte-identical to a plain one).
+	Quotient bool
 	// Template, if non-nil, supplies the Stage-0 routing substructure
 	// (it must have been derived from Topo); nil derives a private one.
 	Template *Stage0Template
@@ -319,6 +328,11 @@ type StagedEncoder struct {
 	dist [][]int
 	// distToPost[c] is the per-chunk distance-to-post map (minimality).
 	distToPost [][]int
+	// symPlan memoizes the resolved node-symmetry plan: the quotient
+	// planner (sink construction) and the Emit walk both read it, and
+	// resolution enumerates subgroup closures — worth doing once.
+	symPlan     *nodeSymPlan
+	symPlanDone bool
 }
 
 // NewStagedEncoder resolves the plan's Stage-0 template (a skeleton —

@@ -51,10 +51,19 @@ type cdclStageSink struct {
 	symPlan   *nodeSymPlan
 	symGuards []sat.Lit
 	symPerms  int
+	// qplan, when non-nil, selects quotient mode: non-representative
+	// chunks' variables are aliases of their representative's through
+	// the group action, and their per-chunk constraint families are
+	// skipped as exact images (see quotient.go). qdeclined flags a
+	// defensive structural mismatch: the formula is then not a sound
+	// quotient and the caller must rebuild without one.
+	qplan     *quotientPlan
+	qdeclined bool
 }
 
 func newCDCLStageSink(e *StagedEncoder, ctx *smt.Context) *cdclStageSink {
 	k := &cdclStageSink{e: e, ctx: ctx, arrivals: map[[3]int]sat.Lit{}}
+	k.qplan = e.quotientPlanOf()
 	k.dist, k.distToPost = e.distances()
 	G := e.Plan.Coll.G
 	k.times = make([][]*smt.IntVar, G)
@@ -72,8 +81,29 @@ func newCDCLStageSink(e *StagedEncoder, ctx *smt.Context) *cdclStageSink {
 // (post nodes bounded by S); Window+1 encodes "never arrives".
 func (k *cdclStageSink) TimeVar(c, n int) bool {
 	coll, B := k.e.Plan.Coll, k.e.Plan.Window
-	name := fmt.Sprintf("time_c%d_n%d", c, n)
 	d := k.dist[c][n]
+	if q := k.qplan; q != nil && q.rep[c] != c {
+		// Quotient aliasing: time(c, n) IS time(rep, π⁻¹n) — no new
+		// variable. Instance stabilization makes every domain and pruning
+		// decision coincide with the representative's, so the checks here
+		// mirror the full path: the unreachable-but-required case is
+		// genuine infeasibility (pure BFS pruning, quotient-independent),
+		// while a nil-ness disagreement with the alias is a defensive
+		// decline — the formula is abandoned for the full one, never
+		// answered from.
+		if !coll.Pre[c][n] && (d < 0 || d > B) && coll.Post[c][n] {
+			k.infeasible = true
+			return false
+		}
+		al := k.times[q.rep[c]][q.invNode[c][n]]
+		wantNil := !coll.Pre[c][n] && (d < 0 || d > B)
+		if (al == nil) != wantNil {
+			k.qdeclined = true
+		}
+		k.times[c][n] = al
+		return true
+	}
+	name := fmt.Sprintf("time_c%d_n%d", c, n)
 	switch {
 	case coll.Pre[c][n]:
 		k.times[c][n] = k.ctx.NewIntVar(name, 0, 0)
@@ -137,6 +167,15 @@ func (k *cdclStageSink) OrderSymmetric(group []int, w int) {
 // nodesym.go for the soundness argument.
 func (k *cdclStageSink) NodeSymmetry(plan *nodeSymPlan) {
 	k.symPlan = plan
+	if k.qplan != nil {
+		// Quotient mode: the orbit identification already bakes the
+		// generators' equivariance into the variables themselves, so
+		// guarded restriction clauses would be tautologies over the
+		// aliases (plus stabilizer components not worth guarding). The
+		// quotient solve is instead a capped plain phase with
+		// formula-level fallback — see synthesizeCDCLTemplate.
+		return
+	}
 	for _, p := range plan.perms {
 		guard := k.ctx.BoolVar()
 		k.symGuards = append(k.symGuards, guard)
@@ -254,6 +293,16 @@ func (k *cdclStageSink) emitEquivariance(p nodeSymPerm, guard sat.Lit) {
 // must be able to hold the chunk strictly before the window's last step
 // and the destination must be able to accept it.
 func (k *cdclStageSink) SendVar(c, ei int) {
+	if q := k.qplan; q != nil && q.rep[c] != c {
+		// Quotient aliasing: snd(c, e) IS snd(rep, π⁻¹e); the
+		// representative's pruning decision (0 = pruned) transfers by
+		// instance stabilization. A missing image edge leaves the send
+		// pruned — at worst a further restriction, covered by fallback.
+		if ei2 := q.invEdge[c][ei]; ei2 >= 0 {
+			k.snds[c][ei] = k.snds[q.rep[c]][ei2]
+		}
+		return
+	}
 	coll, B := k.e.Plan.Coll, k.e.Plan.Window
 	l := k.e.Template.Edges[ei]
 	src, dst := int(l.Src), int(l.Dst)
@@ -288,6 +337,9 @@ func (k *cdclStageSink) SendVar(c, ei int) {
 //	     downstream, so time(c,n) <= B - dist(n, post(c)); nodes that
 //	     cannot reach any post node never usefully receive the chunk.
 func (k *cdclStageSink) Minimality(c int) {
+	if q := k.qplan; q != nil && q.rep[c] != c {
+		return // exact π-image of the representative's clauses over the aliases
+	}
 	ctx, coll, B := k.ctx, k.e.Plan.Coll, k.e.Plan.Window
 	edges := k.e.Template.Edges
 	singlePost := len(coll.Post.Nodes(c)) == 1
@@ -368,6 +420,12 @@ func (k *cdclStageSink) RoundTotal() {
 // Receive emits C3 for the non-pre (c, n): at most one incoming send,
 // and arrival within the window implies at least one.
 func (k *cdclStageSink) Receive(c, n int) bool {
+	if q := k.qplan; q != nil && q.rep[c] != c {
+		// Exact π-image of Receive(rep, π⁻¹n), which already ran (the
+		// representative is the orbit minimum, so it was walked first) —
+		// including its required-but-unreceivable infeasibility check.
+		return true
+	}
 	ctx, coll, B := k.ctx, k.e.Plan.Coll, k.e.Plan.Window
 	tv := k.times[c][n]
 	if tv == nil {
@@ -403,6 +461,9 @@ func (k *cdclStageSink) Receive(c, n int) bool {
 // Causality emits C4: snd -> time(src) < time(dst), with arrival bounded
 // by the window.
 func (k *cdclStageSink) Causality(c, ei int) {
+	if q := k.qplan; q != nil && q.rep[c] != c {
+		return // exact π-image of Causality(rep, π⁻¹e)
+	}
 	snd := k.snds[c][ei]
 	if snd == 0 {
 		return
@@ -441,11 +502,25 @@ func (k *cdclStageSink) Bandwidth(s, ri int) {
 			continue
 		}
 		for c := 0; c < G; c++ {
-			key := [3]int{c, ei, s}
+			// Quotient mode canonicalizes the arrival to representative
+			// coordinates: the aliased conjunction is literal-for-literal
+			// the representative's, so sharing the cache entry avoids an
+			// AndLit reification per orbit member. A duplicate literal in
+			// lits is correct — each (chunk, link) pair is a distinct
+			// arrival and counts toward the bandwidth separately.
+			cc, ee := c, ei
+			if q := k.qplan; q != nil && q.rep[c] != c {
+				ee = q.invEdge[c][ei]
+				if ee < 0 {
+					continue // aliased send is pruned: no arrival
+				}
+				cc = q.rep[c]
+			}
+			key := [3]int{cc, ee, s}
 			al, cached := k.arrivals[key]
 			if !cached {
 				var okA bool
-				al, okA = k.arrival(c, ei, s)
+				al, okA = k.arrival(cc, ee, s)
 				if !okA {
 					k.arrivals[key] = 0
 					continue

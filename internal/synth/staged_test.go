@@ -134,8 +134,8 @@ func TestStageVarMapCoverage(t *testing.T) {
 		t.Fatal(err)
 	}
 	fam := Family{Coll: coll, Topo: topo, MaxSteps: 7, MaxExtraRounds: 2}
-	old := encodeSessionBase(fam, Options{}, 4, nil)
-	fresh := encodeSessionBase(fam, Options{}, 6, nil)
+	old := encodeSessionBase(fam, Options{}, 4, nil, false)
+	fresh := encodeSessionBase(fam, Options{}, 6, nil, false)
 	if old.infeasible || fresh.infeasible {
 		t.Fatal("bases unexpectedly infeasible")
 	}

@@ -211,6 +211,65 @@ func FatTree(pods, hosts, hostBW, uplinkBW int) *Topology {
 	return t
 }
 
+// Dragonfly models a one-level dragonfly fabric from the endpoints'
+// view: groups*routers nodes (group g's routers are nodes
+// g*routers..g*routers+routers-1), each group internally fully connected
+// with unit bidirectional links, and each group pair joined by one
+// bidirectional global link of bandwidth globalBW. Global links attach
+// to deterministic endpoint routers — spread round-robin over the
+// group's routers in peer-group order — so the wiring, and therefore
+// the topology's fingerprint, is a pure function of the parameters.
+// When a group has more peer groups than routers, some router carries
+// several global ports; a per-group aggregate cap (the FatTree uplink
+// idiom) then bounds all traffic leaving (and entering) each group at
+// routers*globalBW per round, modeling per-router global-port
+// serialization. Switch-internal hops are not modeled — routers are the
+// endpoints, matching the paper's relation form.
+func Dragonfly(groups, routers, globalBW int) *Topology {
+	var rs []Relation
+	for g := 0; g < groups; g++ {
+		base := g * routers
+		for i := 0; i < routers; i++ {
+			for j := i + 1; j < routers; j++ {
+				biP2P(&rs, Node(base+i), Node(base+j), 1)
+			}
+		}
+	}
+	// port is the endpoint router in group g of the global link to peer
+	// group h: peer groups in ascending order (skipping g itself) take
+	// the group's routers round-robin.
+	port := func(g, h int) Node {
+		k := h
+		if h > g {
+			k--
+		}
+		return Node(g*routers + k%routers)
+	}
+	egress := make([][]Link, groups)
+	for a := 0; a < groups; a++ {
+		for b := a + 1; b < groups; b++ {
+			u, v := port(a, b), port(b, a)
+			biP2P(&rs, u, v, globalBW)
+			egress[a] = append(egress[a], Link{u, v})
+			egress[b] = append(egress[b], Link{v, u})
+		}
+	}
+	if groups-1 > routers {
+		for g := 0; g < groups; g++ {
+			out := egress[g]
+			in := make([]Link, len(out))
+			for i, l := range out {
+				in[i] = Link{l.Dst, l.Src}
+			}
+			rs = append(rs,
+				Relation{Links: out, Bandwidth: routers * globalBW},
+				Relation{Links: in, Bandwidth: routers * globalBW},
+			)
+		}
+	}
+	return &Topology{Name: "dragonfly", P: groups * routers, Relations: rs}
+}
+
 // SharedBus models n nodes on one shared medium: any node may send to any
 // other, but only `bw` chunks total traverse the bus per round. This
 // demonstrates the relation form ({(a,b) | a,b ∈ N}, bw) from §3.2.1.

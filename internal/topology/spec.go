@@ -154,6 +154,13 @@ func familyTable() []familyDef {
 			},
 		},
 		{
+			family: "dragonfly", aliases: []string{"dfly"},
+			params: []paramDef{{"groups", 2}, {"routers", 1}, {"globalbw", 1}},
+			build: func(s *Spec) (*Topology, error) {
+				return Dragonfly(s.Params["groups"], s.Params["routers"], s.Params["globalbw"]), nil
+			},
+		},
+		{
 			family: "bus", params: []paramDef{{"n", 2}, {"bw", 1}},
 			build: func(s *Spec) (*Topology, error) {
 				return SharedBus(s.Params["n"], s.Params["bw"]), nil

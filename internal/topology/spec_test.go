@@ -12,7 +12,7 @@ func TestSpecStringRoundTrip(t *testing.T) {
 		"dgx1", "dgx2", "amd-z52",
 		"ring:5", "bidir-ring:6", "line:4", "fully-connected:4",
 		"star:7", "hypercube:3", "torus:3x4", "torus3d:2x3x4",
-		"fat-tree:2:4:1:2", "bus:4:2",
+		"fat-tree:2:4:1:2", "bus:4:2", "dragonfly:6:4:2", "dragonfly:3:2:1",
 		"multinode:dgx1:2:1:1", "multinode:ring:4:2:2:3",
 		"multinode:multinode:ring:4:2:1:1:2:1:1",
 	}
@@ -126,6 +126,13 @@ func TestSpecFingerprintGolden(t *testing.T) {
 			"1077d02aa67f5cc2279882010d7dcaf9"},
 		{"fat-tree:4:8:2:8", Spec{Family: "fat-tree", Params: map[string]int{"pods": 4, "hosts": 8, "hostbw": 2, "uplinkbw": 8}},
 			"f628028c619878b658c35dc5dad4655f"},
+		// 5 peer groups > 4 routers, so the per-group aggregate caps are
+		// part of the fingerprint; the dfly alias must land on the same
+		// canonical family.
+		{"dragonfly:6:4:2", Spec{Family: "dragonfly", Params: map[string]int{"groups": 6, "routers": 4, "globalbw": 2}},
+			"272750f87d3f8a8706aa2443942be227"},
+		{"dfly:3:2:1", Spec{Family: "dragonfly", Params: map[string]int{"groups": 3, "routers": 2, "globalbw": 1}},
+			"ba5b74b5355ec89940960d935f1c0284"},
 		{"multinode:dgx1:4:1:1", Spec{Family: "multinode",
 			Params: map[string]int{"count": 4, "nics": 1, "bw": 1},
 			Base:   &Spec{Family: "dgx1"}},
